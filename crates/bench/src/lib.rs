@@ -1,0 +1,1 @@
+//! NFactor benchmark harness library (shared helpers live in the binaries).

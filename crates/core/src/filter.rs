@@ -1,0 +1,137 @@
+//! Restrict a per-packet function to a statement slice.
+//!
+//! Producing "the sliced program" as a first-class [`PacketLoop`] —
+//! rather than just a set of statement ids — is what lets the Table 2
+//! experiment run *symbolic execution on the slice*: the filtered
+//! program is an ordinary NFL program the engine explores. A statement
+//! survives if it is in the slice or encloses one that is (control
+//! structure is kept so the program stays well-formed, exactly like the
+//! renderer's `keep_only`).
+
+use nfl_analysis::normalize::PacketLoop;
+use nfl_lang::{Stmt, StmtId, StmtKind};
+use std::collections::HashSet;
+
+fn subtree_hits(s: &Stmt, keep: &HashSet<StmtId>) -> bool {
+    if keep.contains(&s.id) {
+        return true;
+    }
+    match &s.kind {
+        StmtKind::If {
+            then_branch,
+            else_branch,
+            ..
+        } => then_branch
+            .iter()
+            .chain(else_branch)
+            .any(|c| subtree_hits(c, keep)),
+        StmtKind::While { body, .. } | StmtKind::For { body, .. } => {
+            body.iter().any(|c| subtree_hits(c, keep))
+        }
+        _ => false,
+    }
+}
+
+fn filter_stmts(stmts: &[Stmt], keep: &HashSet<StmtId>) -> Vec<Stmt> {
+    let mut out = Vec::new();
+    for s in stmts {
+        if !subtree_hits(s, keep) {
+            continue;
+        }
+        let mut s = s.clone();
+        match &mut s.kind {
+            StmtKind::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                *then_branch = filter_stmts(then_branch, keep);
+                *else_branch = filter_stmts(else_branch, keep);
+            }
+            StmtKind::While { body, .. } | StmtKind::For { body, .. } => {
+                *body = filter_stmts(body, keep);
+            }
+            _ => {}
+        }
+        out.push(s);
+    }
+    out
+}
+
+/// Restrict `pl`'s per-packet function to the statements in `keep`
+/// (plus enclosing control structure). Ids are renumbered; the global
+/// declarations are preserved so the slice still references its configs
+/// and states.
+pub fn filter_loop(pl: &PacketLoop, keep: &HashSet<StmtId>) -> PacketLoop {
+    let mut program = pl.program.clone();
+    for f in &mut program.functions {
+        if f.name == pl.func {
+            f.body = filter_stmts(&f.body, keep);
+        }
+    }
+    program.renumber();
+    PacketLoop {
+        program,
+        func: pl.func.clone(),
+        pkt_param: pl.pkt_param.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nfl_analysis::normalize::normalize;
+    use nfl_lang::parse_and_check;
+
+    #[test]
+    fn filter_keeps_guards_drops_rest() {
+        let src = r#"
+            state hits = 0;
+            state noise = 0;
+            fn cb(pkt: packet) {
+                noise = noise + 1;
+                if pkt.ip.ttl > 1 {
+                    hits = hits + 1;
+                    send(pkt);
+                }
+            }
+            fn main() { sniff(cb); }
+        "#;
+        let p = parse_and_check(src).unwrap();
+        let pl = normalize(&p).unwrap();
+        // Keep only the send statement.
+        let mut send_id = None;
+        pl.program.for_each_stmt(|s| {
+            if format!("{:?}", s.kind).contains("\"send\"") {
+                send_id = Some(s.id);
+            }
+        });
+        let keep: HashSet<_> = [send_id.unwrap()].into();
+        let sliced = filter_loop(&pl, &keep);
+        let f = sliced.program.function("cb").unwrap();
+        // Only the `if` survives at top level, holding only the send.
+        assert_eq!(f.body.len(), 1);
+        let StmtKind::If { then_branch, .. } = &f.body[0].kind else {
+            panic!("guard kept");
+        };
+        assert_eq!(then_branch.len(), 1);
+        // Ids are dense again.
+        let mut ids = Vec::new();
+        sliced.program.for_each_stmt(|s| ids.push(s.id.0));
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..ids.len() as u32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_keep_empties_function() {
+        let src = r#"
+            fn cb(pkt: packet) { let x = 1; }
+            fn main() { sniff(cb); }
+        "#;
+        let p = parse_and_check(src).unwrap();
+        let pl = normalize(&p).unwrap();
+        let sliced = filter_loop(&pl, &HashSet::new());
+        assert!(sliced.program.function("cb").unwrap().body.is_empty());
+    }
+}

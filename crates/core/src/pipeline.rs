@@ -1,0 +1,425 @@
+//! The synthesis pipeline (Algorithm 1 end to end) with Table 2 metrics.
+
+use crate::filter::filter_loop;
+use nf_model::Model;
+use nfl_analysis::normalize::{normalize, PacketLoop, StructureError};
+use nfl_analysis::pdg::{default_boundary, Pdg};
+use nfl_lang::types::TypeInfo;
+use nfl_lang::Program;
+use nfl_slicer::statealyzer::StateAlyzerInput;
+use nfl_slicer::static_slice::{packet_slice, slice_union, state_slice, SliceResult};
+use nfl_slicer::statealyzer::{statealyzer, VarClasses};
+use nfl_symex::{ExplorationStats, PathLimits, SymExec};
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Pipeline errors, tagged with the failing stage.
+#[derive(Debug, Clone)]
+pub enum Error {
+    /// Parsing or type checking failed.
+    Frontend(String),
+    /// Structure normalisation failed.
+    Structure(String),
+    /// Socket unfolding failed.
+    Unfold(String),
+    /// Symbolic execution failed.
+    Symex(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Frontend(m) => write!(f, "frontend: {m}"),
+            Error::Structure(m) => write!(f, "structure: {m}"),
+            Error::Unfold(m) => write!(f, "unfold: {m}"),
+            Error::Symex(m) => write!(f, "symbolic execution: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Pipeline options.
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// Limits for the model-extraction symbolic execution (on the slice).
+    pub limits: PathLimits,
+    /// Which statements feed StateAlyzer (ablation knob; NFactor's
+    /// default is the packet slice).
+    pub statealyzer_input: StateAlyzerInput,
+    /// Also symbolically execute the *original* (unsliced) per-packet
+    /// function, to fill Table 2's "orig" columns. Off by default — this
+    /// is the expensive side the paper reports as ">1 hr" for snort.
+    pub measure_original: bool,
+    /// Limits for that original-program execution.
+    pub original_limits: PathLimits,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            limits: PathLimits::default(),
+            statealyzer_input: StateAlyzerInput::PacketSlice,
+            measure_original: false,
+            original_limits: PathLimits {
+                loop_bound: 4,
+                max_paths: 1001, // just past the paper's ">1000"
+                max_steps: 20_000,
+                track_executed: false,
+            },
+        }
+    }
+}
+
+/// The Table 2 row for one NF.
+#[derive(Debug, Clone)]
+pub struct Metrics {
+    /// LoC of the original program (comments excluded).
+    pub loc_orig: usize,
+    /// LoC of the packet∪state slice.
+    pub loc_slice: usize,
+    /// LoC of the largest single execution path in the slice.
+    pub loc_path: usize,
+    /// Wall-clock time of slicing (PDG + slices + classification).
+    pub slicing_time: Duration,
+    /// Execution paths in the slice.
+    pub ep_slice: usize,
+    /// Symbolic-execution time on the slice.
+    pub se_time_slice: Duration,
+    /// Execution paths of the original program (`(count, exhausted)`),
+    /// when measured. `exhausted == false` renders as ">count".
+    pub ep_orig: Option<(usize, bool)>,
+    /// Symbolic-execution time on the original program, when measured.
+    pub se_time_orig: Option<Duration>,
+}
+
+impl Metrics {
+    /// Format the original-EP column the way Table 2 does (">1000").
+    pub fn ep_orig_str(&self) -> String {
+        match self.ep_orig {
+            Some((n, true)) => n.to_string(),
+            Some((n, false)) => format!(">{n}"),
+            None => "-".to_string(),
+        }
+    }
+}
+
+/// Everything the pipeline produced.
+#[derive(Debug, Clone)]
+pub struct Synthesis {
+    /// NF name (for reports).
+    pub name: String,
+    /// The normalised (and, if needed, socket-unfolded) per-packet loop.
+    pub nf_loop: PacketLoop,
+    /// Type information of the normalised program.
+    pub type_info: TypeInfo,
+    /// Packet processing slice (Algorithm 1 lines 1–4).
+    pub packet_slice: SliceResult,
+    /// State transition slice (lines 6–9).
+    pub state_slice: SliceResult,
+    /// Their union (line 10's input).
+    pub union_slice: SliceResult,
+    /// StateAlyzer classification (line 5, Table 1).
+    pub classes: VarClasses,
+    /// The slice as a runnable program.
+    pub sliced_loop: PacketLoop,
+    /// All execution paths of the slice.
+    pub exploration: ExplorationStats,
+    /// The synthesized model (lines 11–16, Figure 2a).
+    pub model: Model,
+    /// Table 2 metrics.
+    pub metrics: Metrics,
+}
+
+impl Synthesis {
+    /// The Figure 6 rendering of the model.
+    pub fn render_model(&self) -> String {
+        nf_model::render_figure6(&self.model)
+    }
+
+    /// The Figure 1 view: the original per-packet function with the
+    /// slice-union highlighted.
+    pub fn render_highlighted_slice(&self) -> String {
+        self.union_slice.render_highlighted(&self.nf_loop.program)
+    }
+}
+
+/// Normalise, unfolding sockets first when the program is the Figure 4d
+/// nested-loop shape.
+pub fn normalize_with_unfold(program: &Program) -> Result<PacketLoop, Error> {
+    match normalize(program) {
+        Ok(pl) => Ok(pl),
+        Err(StructureError::NestedLoop) => {
+            let unfolded = nf_tcp::unfold_sockets(program)
+                .map_err(|e| Error::Unfold(e.to_string()))?;
+            normalize(&unfolded).map_err(|e| Error::Structure(e.to_string()))
+        }
+        Err(e) => Err(Error::Structure(e.to_string())),
+    }
+}
+
+/// Run the pipeline on NFL source text.
+pub fn synthesize(name: &str, src: &str, opts: &Options) -> Result<Synthesis, Error> {
+    let program = nfl_lang::parse_and_check(src).map_err(Error::Frontend)?;
+    synthesize_program(name, &program, opts)
+}
+
+/// Run the pipeline on an already-checked program.
+pub fn synthesize_program(
+    name: &str,
+    program: &Program,
+    opts: &Options,
+) -> Result<Synthesis, Error> {
+    // 1. Structure normalisation (+ socket unfolding).
+    let nf_loop = normalize_with_unfold(program)?;
+    let type_info =
+        nfl_lang::types::check(&nf_loop.program).map_err(|e| Error::Frontend(e.to_string()))?;
+
+    // 2–4. Slicing + classification, timed together ("Slicing Time").
+    let t_slice = Instant::now();
+    let boundary = default_boundary(&nf_loop.program, &nf_loop.func);
+    let pdg = Pdg::build(&nf_loop.program, &nf_loop.func, &boundary);
+    let pkt_slice = packet_slice(&pdg, &nf_loop.program, &nf_loop.func);
+    let classes = statealyzer(&nf_loop, &pkt_slice.stmts, &type_info, opts.statealyzer_input);
+    let st_slice = state_slice(&pdg, &nf_loop.program, &nf_loop.func, &classes.ois_vars);
+    let union = slice_union(&pkt_slice, &st_slice);
+    let slicing_time = t_slice.elapsed();
+
+    // 5. Symbolic execution on the slice.
+    let sliced_loop = filter_loop(&nf_loop, &union.stmts);
+    let t_se = Instant::now();
+    let exploration = SymExec::new(&sliced_loop)
+        .with_limits(opts.limits)
+        .explore()
+        .map_err(|e| Error::Symex(e.to_string()))?;
+    let se_time_slice = t_se.elapsed();
+
+    // Optional: the expensive original-program exploration for Table 2.
+    let (ep_orig, se_time_orig) = if opts.measure_original {
+        let t = Instant::now();
+        let stats = SymExec::new(&nf_loop)
+            .with_limits(opts.original_limits)
+            .explore()
+            .map_err(|e| Error::Symex(e.to_string()))?;
+        (
+            Some((stats.paths.len(), stats.exhausted)),
+            Some(t.elapsed()),
+        )
+    } else {
+        (None, None)
+    };
+
+    // 6. Refactor paths into the model.
+    let model = Model::from_paths(name, &exploration.paths);
+
+    let loc_path = exploration
+        .paths
+        .iter()
+        .map(|p| {
+            nfl_lang::pretty::slice_loc(
+                &sliced_loop.program,
+                &p.executed.iter().copied().collect(),
+            )
+        })
+        .max()
+        .unwrap_or(0);
+
+    let metrics = Metrics {
+        loc_orig: program.loc(),
+        loc_slice: union.loc(&nf_loop.program),
+        loc_path,
+        slicing_time,
+        ep_slice: exploration.paths.len(),
+        se_time_slice,
+        ep_orig,
+        se_time_orig,
+    };
+
+    Ok(Synthesis {
+        name: name.to_string(),
+        nf_loop,
+        type_info,
+        packet_slice: pkt_slice,
+        state_slice: st_slice,
+        union_slice: union,
+        classes,
+        sliced_loop,
+        exploration,
+        model,
+        metrics,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LB_SRC: &str = r#"
+        const ROUND_ROBIN = 1;
+        config mode = 1;
+        config LB_IP = 3.3.3.3;
+        config LB_PORT = 80;
+        config servers = [(1.1.1.1, 80), (2.2.2.2, 80)];
+        state f2b_nat = map();
+        state b2f_nat = map();
+        state rr_idx = 0;
+        state cur_port = 10000;
+        state pass_stat = 0;
+        state drop_stat = 0;
+
+        fn pkt_callback(pkt: packet) {
+            let si = pkt.ip.src;
+            let di = pkt.ip.dst;
+            let sp = pkt.tcp.sport;
+            let dp = pkt.tcp.dport;
+            let nat_tpl = (0, 0, 0, 0);
+            if dp == LB_PORT {
+                let cs_ftpl = (si, sp, di, dp);
+                if cs_ftpl not in f2b_nat {
+                    let server = (0, 0);
+                    if mode == ROUND_ROBIN {
+                        server = servers[rr_idx];
+                        rr_idx = (rr_idx + 1) % len(servers);
+                    } else {
+                        server = servers[hash(si) % len(servers)];
+                    }
+                    let n_port = cur_port;
+                    cur_port = cur_port + 1;
+                    let cs_btpl = (LB_IP, n_port, server[0], server[1]);
+                    f2b_nat[cs_ftpl] = cs_btpl;
+                    b2f_nat[(server[0], server[1], LB_IP, n_port)] = (di, dp, si, sp);
+                    nat_tpl = cs_btpl;
+                } else {
+                    nat_tpl = f2b_nat[cs_ftpl];
+                }
+            } else {
+                let sc_btpl = (si, sp, di, dp);
+                if sc_btpl in b2f_nat {
+                    nat_tpl = b2f_nat[sc_btpl];
+                } else {
+                    drop_stat = drop_stat + 1;
+                    return;
+                }
+            }
+            pass_stat = pass_stat + 1;
+            pkt.ip.src = nat_tpl[0];
+            pkt.tcp.sport = nat_tpl[1];
+            pkt.ip.dst = nat_tpl[2];
+            pkt.tcp.dport = nat_tpl[3];
+            send(pkt);
+        }
+
+        fn main() { sniff(pkt_callback); }
+    "#;
+
+    #[test]
+    fn figure1_lb_full_pipeline() {
+        let syn = synthesize("fig1-lb", LB_SRC, &Options::default()).unwrap();
+        // Table 1 classes.
+        assert!(syn.classes.ois_vars.contains("f2b_nat"));
+        assert!(syn.classes.ois_vars.contains("rr_idx"));
+        assert!(syn.classes.cfg_vars.contains("mode"));
+        // Slice strictly smaller than original.
+        assert!(
+            syn.metrics.loc_slice < syn.metrics.loc_orig,
+            "slice {} < orig {}",
+            syn.metrics.loc_slice,
+            syn.metrics.loc_orig
+        );
+        assert!(syn.metrics.loc_path <= syn.metrics.loc_slice);
+        // Paths: inbound-new (RR + hash), inbound-existing, outbound-known,
+        // outbound-unknown (drop) = 5.
+        assert_eq!(syn.metrics.ep_slice, 5, "{:?}", syn.metrics);
+        // The model has the mode split: at least two tables.
+        assert!(syn.model.tables.len() >= 2, "{}", syn.render_model());
+        // Drop path present (outbound unknown flow).
+        assert!(syn
+            .model
+            .tables
+            .iter()
+            .flat_map(|t| &t.entries)
+            .any(|e| e.flow_action.is_drop()));
+        // Log counters pruned from the model's state actions.
+        let rendered = syn.render_model();
+        assert!(!rendered.contains("pass_stat"), "{rendered}");
+        assert!(!rendered.contains("drop_stat"), "{rendered}");
+    }
+
+    #[test]
+    fn measure_original_populates_table2_columns() {
+        let opts = Options {
+            measure_original: true,
+            ..Options::default()
+        };
+        let syn = synthesize("fig1-lb", LB_SRC, &opts).unwrap();
+        let (ep, _) = syn.metrics.ep_orig.unwrap();
+        assert!(ep >= syn.metrics.ep_slice, "orig ≥ slice paths");
+        assert!(syn.metrics.se_time_orig.is_some());
+    }
+
+    #[test]
+    fn nested_loop_unfolds_automatically() {
+        let balance = r#"
+            config LB_PORT = 80;
+            config servers = [(1.1.1.1, 8080), (2.2.2.2, 8080)];
+            state idx = 0;
+            fn main() {
+                let lfd = listen(LB_PORT);
+                while true {
+                    let cfd = accept(lfd);
+                    let srv = servers[idx];
+                    idx = (idx + 1) % len(servers);
+                    if fork() == 0 {
+                        let sfd = connect(srv[0], srv[1]);
+                        while true {
+                            let which = select2(cfd, sfd);
+                            if which == 0 {
+                                let buf = sock_read(cfd);
+                                sock_write(sfd, buf);
+                            } else {
+                                let buf2 = sock_read(sfd);
+                                sock_write(cfd, buf2);
+                            }
+                        }
+                    }
+                }
+            }
+        "#;
+        let syn = synthesize("balance", balance, &Options::default()).unwrap();
+        // The hidden TCP state is visible in the model.
+        let maps = syn.model.state_maps();
+        assert!(maps.iter().any(|m| m == "__tcp"), "{maps:?}");
+        // Round-robin index is an oisVar and transitions in the model.
+        assert!(syn.classes.ois_vars.contains("idx"), "{:?}", syn.classes);
+        let rendered = syn.render_model();
+        assert!(rendered.contains("idx := ((idx + 1) % 2)"), "{rendered}");
+    }
+
+    #[test]
+    fn frontend_errors_surface() {
+        assert!(matches!(
+            synthesize("bad", "fn main( {", &Options::default()),
+            Err(Error::Frontend(_))
+        ));
+        assert!(matches!(
+            synthesize("bad", "fn main() { x = 1; }", &Options::default()),
+            Err(Error::Frontend(_))
+        ));
+    }
+
+    #[test]
+    fn unrecognised_structure_errors() {
+        assert!(matches!(
+            synthesize("odd", "fn main() { let x = 1; }", &Options::default()),
+            Err(Error::Structure(_))
+        ));
+    }
+
+    #[test]
+    fn highlighted_slice_renders() {
+        let syn = synthesize("fig1-lb", LB_SRC, &Options::default()).unwrap();
+        let hl = syn.render_highlighted_slice();
+        assert!(hl.lines().any(|l| l.starts_with(">> ")), "{hl}");
+        assert!(hl.lines().any(|l| l.starts_with("   ")), "{hl}");
+    }
+}

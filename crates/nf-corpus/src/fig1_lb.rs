@@ -1,0 +1,197 @@
+//! The paper's Figure 1 load balancer, transliterated from its
+//! scapy/Python form into NFL.
+//!
+//! Inbound packets addressed to `LB_PORT` are NAT-ed to a backend chosen
+//! round-robin (`mode == ROUND_ROBIN`) or by source hash; the forward and
+//! reverse translations live in `f2b_nat` / `b2f_nat`; outbound packets
+//! of unknown flows are dropped ("only inbound packets can initiate
+//! address/port translation mapping"). `pass_stat` / `drop_stat` are the
+//! paper's log counters — Table 1's `logVar` examples.
+
+/// The NFL source of the Figure 1 load balancer.
+pub fn source() -> String {
+    r#"# Figure 1: layer-4 load balancer (scapy version), in NFL.
+# Constants
+const ROUND_ROBIN = 1;
+const MTU = 1500;
+const ETHER_LEN = 14;
+# Configurations
+config mode = 1;
+config LB_IP = 3.3.3.3;
+config LB_PORT = 80;
+config servers = [(1.1.1.1, 80), (2.2.2.2, 80)];
+# Output-Impacting States
+state f2b_nat = map();
+state b2f_nat = map();
+state rr_idx = 0;
+state cur_port = 10000;
+# Log States
+state pass_stat = 0;
+state drop_stat = 0;
+
+# callback function
+fn pkt_callback(pkt: packet) {
+    let si = pkt.ip.src;
+    let di = pkt.ip.dst;
+    let sp = pkt.tcp.sport;
+    let dp = pkt.tcp.dport;
+    let nat_tpl = (0, 0, 0, 0);
+    if dp == LB_PORT { # pkt from client to server
+        let cs_ftpl = (si, sp, di, dp);
+        let sc_ftpl = (di, dp, si, sp);
+        if cs_ftpl not in f2b_nat { # new connection
+            let server = (0, 0);
+            if mode == ROUND_ROBIN {
+                server = servers[rr_idx];
+                rr_idx = (rr_idx + 1) % len(servers);
+            } else { # Hash to a backend server
+                server = servers[hash(si) % len(servers)];
+            }
+            let n_port = cur_port;
+            cur_port = cur_port + 1;
+            let cs_btpl = (LB_IP, n_port, server[0], server[1]);
+            let sc_btpl = (server[0], server[1], LB_IP, n_port);
+            f2b_nat[cs_ftpl] = cs_btpl;
+            b2f_nat[sc_btpl] = sc_ftpl;
+            nat_tpl = cs_btpl;
+        } else { # existing connection
+            nat_tpl = f2b_nat[cs_ftpl];
+        }
+    } else { # pkt from server to client
+        let sc_btpl = (si, sp, di, dp);
+        if sc_btpl in b2f_nat {
+            nat_tpl = b2f_nat[sc_btpl];
+        } else { # no initial outbound traffic is allowed
+            drop_stat = drop_stat + 1;
+            return;
+        }
+    }
+    pass_stat = pass_stat + 1;
+    pkt.ip.src = nat_tpl[0];
+    pkt.tcp.sport = nat_tpl[1];
+    pkt.ip.dst = nat_tpl[2];
+    pkt.tcp.dport = nat_tpl[3];
+    for f in fragment(pkt, MTU - ETHER_LEN) {
+        send(f, "eth0");
+    }
+}
+
+fn main() {
+    sniff(pkt_callback, "eth0");
+}
+"#
+    .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nf_packet::wire::{parse_ipv4, TcpFlags};
+    use nf_packet::{Field, Packet};
+    use nfl_analysis::normalize::normalize;
+    use nfl_interp::{Interp, Value};
+
+    fn lb() -> Interp {
+        let p = nfl_lang::parse_and_check(&source()).unwrap();
+        Interp::new(&normalize(&p).unwrap()).unwrap()
+    }
+
+    fn inbound(sport: u16) -> Packet {
+        Packet::tcp(
+            parse_ipv4("10.0.0.1").unwrap(),
+            sport,
+            parse_ipv4("3.3.3.3").unwrap(),
+            80,
+            TcpFlags::syn(),
+        )
+    }
+
+    #[test]
+    fn round_robin_spreads_new_flows() {
+        let mut lb = lb();
+        let o1 = lb.process(&inbound(1000)).unwrap().outputs;
+        let o2 = lb.process(&inbound(1001)).unwrap().outputs;
+        assert_eq!(o1[0].get(Field::IpDst).unwrap(), 0x01010101);
+        assert_eq!(o2[0].get(Field::IpDst).unwrap(), 0x02020202);
+        // Source rewritten to the LB with fresh ports.
+        assert_eq!(o1[0].get(Field::IpSrc).unwrap(), 0x03030303);
+        assert_eq!(o1[0].get(Field::TcpSport).unwrap(), 10000);
+        assert_eq!(o2[0].get(Field::TcpSport).unwrap(), 10001);
+    }
+
+    #[test]
+    fn existing_flow_reuses_mapping() {
+        let mut lb = lb();
+        let o1 = lb.process(&inbound(1000)).unwrap().outputs;
+        let o2 = lb.process(&inbound(1000)).unwrap().outputs;
+        assert_eq!(o1, o2, "same flow, same translation");
+        assert_eq!(lb.global("cur_port"), Some(&Value::Int(10001)));
+    }
+
+    #[test]
+    fn unknown_outbound_dropped_and_counted() {
+        let mut lb = lb();
+        let outbound = Packet::tcp(
+            parse_ipv4("1.1.1.1").unwrap(),
+            80,
+            parse_ipv4("3.3.3.3").unwrap(),
+            10000,
+            TcpFlags::ack(),
+        );
+        let r = lb.process(&outbound).unwrap();
+        assert!(r.dropped);
+        assert_eq!(lb.global("drop_stat"), Some(&Value::Int(1)));
+    }
+
+    #[test]
+    fn reverse_direction_translates_back() {
+        let mut lb = lb();
+        lb.process(&inbound(1000)).unwrap();
+        // Backend 1.1.1.1:80 answers to LB:10000.
+        let reply = Packet::tcp(
+            parse_ipv4("1.1.1.1").unwrap(),
+            80,
+            parse_ipv4("3.3.3.3").unwrap(),
+            10000,
+            TcpFlags::syn_ack(),
+        );
+        let r = lb.process(&reply).unwrap();
+        assert!(!r.dropped);
+        let out = &r.outputs[0];
+        assert_eq!(out.get(Field::IpSrc).unwrap(), 0x03030303);
+        assert_eq!(out.get(Field::TcpSport).unwrap(), 80);
+        assert_eq!(
+            out.get(Field::IpDst).unwrap(),
+            u64::from(parse_ipv4("10.0.0.1").unwrap())
+        );
+        assert_eq!(out.get(Field::TcpDport).unwrap(), 1000);
+    }
+
+    #[test]
+    fn hash_mode_is_deterministic_per_source() {
+        let mut lb = lb();
+        lb.set_config("mode", Value::Int(0)).unwrap();
+        let a = lb.process(&inbound(1000)).unwrap().outputs;
+        let b = lb.process(&inbound(2000)).unwrap().outputs;
+        // Same source IP hashes to the same backend regardless of port.
+        assert_eq!(
+            a[0].get(Field::IpDst).unwrap(),
+            b[0].get(Field::IpDst).unwrap()
+        );
+        // Round-robin index untouched in hash mode.
+        assert_eq!(lb.global("rr_idx"), Some(&Value::Int(0)));
+    }
+
+    #[test]
+    fn large_packet_fragments_on_output() {
+        let mut lb = lb();
+        let mut big = inbound(1000);
+        big.payload = vec![1u8; 4000];
+        let r = lb.process(&big).unwrap();
+        assert!(r.outputs.len() > 1, "fragmented: {}", r.outputs.len());
+        assert!(r
+            .outputs
+            .iter()
+            .all(|f| f.get(Field::IpDst).unwrap() == 0x01010101));
+    }
+}

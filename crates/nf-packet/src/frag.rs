@@ -1,0 +1,124 @@
+//! IPv4 fragmentation and reassembly.
+//!
+//! The Figure 1 load balancer's output path is
+//! `for f in fragment(pkt[IP], fragsize=MTU-len(Ether())): sendp(...)`.
+//! This module supplies that `fragment` (and its inverse) so the concrete
+//! interpreter's `send` builtin behaves like the paper's NF.
+
+use crate::packet::{Packet, Transport};
+
+/// Split `pkt` into fragments whose IP payload does not exceed
+/// `frag_payload` bytes (which must be a positive multiple of 8 except for
+/// the last fragment, per RFC 791 — we round down to a multiple of 8).
+///
+/// The transport header travels in the first fragment, as on the real wire;
+/// follow-on fragments carry raw payload with `Transport::Other` and the
+/// original protocol number preserved, so reassembly can reconstruct the
+/// segment. Packets that already fit are returned unchanged as a single
+/// fragment.
+pub fn fragment(pkt: &Packet, frag_payload: usize) -> Vec<Packet> {
+    let unit = (frag_payload / 8).max(1) * 8;
+    let transport_len = match pkt.transport {
+        Transport::Tcp { .. } => 20,
+        Transport::Udp { .. } => 8,
+        Transport::Other => 0,
+    };
+    let total = transport_len + pkt.payload.len();
+    if total <= unit {
+        return vec![pkt.clone()];
+    }
+    let mut frags = Vec::new();
+    // First fragment: transport header + leading payload.
+    let first_payload_len = unit - transport_len;
+    let mut first = pkt.clone();
+    first.payload = pkt.payload[..first_payload_len.min(pkt.payload.len())].to_vec();
+    frags.push(first);
+    // Rest: raw payload fragments.
+    let mut off = first_payload_len;
+    while off < pkt.payload.len() {
+        let end = (off + unit).min(pkt.payload.len());
+        let mut f = pkt.clone();
+        f.transport = Transport::Other;
+        f.payload = pkt.payload[off..end].to_vec();
+        frags.push(f);
+        off = end;
+    }
+    frags
+}
+
+/// Reassemble fragments produced by [`fragment`] back into the original
+/// packet. Fragments must be in order and share `ip_id`; returns `None` on
+/// a mismatched set.
+pub fn reassemble(frags: &[Packet]) -> Option<Packet> {
+    let first = frags.first()?;
+    let mut out = first.clone();
+    for f in &frags[1..] {
+        if f.ip_id != first.ip_id || f.ip_src != first.ip_src || f.ip_dst != first.ip_dst {
+            return None;
+        }
+        out.payload.extend_from_slice(&f.payload);
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::TcpFlags;
+
+    fn big_packet(n: usize) -> Packet {
+        let mut p = Packet::tcp(1, 2, 3, 4, TcpFlags::ack());
+        p.ip_id = 7;
+        p.payload = (0..n).map(|i| (i % 251) as u8).collect();
+        p
+    }
+
+    #[test]
+    fn small_packet_untouched() {
+        let p = big_packet(100);
+        let f = fragment(&p, 1480);
+        assert_eq!(f, vec![p]);
+    }
+
+    #[test]
+    fn fragment_reassemble_roundtrip() {
+        for n in [100usize, 1480, 1481, 3000, 9000] {
+            let p = big_packet(n);
+            let frags = fragment(&p, 1480);
+            let q = reassemble(&frags).expect("reassembly");
+            assert_eq!(p, q, "payload size {n}");
+        }
+    }
+
+    #[test]
+    fn fragment_sizes_respect_mtu() {
+        let p = big_packet(5000);
+        let frags = fragment(&p, 1480);
+        assert!(frags.len() > 1);
+        for f in &frags {
+            let seg = match f.transport {
+                Transport::Tcp { .. } => 20 + f.payload.len(),
+                _ => f.payload.len(),
+            };
+            assert!(seg <= 1480, "fragment of {seg} bytes exceeds unit");
+        }
+        // Only the first fragment carries the TCP header.
+        assert!(matches!(frags[0].transport, Transport::Tcp { .. }));
+        assert!(frags[1..]
+            .iter()
+            .all(|f| matches!(f.transport, Transport::Other)));
+    }
+
+    #[test]
+    fn mismatched_fragments_rejected() {
+        let p = big_packet(3000);
+        let mut frags = fragment(&p, 1480);
+        frags[1].ip_id = 99;
+        assert!(reassemble(&frags).is_none());
+    }
+
+    #[test]
+    fn empty_set_rejected() {
+        assert!(reassemble(&[]).is_none());
+    }
+}

@@ -1,0 +1,31 @@
+//! Packet substrate for NFactor.
+//!
+//! The paper's NF programs read and write packets through scapy (Figure 1)
+//! or the BSD socket API (Figure 3). This crate is the Rust substitute: it
+//! provides wire-format Ethernet / IPv4 / TCP / UDP headers with real
+//! parsing, serialization and checksums ([`wire`]), an abstract [`Packet`]
+//! view whose named fields are what NFL programs and synthesized models
+//! match on ([`packet`]), flow identification ([`flow`]), IPv4
+//! fragmentation as used by the Figure 1 load balancer ([`frag`]), and a
+//! deterministic seeded packet generator for the paper's §5 accuracy
+//! experiment (1000 random packets per NF) ([`gen`]).
+//!
+//! Design follows the smoltcp school: plain data structures, no lifetimes
+//! tricks, exhaustive documentation, and `Result`-based fallible parsing
+//! with typed errors.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod field;
+pub mod flow;
+pub mod frag;
+pub mod gen;
+pub mod packet;
+pub mod wire;
+
+pub use field::Field;
+pub use flow::{FiveTuple, FlowKey};
+pub use gen::PacketGen;
+pub use packet::{Packet, PacketError};
+pub use wire::{EtherType, EthernetFrame, IpProtocol, Ipv4Header, TcpFlags, TcpHeader, UdpHeader};

@@ -1,0 +1,27 @@
+//! TCP hidden-state substrate — §3.2 "Hidden States" of the paper.
+//!
+//! Socket-API NFs like *balance* (Figure 3) keep their forwarding state
+//! inside the OS: *"each TCP connection has its own state transition
+//! diagram … and data packets without 3-way handshake established would
+//! be dropped. Analyzing an NF program itself does not capture these
+//! stateful behaviors. We propose to fall back to analyzing packet level
+//! operations by unfolding these wrapped-up functions (e.g., listen(),
+//! connect()). NFactor replaces these functions/system calls with packet
+//! level operation together with the TCP state transition."*
+//!
+//! * [`fsm`] — the reference TCP connection state machine (RFC-793
+//!   shaped), plus a connection table driven by packets. The unfolded
+//!   NFL program encodes the same transitions; tests cross-validate.
+//! * [`unfold`] — the Figure 4d → Figure 5 transformation: rewrite a
+//!   nested-loop socket NF into a single per-packet loop whose TCP state
+//!   lives in an explicit `state` map that slicing and symbolic
+//!   execution can see.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fsm;
+pub mod unfold;
+
+pub use fsm::{ConnTable, TcpAction, TcpEvent, TcpState};
+pub use unfold::{unfold_sockets, UnfoldError};

@@ -1,0 +1,104 @@
+//! Property tests of the TCP connection state machine.
+
+use nf_packet::wire::{parse_ipv4, TcpFlags};
+use nf_packet::Packet;
+use nf_tcp::{ConnTable, TcpAction, TcpEvent, TcpState};
+use proptest::prelude::*;
+
+fn flags_strategy() -> impl Strategy<Value = TcpFlags> {
+    (0u8..64).prop_map(TcpFlags)
+}
+
+fn pkt(flags: TcpFlags, payload: usize, sport: u16) -> Packet {
+    let mut p = Packet::tcp(
+        parse_ipv4("10.0.0.1").unwrap(),
+        sport,
+        parse_ipv4("3.3.3.3").unwrap(),
+        80,
+        flags,
+    );
+    p.payload = vec![0; payload];
+    p
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Any packet sequence keeps the table consistent and never panics.
+    #[test]
+    fn fsm_total_under_random_sequences(
+        seq in proptest::collection::vec((flags_strategy(), 0usize..64, 1u16..4), 0..64)
+    ) {
+        let mut t = ConnTable::default();
+        for (flags, payload, sport) in seq {
+            let _ = t.on_packet(&pkt(flags, payload, sport));
+        }
+        // Every tracked connection is in a non-CLOSED state by table
+        // invariant (CLOSED entries are removed).
+        prop_assert!(t.len() <= 3, "at most one per sport pool");
+    }
+
+    /// Data is only ever accepted on flows that completed a handshake
+    /// at some earlier point of the sequence.
+    #[test]
+    fn data_accept_implies_prior_handshake(
+        seq in proptest::collection::vec((flags_strategy(), 0usize..32), 1..48)
+    ) {
+        let mut t = ConnTable::default();
+        let mut established_seen = false;
+        for (flags, payload) in seq {
+            let p = pkt(flags, payload, 1000);
+            let key = nf_packet::FlowKey::of(&p).unwrap();
+            let action = t.on_packet(&p);
+            if t.state(&key) == TcpState::Established {
+                established_seen = true;
+            }
+            if payload > 0
+                && TcpEvent::classify(flags, payload) == TcpEvent::Data
+                && action == TcpAction::Accept
+            {
+                prop_assert!(
+                    established_seen,
+                    "data accepted without any prior handshake"
+                );
+            }
+        }
+    }
+
+    /// RST always leaves the flow untracked.
+    #[test]
+    fn rst_always_clears(
+        pre in proptest::collection::vec((flags_strategy(), 0usize..16), 0..16)
+    ) {
+        let mut t = ConnTable::default();
+        for (flags, payload) in pre {
+            t.on_packet(&pkt(flags, payload, 1000));
+        }
+        t.on_packet(&pkt(TcpFlags::rst(), 0, 1000));
+        let key = nf_packet::FlowKey::of(&pkt(TcpFlags::rst(), 0, 1000)).unwrap();
+        prop_assert_eq!(t.state(&key), TcpState::Closed);
+    }
+}
+
+/// transition() is deterministic and never produces an invalid encoding.
+#[test]
+fn transition_codes_stay_valid() {
+    use nf_tcp::fsm::transition;
+    let all_states = (0..=10).filter_map(TcpState::from_code);
+    let events = [
+        TcpEvent::Syn,
+        TcpEvent::SynAck,
+        TcpEvent::Ack,
+        TcpEvent::Fin,
+        TcpEvent::Rst,
+        TcpEvent::Data,
+    ];
+    for s in all_states {
+        for e in events {
+            let (next, _) = transition(s, e);
+            assert!(TcpState::from_code(next.code()).is_some());
+            // Second application from the same inputs is identical.
+            assert_eq!(transition(s, e), transition(s, e));
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! Applications of synthesized NF models — the paper's §4.
+//!
+//! *"NFactor is a tool that can be used to model a variety of NFs. The
+//! model is useful for many network management applications such as
+//! verification, troubleshooting, and service deployment."*
+//!
+//! * [`hsa`] — **Network Verification**: the stateful extension of
+//!   header-space analysis. "Each rule is modeled as a network transfer
+//!   function `T(h, p, s)`, where `h` is the packet header, `p` is the
+//!   port, and `s` is the state in the model. With the extended transfer
+//!   function, we can handle stateful verification." Header spaces are
+//!   per-field interval sets; models apply as transfer functions under a
+//!   concrete state snapshot; reachability composes across chains.
+//! * [`chain`] — **Service Policy Composition**: PGA-style reconciliation
+//!   of `{FW, IDS}` and `{LB}` — "It generates the input and output
+//!   space constraints of each NF based on its behavior model" — here as
+//!   a rewrites-vs-matches interference analysis that orders the chain.
+//! * [`testgen`] — **Testing**: BUZZ-style generation of test packets
+//!   from the model ("the NFactor model can be used to guide the
+//!   generation of testing packets"), replayed against the concrete NF
+//!   for compliance checking.
+//! * [`modeldiff`] — the §6 future work: behavioural comparison of the
+//!   synthesized model against a hand-written one, reproducing §2.2's
+//!   finding that manual models miss the `mode` configuration.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chain;
+pub mod hsa;
+pub mod modeldiff;
+pub mod testgen;
+
+pub use chain::{recommend_order, ChainReport};
+pub use hsa::{HeaderSpace, StatefulNf, TransferResult};
+pub use modeldiff::{behavioural_diff, manual_lb_model, DiffReport};
+pub use testgen::{compliance_test, ComplianceReport, TestPacket};

@@ -1,0 +1,79 @@
+//! Property tests of the header-space algebra.
+
+use nf_verify::hsa::{HeaderSpace, IntervalSet};
+use nf_packet::Field;
+use proptest::prelude::*;
+
+fn iset() -> impl Strategy<Value = IntervalSet> {
+    proptest::collection::vec((0u64..5000, 0u64..5000), 1..4).prop_map(|pairs| {
+        // Build as a union via repeated intersection-free construction:
+        // use range() pieces merged through intersect with full —
+        // simplest is to fold pairwise ranges into one set via points.
+        let mut out = IntervalSet::range(1, 0); // empty
+        for (a, b) in pairs {
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            // Union by going through the full set: (full ∩ range) has the
+            // piece; accumulate with a synthetic union via intersect of
+            // complements is overkill — expose ranges through points.
+            if out.is_empty() {
+                out = IntervalSet::range(lo, hi);
+            }
+        }
+        out
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Intersection is commutative and idempotent.
+    #[test]
+    fn intersect_commutative(a in iset(), b in iset()) {
+        prop_assert_eq!(a.intersect(&b), b.intersect(&a));
+        prop_assert_eq!(a.intersect(&a), a);
+    }
+
+    /// Intersection only shrinks.
+    #[test]
+    fn intersect_shrinks(a in iset(), b in iset()) {
+        let i = a.intersect(&b);
+        prop_assert!(i.size() <= a.size());
+        prop_assert!(i.size() <= b.size());
+    }
+
+    /// remove_point removes exactly that point.
+    #[test]
+    fn remove_point_exact(lo in 0u64..1000, width in 0u64..1000, p in 0u64..2500) {
+        let s = IntervalSet::range(lo, lo + width);
+        let r = s.remove_point(p);
+        prop_assert!(!r.contains(p));
+        if s.contains(p) {
+            prop_assert_eq!(r.size(), s.size() - 1);
+        } else {
+            prop_assert_eq!(r.size(), s.size());
+        }
+        // Every other point is preserved.
+        for q in [lo, lo + width, lo + width / 2] {
+            if q != p {
+                prop_assert_eq!(r.contains(q), s.contains(q));
+            }
+        }
+    }
+
+    /// Packet membership matches field-wise interval membership.
+    #[test]
+    fn space_membership(dport in 0u16.., probe in 0u16..) {
+        let hs = HeaderSpace::all().with_point(Field::TcpDport, u64::from(dport));
+        let pkt = nf_packet::Packet::tcp(1, 2, 3, probe, nf_packet::TcpFlags::syn());
+        prop_assert_eq!(hs.contains_packet(&pkt), probe == dport);
+    }
+}
+
+#[test]
+fn full_domain_sizes() {
+    assert_eq!(IntervalSet::full(Field::TcpDport).size(), 65536);
+    assert_eq!(IntervalSet::full(Field::TcpFlags).size(), 64);
+    assert!(HeaderSpace::all().contains_packet(&nf_packet::Packet::tcp(
+        1, 2, 3, 4, nf_packet::TcpFlags::syn()
+    )));
+}

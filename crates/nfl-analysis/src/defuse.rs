@@ -1,0 +1,211 @@
+//! Per-statement def/use extraction.
+//!
+//! §2.1 of the paper: *"Within one statement … the value of the
+//! left-hand-side (LHS) variable depends on that of the right-hand-side
+//! (RHS) variables; and between statements, the value of an RHS variable
+//! in a statement depends on the preceding statements where that variable
+//! is on the LHS."* This module computes exactly those LHS (def) and RHS
+//! (use) sets, distinguishing **strong** definitions (whole-variable
+//! assignment, kills prior defs) from **weak** ones (map inserts, packet
+//! field stores, mutating builtins — the variable keeps earlier contents).
+
+use nfl_lang::builtins;
+use nfl_lang::{Expr, ExprKind, ForIter, LValue, Stmt, StmtKind};
+use std::collections::BTreeSet;
+
+/// How a definition updates its variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DefKind {
+    /// Whole-variable assignment — kills earlier definitions.
+    Strong,
+    /// Partial update (map entry, packet field, mutator builtin) — earlier
+    /// definitions still reach past it.
+    Weak,
+}
+
+/// Def/use sets of a single statement.
+#[derive(Debug, Clone, Default)]
+pub struct DefUse {
+    /// Variables defined, with their kind.
+    pub defs: Vec<(String, DefKind)>,
+    /// Variables read.
+    pub uses: BTreeSet<String>,
+}
+
+impl DefUse {
+    /// Does this statement define `var` at all?
+    pub fn defines(&self, var: &str) -> bool {
+        self.defs.iter().any(|(v, _)| v == var)
+    }
+
+    /// Does this statement strongly define `var`?
+    pub fn defines_strongly(&self, var: &str) -> bool {
+        self.defs
+            .iter()
+            .any(|(v, k)| v == var && *k == DefKind::Strong)
+    }
+}
+
+/// Collect variables mutated by builtin calls anywhere inside `e`
+/// (e.g. `q_pop(q)` defines `q` weakly even in expression position).
+fn mutated_vars(e: &Expr, out: &mut Vec<String>) {
+    match &e.kind {
+        ExprKind::Call(name, args) => {
+            if let Some(b) = builtins::lookup(name) {
+                if let Some(i) = b.mutates {
+                    if let Some(Expr {
+                        kind: ExprKind::Var(v),
+                        ..
+                    }) = args.get(i)
+                    {
+                        out.push(v.clone());
+                    }
+                }
+            }
+            for a in args {
+                mutated_vars(a, out);
+            }
+        }
+        ExprKind::Tuple(es) | ExprKind::Array(es) => {
+            for x in es {
+                mutated_vars(x, out);
+            }
+        }
+        ExprKind::Index(a, b) | ExprKind::Binary(_, a, b) => {
+            mutated_vars(a, out);
+            mutated_vars(b, out);
+        }
+        ExprKind::Unary(_, a) => mutated_vars(a, out),
+        _ => {}
+    }
+}
+
+/// Compute the def/use sets of one statement. Nested statements of
+/// control structures are *not* included — only the header expression;
+/// CFG structure carries the rest.
+pub fn def_use(stmt: &Stmt) -> DefUse {
+    let mut du = DefUse::default();
+    let add_expr = |e: &Expr, du: &mut DefUse| {
+        for v in e.vars() {
+            du.uses.insert(v);
+        }
+        let mut muts = Vec::new();
+        mutated_vars(e, &mut muts);
+        for m in muts {
+            du.defs.push((m, DefKind::Weak));
+        }
+    };
+    match &stmt.kind {
+        StmtKind::Let { name, value } => {
+            add_expr(value, &mut du);
+            du.defs.push((name.clone(), DefKind::Strong));
+        }
+        StmtKind::Assign { target, value } => {
+            add_expr(value, &mut du);
+            match target {
+                LValue::Var(v) => du.defs.push((v.clone(), DefKind::Strong)),
+                LValue::Index(base, key) => {
+                    for v in key.vars() {
+                        du.uses.insert(v);
+                    }
+                    du.uses.insert(base.clone());
+                    du.defs.push((base.clone(), DefKind::Weak));
+                }
+                LValue::Field(base, _) => {
+                    du.uses.insert(base.clone());
+                    du.defs.push((base.clone(), DefKind::Weak));
+                }
+            }
+        }
+        StmtKind::If { cond, .. } | StmtKind::While { cond, .. } => {
+            add_expr(cond, &mut du);
+        }
+        StmtKind::For { var, iter, .. } => {
+            match iter {
+                ForIter::Range(lo, hi) => {
+                    add_expr(lo, &mut du);
+                    add_expr(hi, &mut du);
+                }
+                ForIter::Array(a) => add_expr(a, &mut du),
+            }
+            du.defs.push((var.clone(), DefKind::Strong));
+        }
+        StmtKind::Return(Some(e)) => add_expr(e, &mut du),
+        StmtKind::Return(None) | StmtKind::Break | StmtKind::Continue => {}
+        StmtKind::Expr(e) => add_expr(e, &mut du),
+    }
+    du
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nfl_lang::parse;
+
+    fn stmt_dus(src: &str) -> Vec<(String, DefUse)> {
+        let p = parse(src).unwrap();
+        let mut out = Vec::new();
+        p.for_each_stmt(|s| {
+            out.push((format!("{:?}", s.kind), def_use(s)));
+        });
+        out
+    }
+
+    #[test]
+    fn let_defines_strongly() {
+        let dus = stmt_dus("fn main() { let x = a + b; }");
+        let du = &dus[0].1;
+        assert!(du.defines_strongly("x"));
+        assert!(du.uses.contains("a") && du.uses.contains("b"));
+    }
+
+    #[test]
+    fn map_insert_is_weak_and_uses_base() {
+        let dus = stmt_dus("state m = map(); fn main() { m[k] = v; }");
+        let du = &dus[0].1;
+        assert!(du.defines("m"));
+        assert!(!du.defines_strongly("m"));
+        assert!(du.uses.contains("m"), "weak update reads prior contents");
+        assert!(du.uses.contains("k") && du.uses.contains("v"));
+    }
+
+    #[test]
+    fn packet_field_store_is_weak() {
+        let dus = stmt_dus("fn main() { let pkt = recv(); pkt.ip.src = 1; }");
+        let du = &dus[1].1;
+        assert!(du.defines("pkt") && !du.defines_strongly("pkt"));
+    }
+
+    #[test]
+    fn mutator_in_expression_defines() {
+        let dus = stmt_dus("state q = queue(); fn main() { let pkt = q_pop(q); }");
+        let du = &dus[0].1;
+        assert!(du.defines_strongly("pkt"));
+        assert!(du.defines("q") && !du.defines_strongly("q"));
+        assert!(du.uses.contains("q"));
+    }
+
+    #[test]
+    fn cond_only_uses() {
+        let dus = stmt_dus("fn main() { let x = 1; if x == 1 { let y = 2; } }");
+        let du = &dus[1].1;
+        assert!(du.defs.is_empty());
+        assert_eq!(du.uses.iter().collect::<Vec<_>>(), vec!["x"]);
+    }
+
+    #[test]
+    fn for_defines_loop_var() {
+        let dus = stmt_dus("fn main() { let n = 3; for i in 0..n { let z = i; } }");
+        let du = &dus[1].1;
+        assert!(du.defines_strongly("i"));
+        assert!(du.uses.contains("n"));
+    }
+
+    #[test]
+    fn send_uses_packet() {
+        let dus = stmt_dus("fn main() { let pkt = recv(); send(pkt); }");
+        let du = &dus[1].1;
+        assert!(du.uses.contains("pkt"));
+        assert!(du.defs.is_empty());
+    }
+}

@@ -1,0 +1,25 @@
+//! Concrete interpreter for NFL programs.
+//!
+//! Runs the canonical per-packet function (a [`nfl_analysis::PacketLoop`])
+//! one packet at a time against persistent `state` globals — the ground
+//! truth the paper's §5 accuracy experiment compares the synthesized model
+//! against ("we generate random inputs (i.e., packets) to both NFactor
+//! model and the original program, and test whether they output the same
+//! result").
+//!
+//! Every execution also produces a [`trace::Trace`]: the dynamic sequence
+//! of executed statements with their runtime def/use variables and branch
+//! outcomes. The trace is what `nfl-slicer`'s *dynamic* slicer consumes
+//! (the paper's Figure 1 highlights a dynamic slice, citing Agrawal &
+//! Horgan \[3\]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod interp;
+pub mod trace;
+pub mod value;
+
+pub use interp::{Interp, RuntimeError, StepResult};
+pub use trace::{Trace, TraceEvent};
+pub use value::{Value, ValueKey};

@@ -1,0 +1,97 @@
+//! Execution traces.
+//!
+//! A [`Trace`] is the dynamic record of one packet's journey through the
+//! NF: every executed statement, its runtime def/use variables, the
+//! outcome of each branch, and the *event index* of the branch instance
+//! each statement was controlled by. The dynamic slicer walks this
+//! backwards (Agrawal–Horgan \[3\]) to find the statements that *really*
+//! contributed to an output, versus the static slice's *might*.
+
+use nfl_lang::StmtId;
+use serde::{Deserialize, Serialize};
+
+/// One executed statement instance.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// The statement that executed.
+    pub stmt: StmtId,
+    /// Variables the instance read.
+    pub uses: Vec<String>,
+    /// Variables the instance wrote.
+    pub defs: Vec<String>,
+    /// For branch statements: which way the condition went.
+    pub branch: Option<bool>,
+    /// Event index of the innermost enclosing branch instance, if any —
+    /// the *dynamic* control dependence.
+    pub ctrl: Option<usize>,
+    /// Did this instance emit a packet (`send`)?
+    pub emitted: bool,
+}
+
+/// The full trace of one per-packet execution.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Trace {
+    /// Events in execution order.
+    pub events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Record an event, returning its index.
+    pub fn push(&mut self, ev: TraceEvent) -> usize {
+        self.events.push(ev);
+        self.events.len() - 1
+    }
+
+    /// Indices of events that emitted packets.
+    pub fn emit_indices(&self) -> Vec<usize> {
+        self.events
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.emitted)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// The distinct statements executed.
+    pub fn executed_stmts(&self) -> Vec<StmtId> {
+        let mut v: Vec<StmtId> = self.events.iter().map(|e| e.stmt).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(stmt: u32, emitted: bool) -> TraceEvent {
+        TraceEvent {
+            stmt: StmtId(stmt),
+            uses: vec![],
+            defs: vec![],
+            branch: None,
+            ctrl: None,
+            emitted,
+        }
+    }
+
+    #[test]
+    fn emit_indices_finds_sends() {
+        let mut t = Trace::default();
+        t.push(ev(0, false));
+        t.push(ev(1, true));
+        t.push(ev(2, false));
+        t.push(ev(1, true));
+        assert_eq!(t.emit_indices(), vec![1, 3]);
+    }
+
+    #[test]
+    fn executed_stmts_dedups() {
+        let mut t = Trace::default();
+        t.push(ev(5, false));
+        t.push(ev(5, false));
+        t.push(ev(2, false));
+        assert_eq!(t.executed_stmts(), vec![StmtId(2), StmtId(5)]);
+    }
+}

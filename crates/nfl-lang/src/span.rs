@@ -1,0 +1,56 @@
+//! Source positions, used for diagnostics and for the Table 2 LoC
+//! accounting (a slice is reported by which source lines it keeps).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A half-open byte range in the source with the 1-based line of its start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+    /// 1-based line number of `start`.
+    pub line: u32,
+}
+
+impl Span {
+    /// A span covering `start..end` on `line`.
+    pub fn new(start: usize, end: usize, line: u32) -> Self {
+        Span { start, end, line }
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    pub fn merge(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+            line: self.line.min(other.line),
+        }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}", self.line)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_takes_extremes() {
+        let a = Span::new(10, 20, 2);
+        let b = Span::new(5, 15, 1);
+        let m = a.merge(b);
+        assert_eq!((m.start, m.end, m.line), (5, 20, 1));
+    }
+
+    #[test]
+    fn display_is_line_oriented() {
+        assert_eq!(Span::new(0, 1, 7).to_string(), "line 7");
+    }
+}

@@ -1,0 +1,89 @@
+//! Frontend robustness: the lexer and parser must never panic, and the
+//! pretty-printer must be a parser fixpoint on everything the corpus
+//! grammar can produce.
+
+use nfl_lang::{lexer, parse, parser, pretty};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary byte soup: tokenize returns Ok or Err, never panics.
+    #[test]
+    fn lexer_total_on_arbitrary_input(s in "\\PC*") {
+        let _ = lexer::tokenize(&s);
+    }
+
+    /// Arbitrary ASCII with NFL-ish characters: parser never panics.
+    #[test]
+    fn parser_total_on_nflish_input(s in "[a-z0-9(){}\\[\\];=<>!&|.,+*/% \n\"_-]{0,200}") {
+        let _ = parse(&s);
+    }
+
+    /// Integer literals round-trip through the lexer.
+    #[test]
+    fn int_literals_roundtrip(v in 0i64..=i64::MAX) {
+        let toks = lexer::tokenize(&v.to_string()).unwrap();
+        assert_eq!(toks[0].kind, nfl_lang::token::TokenKind::Int(v));
+    }
+
+    /// Dotted quads lex to the packed address.
+    #[test]
+    fn ip_literals_pack(a in 0u8..=255, b in 0u8..=255, c in 0u8..=255, d in 0u8..=255) {
+        let src = format!("{a}.{b}.{c}.{d}");
+        let toks = lexer::tokenize(&src).unwrap();
+        let expect = (i64::from(a) << 24) | (i64::from(b) << 16) | (i64::from(c) << 8) | i64::from(d);
+        assert_eq!(toks[0].kind, nfl_lang::token::TokenKind::Int(expect));
+    }
+}
+
+/// Strategy: generate random well-formed NFL expressions.
+fn expr_strategy() -> impl Strategy<Value = String> {
+    let leaf = prop_oneof![
+        (0i64..100000).prop_map(|v| v.to_string()),
+        Just("true".to_string()),
+        Just("false".to_string()),
+        "[a-z][a-z0-9_]{0,6}".prop_map(|s| s),
+        Just("pkt.ip.src".to_string()),
+        Just("pkt.tcp.dport".to_string()),
+    ];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a} + {b})")),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a} == {b})")),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a} % {b})")),
+            inner.clone().prop_map(|a| format!("hash({a})")),
+            (inner.clone(), inner).prop_map(|(a, b)| format!("min({a}, {b})")),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// parse ∘ pretty is a fixpoint on generated expressions.
+    #[test]
+    fn expr_pretty_parse_fixpoint(e in expr_strategy()) {
+        let parsed = parser::parse_expr(&e).unwrap();
+        let printed = pretty::expr_to_string(&parsed);
+        let reparsed = parser::parse_expr(&printed).unwrap();
+        let reprinted = pretty::expr_to_string(&reparsed);
+        prop_assert_eq!(printed, reprinted);
+    }
+}
+
+#[test]
+fn deeply_nested_expressions_parse() {
+    // Recursion-depth sanity: 64 levels of parens.
+    let mut e = String::from("1");
+    for _ in 0..64 {
+        e = format!("({e} + 1)");
+    }
+    assert!(parser::parse_expr(&e).is_ok());
+}
+
+#[test]
+fn error_messages_carry_line_numbers() {
+    let err = parse("fn main() {\n let x = ;\n}").unwrap_err();
+    assert!(err.to_string().contains("line 2"), "{err}");
+}

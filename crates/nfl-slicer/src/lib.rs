@@ -1,0 +1,25 @@
+//! Backward program slicing and variable classification — the heart of
+//! NFactor's Algorithm 1 (lines 1–9) and its giri/StateAlyzer substitute.
+//!
+//! * [`static_slice`] — PDG-reachability backward slices: the **packet
+//!   processing slice** (from every `send`, lines 1–4) and the **state
+//!   transition slice** (from every assignment to an output-impacting
+//!   state variable, lines 6–9).
+//! * [`statealyzer`](statealyzer()) — the variable classification of Table 1
+//!   (`pktVar` / `cfgVar` / `oisVar` / `logVar`) from the StateAlyzer
+//!   features *persistent*, *top-level*, *updateable*,
+//!   *output-impacting* (§2.1).
+//! * [`dynamic`] — Agrawal–Horgan dynamic slicing over interpreter
+//!   traces; this is what highlights the Figure 1 lines for "the load
+//!   balancer relays the first packet of a flow".
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dynamic;
+pub mod statealyzer;
+pub mod static_slice;
+
+pub use dynamic::dynamic_slice;
+pub use statealyzer::{statealyzer, VarClasses};
+pub use static_slice::{packet_slice, slice_union, state_slice, SliceResult};

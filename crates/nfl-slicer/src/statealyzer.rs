@@ -1,0 +1,374 @@
+//! StateAlyzer-style variable classification — Table 1 of the paper.
+//!
+//! Features (§2.1, from StateAlyzer \[16\]):
+//!
+//! * **persistent** — lifetime longer than the packet-processing loop:
+//!   NFL `const` / `config` / `state` globals.
+//! * **top-level** — actually used during packet processing: appears in
+//!   some statement's def/use sets inside the per-packet function.
+//! * **updateable** — its value is updated during packet processing:
+//!   appears on an LHS.
+//! * **output-impacting** — impacts variables in the packet output
+//!   function: defined or read inside the *packet processing slice*.
+//!
+//! Categories (Table 1):
+//!
+//! | category | features | Fig. 1 examples |
+//! |---|---|---|
+//! | `pktVar` | packet I/O parameter/return value | `pkt` |
+//! | `cfgVar` | persistent, top-level, not updateable | `mode`, `LB_IP` |
+//! | `oisVar` | persistent, top-level, updateable, output-impacting | `f2b_nat`, `rr_idx` |
+//! | `logVar` | persistent, top-level, updateable, not output-impacting | `pass_stat`, `drop_stat` |
+//!
+//! Like NFactor (and unlike plain StateAlyzer), classification can run on
+//! the packet slice instead of the whole program — "it reduces the amount
+//! of code to process" (§3.1). [`statealyzer`] takes the slice for the
+//! output-impact test; [`StateAlyzerInput`] selects which statements feed
+//! the feature extraction (the ablation knob).
+
+use nfl_analysis::normalize::PacketLoop;
+use nfl_lang::types::{Ty, TypeInfo};
+use nfl_lang::{Stmt, StmtId, StmtKind};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeSet, HashSet};
+
+/// Which statements feed feature extraction (ablation knob; NFactor uses
+/// the packet slice).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StateAlyzerInput {
+    /// The whole per-packet function (plain StateAlyzer).
+    WholeProgram,
+    /// Only the packet slice (NFactor's refinement, §3.1).
+    PacketSlice,
+}
+
+/// The classification result.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VarClasses {
+    /// Packet variables.
+    pub pkt_vars: BTreeSet<String>,
+    /// Configuration variables.
+    pub cfg_vars: BTreeSet<String>,
+    /// Output-impacting state variables.
+    pub ois_vars: BTreeSet<String>,
+    /// Log (non-output-impacting) state variables.
+    pub log_vars: BTreeSet<String>,
+    /// Number of statements actually examined (the §3.1 "amount of code
+    /// to process" metric for the ablation bench).
+    pub stmts_examined: usize,
+}
+
+impl VarClasses {
+    /// Which class a variable landed in, as a short tag.
+    pub fn class_of(&self, var: &str) -> Option<&'static str> {
+        if self.pkt_vars.contains(var) {
+            Some("pktVar")
+        } else if self.cfg_vars.contains(var) {
+            Some("cfgVar")
+        } else if self.ois_vars.contains(var) {
+            Some("oisVar")
+        } else if self.log_vars.contains(var) {
+            Some("logVar")
+        } else {
+            None
+        }
+    }
+}
+
+fn visit<'a>(stmts: &'a [Stmt], f: &mut impl FnMut(&'a Stmt)) {
+    for s in stmts {
+        f(s);
+        match &s.kind {
+            StmtKind::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                visit(then_branch, f);
+                visit(else_branch, f);
+            }
+            StmtKind::While { body, .. } | StmtKind::For { body, .. } => visit(body, f),
+            _ => {}
+        }
+    }
+}
+
+/// Run the classification. `pkt_slice` is the packet processing slice
+/// (used for the output-impacting feature and, under
+/// [`StateAlyzerInput::PacketSlice`], to restrict the statements
+/// examined); `info` provides variable types for `pktVar` detection.
+pub fn statealyzer(
+    pl: &PacketLoop,
+    pkt_slice: &HashSet<StmtId>,
+    info: &TypeInfo,
+    input: StateAlyzerInput,
+) -> VarClasses {
+    let program = &pl.program;
+    let func = program.function(&pl.func).expect("normalised function");
+
+    // Persistent = global.
+    let persistent: BTreeSet<String> = program
+        .consts
+        .iter()
+        .chain(&program.configs)
+        .chain(&program.states)
+        .map(|i| i.name.clone())
+        .collect();
+    let config_decls: BTreeSet<String> = program
+        .configs
+        .iter()
+        .chain(&program.consts)
+        .map(|i| i.name.clone())
+        .collect();
+
+    // Feature extraction over the selected statement set.
+    let mut top_level: BTreeSet<String> = BTreeSet::new();
+    let mut updateable: BTreeSet<String> = BTreeSet::new();
+    let mut output_impacting: BTreeSet<String> = BTreeSet::new();
+    let mut stmts_examined = 0usize;
+    visit(&func.body, &mut |s| {
+        let in_scope = match input {
+            StateAlyzerInput::WholeProgram => true,
+            StateAlyzerInput::PacketSlice => pkt_slice.contains(&s.id),
+        };
+        if in_scope {
+            stmts_examined += 1;
+            let du = nfl_analysis::defuse::def_use(s);
+            for u in &du.uses {
+                top_level.insert(u.clone());
+            }
+            for (d, _) in &du.defs {
+                top_level.insert(d.clone());
+                updateable.insert(d.clone());
+            }
+        }
+        if pkt_slice.contains(&s.id) {
+            let du = nfl_analysis::defuse::def_use(s);
+            for u in &du.uses {
+                output_impacting.insert(u.clone());
+            }
+            for (d, _) in &du.defs {
+                output_impacting.insert(d.clone());
+            }
+        }
+    });
+
+    // pktVar: the per-packet parameter plus every packet-typed local that
+    // is top-level.
+    let mut pkt_vars: BTreeSet<String> = BTreeSet::new();
+    pkt_vars.insert(pl.pkt_param.clone());
+    for name in &top_level {
+        if info.var_ty(&pl.func, name) == Some(Ty::Packet) {
+            pkt_vars.insert(name.clone());
+        }
+    }
+
+    let mut classes = VarClasses {
+        pkt_vars,
+        stmts_examined,
+        ..VarClasses::default()
+    };
+    for var in &persistent {
+        if !top_level.contains(var) {
+            continue; // dead config/state — not part of the model
+        }
+        if classes.pkt_vars.contains(var) {
+            continue;
+        }
+        if config_decls.contains(var) && !updateable.contains(var) {
+            classes.cfg_vars.insert(var.clone());
+        } else if updateable.contains(var) {
+            if output_impacting.contains(var) {
+                classes.ois_vars.insert(var.clone());
+            } else {
+                classes.log_vars.insert(var.clone());
+            }
+        } else {
+            // Persistent, read-only, but declared `state` — treat as
+            // config-like for the model (it can never transition).
+            classes.cfg_vars.insert(var.clone());
+        }
+    }
+    classes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::static_slice::packet_slice;
+    use nfl_analysis::normalize::normalize;
+    use nfl_analysis::pdg::{default_boundary, Pdg};
+    use nfl_lang::{parse, types};
+
+    fn classify(src: &str, input: StateAlyzerInput) -> VarClasses {
+        let p = parse(src).unwrap();
+        let info = types::check(&p).unwrap();
+        let pl = normalize(&p).unwrap();
+        // Re-check the transformed program for local types.
+        let info2 = types::check(&pl.program).unwrap_or(info);
+        let b = default_boundary(&pl.program, &pl.func);
+        let pdg = Pdg::build(&pl.program, &pl.func, &b);
+        let ps = packet_slice(&pdg, &pl.program, &pl.func);
+        statealyzer(&pl, &ps.stmts, &info2, input)
+    }
+
+    /// The paper's Figure 1 load balancer, in NFL.
+    const FIG1_LB: &str = r#"
+        const ROUND_ROBIN = 1;
+        const MTU = 1500;
+        config mode = 1;
+        config LB_IP = 3.3.3.3;
+        config LB_PORT = 80;
+        config servers = [(1.1.1.1, 80), (2.2.2.2, 80)];
+        state f2b_nat = map();
+        state b2f_nat = map();
+        state rr_idx = 0;
+        state cur_port = 10000;
+        state pass_stat = 0;
+        state drop_stat = 0;
+
+        fn pkt_callback(pkt: packet) {
+            let si = pkt.ip.src;
+            let di = pkt.ip.dst;
+            let sp = pkt.tcp.sport;
+            let dp = pkt.tcp.dport;
+            let nat_tpl = (0, 0, 0, 0);
+            if dp == LB_PORT {
+                let cs_ftpl = (si, sp, di, dp);
+                let sc_ftpl = (di, dp, si, sp);
+                if cs_ftpl not in f2b_nat {
+                    let server = (0, 0);
+                    if mode == ROUND_ROBIN {
+                        server = servers[rr_idx];
+                        rr_idx = (rr_idx + 1) % len(servers);
+                    } else {
+                        server = servers[hash(si) % len(servers)];
+                    }
+                    let n_port = cur_port;
+                    cur_port = cur_port + 1;
+                    let cs_btpl = (LB_IP, n_port, server[0], server[1]);
+                    let sc_btpl = (server[0], server[1], LB_IP, n_port);
+                    f2b_nat[cs_ftpl] = cs_btpl;
+                    b2f_nat[sc_btpl] = sc_ftpl;
+                    nat_tpl = cs_btpl;
+                } else {
+                    nat_tpl = f2b_nat[cs_ftpl];
+                }
+            } else {
+                let sc_btpl = (si, sp, di, dp);
+                if sc_btpl in b2f_nat {
+                    nat_tpl = b2f_nat[sc_btpl];
+                } else {
+                    drop_stat = drop_stat + 1;
+                    return;
+                }
+            }
+            pass_stat = pass_stat + 1;
+            pkt.ip.src = nat_tpl[0];
+            pkt.tcp.sport = nat_tpl[1];
+            pkt.ip.dst = nat_tpl[2];
+            pkt.tcp.dport = nat_tpl[3];
+            send(pkt);
+        }
+
+        fn main() { sniff(pkt_callback); }
+    "#;
+
+    #[test]
+    fn table1_classification_matches_paper() {
+        let c = classify(FIG1_LB, StateAlyzerInput::PacketSlice);
+        // pktVar: pkt
+        assert!(c.pkt_vars.contains("pkt"), "{c:?}");
+        // cfgVar: mode, LB_IP (Table 1's examples)
+        assert_eq!(c.class_of("mode"), Some("cfgVar"), "{c:?}");
+        assert_eq!(c.class_of("LB_IP"), Some("cfgVar"), "{c:?}");
+        assert_eq!(c.class_of("LB_PORT"), Some("cfgVar"));
+        assert_eq!(c.class_of("servers"), Some("cfgVar"));
+        // oisVar: f2b_nat, rr_idx (Table 1's examples) + friends
+        assert_eq!(c.class_of("f2b_nat"), Some("oisVar"), "{c:?}");
+        assert_eq!(c.class_of("rr_idx"), Some("oisVar"), "{c:?}");
+        assert_eq!(c.class_of("b2f_nat"), Some("oisVar"));
+        assert_eq!(c.class_of("cur_port"), Some("oisVar"));
+        // Under Algorithm 1's slice-restricted StateAlyzer the log
+        // counters fall outside the packet slice entirely (line 5 returns
+        // only pktVar/oisVars/cfgVars) — they are not misclassified.
+        assert_eq!(c.class_of("pass_stat"), None, "{c:?}");
+        assert_eq!(c.class_of("drop_stat"), None, "{c:?}");
+        // Whole-program StateAlyzer recovers Table 1's logVar column.
+        let w = classify(FIG1_LB, StateAlyzerInput::WholeProgram);
+        assert_eq!(w.class_of("pass_stat"), Some("logVar"), "{w:?}");
+        assert_eq!(w.class_of("drop_stat"), Some("logVar"), "{w:?}");
+        // And agrees on everything else.
+        assert_eq!(w.ois_vars, c.ois_vars);
+    }
+
+    #[test]
+    fn slice_input_examines_fewer_statements() {
+        let whole = classify(FIG1_LB, StateAlyzerInput::WholeProgram);
+        let sliced = classify(FIG1_LB, StateAlyzerInput::PacketSlice);
+        assert!(
+            sliced.stmts_examined < whole.stmts_examined,
+            "slice {} < whole {}",
+            sliced.stmts_examined,
+            whole.stmts_examined
+        );
+        // Classification of the key variables is unchanged.
+        assert_eq!(sliced.ois_vars, whole.ois_vars);
+        assert_eq!(sliced.cfg_vars, whole.cfg_vars);
+    }
+
+    #[test]
+    fn dead_state_not_classified() {
+        let c = classify(
+            r#"
+            state never_used = 0;
+            state used = 0;
+            fn cb(pkt: packet) {
+                used = used + 1;
+                send(pkt);
+            }
+            fn main() { sniff(cb); }
+        "#,
+            StateAlyzerInput::WholeProgram,
+        );
+        assert_eq!(c.class_of("never_used"), None);
+        // `used` is updated but never influences any output — a logVar,
+        // exactly like the paper's pass_stat.
+        assert_eq!(c.class_of("used"), Some("logVar"));
+    }
+
+    #[test]
+    fn counter_not_feeding_send_is_logvar() {
+        let c = classify(
+            r#"
+            state counter = 0;
+            fn cb(pkt: packet) {
+                counter = counter + 1;
+                send(pkt);
+            }
+            fn main() { sniff(cb); }
+        "#,
+            StateAlyzerInput::WholeProgram,
+        );
+        // `counter` never influences the packet nor guards the send.
+        assert_eq!(c.class_of("counter"), Some("logVar"), "{c:?}");
+    }
+
+    #[test]
+    fn state_guarding_send_is_oisvar() {
+        let c = classify(
+            r#"
+            state budget = 10;
+            fn cb(pkt: packet) {
+                if budget > 0 {
+                    budget = budget - 1;
+                    send(pkt);
+                }
+            }
+            fn main() { sniff(cb); }
+        "#,
+            StateAlyzerInput::WholeProgram,
+        );
+        assert_eq!(c.class_of("budget"), Some("oisVar"), "{c:?}");
+    }
+}

@@ -1,0 +1,371 @@
+//! Static backward slicing over the PDG.
+//!
+//! Algorithm 1, lines 1–4 (packet slice) and 6–9 (state slice):
+//!
+//! ```text
+//! for stmt in prog:
+//!     if stmt calls PKT_OUTPUT_FUNC:
+//!         pktSlice ∪= BackwardSlice(stmt, Vars(stmt.RHS))
+//! …
+//! for stmt in prog:
+//!     if Vars(stmt.LHS) in oisVars:
+//!         stateSlice ∪= BackwardSlice(stmt, Vars(stmt.LHS))
+//! ```
+
+use nfl_analysis::pdg::Pdg;
+use nfl_lang::{builtins, pretty, Program, Stmt, StmtId, StmtKind};
+use std::collections::{BTreeSet, HashSet};
+
+/// A computed slice: the statement ids it keeps plus bookkeeping for the
+/// Table 2 metrics.
+#[derive(Debug, Clone, Default)]
+pub struct SliceResult {
+    /// Statements in the slice.
+    pub stmts: HashSet<StmtId>,
+    /// The criterion statements the slice was grown from.
+    pub criteria: Vec<StmtId>,
+}
+
+impl SliceResult {
+    /// Lines of code the slice keeps when rendered — Table 2's
+    /// "LoC (slice)".
+    pub fn loc(&self, program: &Program) -> usize {
+        pretty::slice_loc(program, &self.stmts)
+    }
+
+    /// Render the program with the slice highlighted, Figure 1 style.
+    pub fn render_highlighted(&self, program: &Program) -> String {
+        pretty::program_to_string_opts(
+            program,
+            &pretty::RenderOpts {
+                highlight: Some(self.stmts.clone()),
+                ..Default::default()
+            },
+        )
+    }
+
+    /// Render only the sliced program.
+    pub fn render_slice(&self, program: &Program) -> String {
+        pretty::program_to_string_opts(
+            program,
+            &pretty::RenderOpts {
+                keep_only: Some(self.stmts.clone()),
+                ..Default::default()
+            },
+        )
+    }
+}
+
+/// Union of two slices (`pktSlice ∪ stateSlice`, Algorithm 1 line 10).
+pub fn slice_union(a: &SliceResult, b: &SliceResult) -> SliceResult {
+    SliceResult {
+        stmts: a.stmts.union(&b.stmts).copied().collect(),
+        criteria: a
+            .criteria
+            .iter()
+            .chain(&b.criteria)
+            .copied()
+            .collect(),
+    }
+}
+
+/// Does the statement call the packet output function anywhere?
+fn calls_pkt_output(s: &Stmt) -> bool {
+    let exprs: Vec<&nfl_lang::Expr> = match &s.kind {
+        StmtKind::Let { value, .. } => vec![value],
+        StmtKind::Assign { value, .. } => vec![value],
+        StmtKind::Expr(e) => vec![e],
+        StmtKind::Return(Some(e)) => vec![e],
+        _ => vec![],
+    };
+    exprs
+        .iter()
+        .any(|e| e.calls().iter().any(|c| builtins::is_packet_output(c)))
+}
+
+/// Backward slice from a single statement (criterion = the statement and
+/// all variables it reads).
+pub fn backward_slice(pdg: &Pdg, program: &Program, criterion: StmtId) -> SliceResult {
+    let Some(node) = pdg.node_of(criterion) else {
+        return SliceResult::default();
+    };
+    let nodes = pdg.backward_reachable([node]);
+    let mut stmts = pdg.stmts_of(&nodes);
+    close_over_jumps(program, func_of_stmt(program, criterion), &mut stmts);
+    SliceResult {
+        stmts,
+        criteria: vec![criterion],
+    }
+}
+
+/// The function containing a statement (for jump closure).
+fn func_of_stmt(program: &Program, id: StmtId) -> &str {
+    for f in &program.functions {
+        let mut found = false;
+        visit(&f.body, &mut |s| {
+            if s.id == id {
+                found = true;
+            }
+        });
+        if found {
+            return &f.name;
+        }
+    }
+    ""
+}
+
+/// Algorithm 1 lines 1–4: the packet processing slice, grown backwards
+/// from every statement that calls `send`.
+pub fn packet_slice(pdg: &Pdg, program: &Program, func: &str) -> SliceResult {
+    let mut criteria = Vec::new();
+    if let Some(f) = program.function(func) {
+        visit(&f.body, &mut |s| {
+            if calls_pkt_output(s) {
+                criteria.push(s.id);
+            }
+        });
+    }
+    let seeds: Vec<_> = criteria.iter().filter_map(|c| pdg.node_of(*c)).collect();
+    let nodes = pdg.backward_reachable(seeds);
+    let mut stmts = pdg.stmts_of(&nodes);
+    if !stmts.is_empty() {
+        close_over_jumps(program, func, &mut stmts);
+    }
+    SliceResult { stmts, criteria }
+}
+
+/// Algorithm 1 lines 6–9: the state transition slice, grown backwards
+/// from every assignment whose LHS is an output-impacting state variable.
+pub fn state_slice(
+    pdg: &Pdg,
+    program: &Program,
+    func: &str,
+    ois_vars: &BTreeSet<String>,
+) -> SliceResult {
+    let mut criteria = Vec::new();
+    if let Some(f) = program.function(func) {
+        visit(&f.body, &mut |s| {
+            let du = nfl_analysis::defuse::def_use(s);
+            if du.defs.iter().any(|(v, _)| ois_vars.contains(v)) {
+                criteria.push(s.id);
+            }
+        });
+    }
+    let seeds: Vec<_> = criteria.iter().filter_map(|c| pdg.node_of(*c)).collect();
+    let nodes = pdg.backward_reachable(seeds);
+    let mut stmts = pdg.stmts_of(&nodes);
+    if !stmts.is_empty() {
+        close_over_jumps(program, func, &mut stmts);
+    }
+    SliceResult { stmts, criteria }
+}
+
+fn visit<'a>(stmts: &'a [Stmt], f: &mut impl FnMut(&'a Stmt)) {
+    for s in stmts {
+        f(s);
+        match &s.kind {
+            StmtKind::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                visit(then_branch, f);
+                visit(else_branch, f);
+            }
+            StmtKind::While { body, .. } | StmtKind::For { body, .. } => visit(body, f),
+            _ => {}
+        }
+    }
+}
+
+/// Close a slice over jump statements (Ball–Horwitz "slicing programs
+/// with arbitrary control flow", simplified): `return` / `break` /
+/// `continue` carry no data and are no one's dependence *source*, yet
+/// omitting them changes which kept statements execute — the Figure 1
+/// LB's `return` in the unknown-outbound branch is what makes the packet
+/// rewrite unreachable on that path. Any jump lying inside a control
+/// structure the slice keeps is therefore added to the slice.
+pub fn close_over_jumps(program: &Program, func: &str, stmts: &mut HashSet<StmtId>) {
+    fn subtree_hits(s: &Stmt, keep: &HashSet<StmtId>) -> bool {
+        if keep.contains(&s.id) {
+            return true;
+        }
+        match &s.kind {
+            StmtKind::If {
+                then_branch,
+                else_branch,
+                ..
+            } => then_branch
+                .iter()
+                .chain(else_branch)
+                .any(|c| subtree_hits(c, keep)),
+            StmtKind::While { body, .. } | StmtKind::For { body, .. } => {
+                body.iter().any(|c| subtree_hits(c, keep))
+            }
+            _ => false,
+        }
+    }
+    fn walk(stmts: &[Stmt], keep: &mut HashSet<StmtId>) {
+        for s in stmts {
+            let is_jump = matches!(
+                s.kind,
+                StmtKind::Return(_) | StmtKind::Break | StmtKind::Continue
+            );
+            if !subtree_hits(s, keep) && !is_jump {
+                continue;
+            }
+            match &s.kind {
+                StmtKind::Return(_) | StmtKind::Break | StmtKind::Continue => {
+                    keep.insert(s.id);
+                }
+                StmtKind::If {
+                    then_branch,
+                    else_branch,
+                    ..
+                } => {
+                    walk(then_branch, keep);
+                    walk(else_branch, keep);
+                }
+                StmtKind::While { body, .. } | StmtKind::For { body, .. } => walk(body, keep),
+                _ => {}
+            }
+        }
+    }
+    if let Some(f) = program.function(func) {
+        // Iterate to a fixpoint: newly added jumps can make enclosing
+        // structures "hit" and reveal deeper jumps.
+        loop {
+            let before = stmts.len();
+            walk(&f.body, stmts);
+            if stmts.len() == before {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nfl_analysis::normalize::normalize;
+    use nfl_analysis::pdg::default_boundary;
+    use nfl_lang::parse_and_check;
+
+    fn setup(src: &str) -> (nfl_lang::Program, String, Pdg) {
+        let p = parse_and_check(src).unwrap();
+        let pl = normalize(&p).unwrap();
+        let b = default_boundary(&pl.program, &pl.func);
+        let pdg = Pdg::build(&pl.program, &pl.func, &b);
+        (pl.program, pl.func, pdg)
+    }
+
+    const NF: &str = r#"
+        config PORT = 80;
+        state hits = 0;
+        state log_count = 0;
+        fn cb(pkt: packet) {
+            log_count = log_count + 1;
+            log(log_count);
+            if pkt.tcp.dport == PORT {
+                hits = hits + 1;
+                pkt.ip.ttl = pkt.ip.ttl - 1;
+                send(pkt);
+            }
+        }
+        fn main() { sniff(cb); }
+    "#;
+
+    #[test]
+    fn packet_slice_keeps_forwarding_drops_logging() {
+        let (p, func, pdg) = setup(NF);
+        let ps = packet_slice(&pdg, &p, &func);
+        let text = ps.render_slice(&p);
+        assert!(text.contains("send(pkt)"), "{text}");
+        assert!(text.contains("ttl"), "header rewrite kept:\n{text}");
+        assert!(text.contains("if"), "guard kept:\n{text}");
+        assert!(
+            !text.contains("log_count = (log_count + 1)"),
+            "log update pruned:\n{text}"
+        );
+        assert!(!text.contains("log("), "log call pruned:\n{text}");
+        assert!(!ps.criteria.is_empty());
+    }
+
+    #[test]
+    fn slice_is_smaller_than_program() {
+        let (p, func, pdg) = setup(NF);
+        let ps = packet_slice(&pdg, &p, &func);
+        let all = p.stmt_count();
+        assert!(
+            ps.stmts.len() < all,
+            "slice {} < total {all}",
+            ps.stmts.len()
+        );
+    }
+
+    #[test]
+    fn state_slice_from_ois_assignments() {
+        let (p, func, pdg) = setup(NF);
+        let ois: BTreeSet<String> = ["hits".to_string()].into();
+        let ss = state_slice(&pdg, &p, &func, &ois);
+        let text = ss.render_slice(&p);
+        assert!(text.contains("hits = (hits + 1)"), "{text}");
+        assert!(text.contains("if"), "guard of the update kept:\n{text}");
+        assert!(!text.contains("send"), "send not a state criterion:\n{text}");
+    }
+
+    #[test]
+    fn union_covers_both() {
+        let (p, func, pdg) = setup(NF);
+        let ps = packet_slice(&pdg, &p, &func);
+        let ois: BTreeSet<String> = ["hits".to_string()].into();
+        let ss = state_slice(&pdg, &p, &func, &ois);
+        let u = slice_union(&ps, &ss);
+        assert!(u.stmts.len() >= ps.stmts.len());
+        assert!(u.stmts.len() >= ss.stmts.len());
+        assert_eq!(u.criteria.len(), ps.criteria.len() + ss.criteria.len());
+    }
+
+    #[test]
+    fn slice_closure_under_dependence() {
+        // Every statement in the slice has all its PDG dependence sources
+        // in the slice — the defining property of a backward slice.
+        let (p, func, pdg) = setup(NF);
+        let ps = packet_slice(&pdg, &p, &func);
+        for &sid in &ps.stmts {
+            let node = pdg.node_of(sid).unwrap();
+            for (from, _) in pdg.deps_of(node) {
+                if let Some(from_stmt) = pdg.cfg.nodes[from].stmt {
+                    assert!(
+                        ps.stmts.contains(&from_stmt),
+                        "{sid} depends on {from_stmt} which is outside the slice"
+                    );
+                }
+            }
+        }
+        let _ = func;
+    }
+
+    #[test]
+    fn loc_metric_positive_and_less_than_total() {
+        let (p, func, pdg) = setup(NF);
+        let ps = packet_slice(&pdg, &p, &func);
+        let loc = ps.loc(&p);
+        assert!(loc > 0);
+        assert!(loc < p.loc() + 20, "sanity");
+    }
+
+    #[test]
+    fn nf_with_no_send_has_empty_packet_slice() {
+        let (p, func, pdg) = setup(
+            r#"
+            state n = 0;
+            fn cb(pkt: packet) { n = n + 1; }
+            fn main() { sniff(cb); }
+        "#,
+        );
+        let ps = packet_slice(&pdg, &p, &func);
+        assert!(ps.stmts.is_empty());
+        assert!(ps.criteria.is_empty());
+    }
+}

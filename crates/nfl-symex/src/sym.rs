@@ -1,0 +1,473 @@
+//! The symbolic value language.
+//!
+//! A [`SymVal`] is either concrete or a term over free variables:
+//! packet fields (`pkt.tcp.dport`), scalar configs (`cfg:mode`), scalar
+//! states (`st:rr_idx`), uninterpreted `hash(…)`, map reads
+//! (`nat[⟨k⟩]`), and array reads with symbolic index
+//! (`servers[st:rr_idx]` — the `server[idx]` of Figure 6). Constructors
+//! constant-fold so concrete programs stay concrete.
+
+use nfl_lang::BinOp;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A symbolic value / term.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SymVal {
+    /// Concrete integer.
+    Int(i64),
+    /// Concrete boolean.
+    Bool(bool),
+    /// Concrete string.
+    Str(String),
+    /// A free integer variable (packet field, config, or state scalar).
+    Var(String),
+    /// Tuple of terms.
+    Tuple(Vec<SymVal>),
+    /// Array of terms (concrete length).
+    Array(Vec<SymVal>),
+    /// Binary operation.
+    Bin(BinOp, Box<SymVal>, Box<SymVal>),
+    /// Logical negation.
+    Not(Box<SymVal>),
+    /// Arithmetic negation.
+    Neg(Box<SymVal>),
+    /// Uninterpreted hash.
+    Hash(Box<SymVal>),
+    /// Minimum of two integer terms.
+    Min(Box<SymVal>, Box<SymVal>),
+    /// Maximum of two integer terms.
+    Max(Box<SymVal>, Box<SymVal>),
+    /// Read of state map `name` at a (possibly symbolic) key.
+    MapGet(String, Box<SymVal>),
+    /// Membership test of state map `name` at a key — a boolean term.
+    MapContains(String, Box<SymVal>),
+    /// Array read with symbolic index (base is a concrete-length array).
+    ArrayGet(Box<SymVal>, Box<SymVal>),
+    /// Tuple projection from a symbolic tuple-valued term.
+    Proj(Box<SymVal>, usize),
+}
+
+impl SymVal {
+    /// Is this a concrete (fully evaluated) value?
+    pub fn is_concrete(&self) -> bool {
+        match self {
+            SymVal::Int(_) | SymVal::Bool(_) | SymVal::Str(_) => true,
+            SymVal::Tuple(es) | SymVal::Array(es) => es.iter().all(|e| e.is_concrete()),
+            _ => false,
+        }
+    }
+
+    /// The concrete boolean, if this is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            SymVal::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The concrete integer, if this is one.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            SymVal::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Smart constructor: binary op with constant folding and light
+    /// algebraic simplification.
+    pub fn bin(op: BinOp, a: SymVal, b: SymVal) -> SymVal {
+        use BinOp::*;
+        if let (Some(x), Some(y)) = (a.as_int(), b.as_int()) {
+            return match op {
+                Add => SymVal::Int(x.wrapping_add(y)),
+                Sub => SymVal::Int(x.wrapping_sub(y)),
+                Mul => SymVal::Int(x.wrapping_mul(y)),
+                Div if y != 0 => SymVal::Int(x.wrapping_div(y)),
+                Mod if y != 0 => SymVal::Int(x.rem_euclid(y)),
+                BitAnd => SymVal::Int(x & y),
+                BitOr => SymVal::Int(x | y),
+                Eq => SymVal::Bool(x == y),
+                Ne => SymVal::Bool(x != y),
+                Lt => SymVal::Bool(x < y),
+                Le => SymVal::Bool(x <= y),
+                Gt => SymVal::Bool(x > y),
+                Ge => SymVal::Bool(x >= y),
+                _ => SymVal::Bin(op, Box::new(a), Box::new(b)),
+            };
+        }
+        if let (Some(x), Some(y)) = (a.as_bool(), b.as_bool()) {
+            return match op {
+                And => SymVal::Bool(x && y),
+                Or => SymVal::Bool(x || y),
+                Eq => SymVal::Bool(x == y),
+                Ne => SymVal::Bool(x != y),
+                _ => SymVal::Bin(op, Box::new(a), Box::new(b)),
+            };
+        }
+        // Equality of identical terms.
+        if matches!(op, Eq) && a == b {
+            return SymVal::Bool(true);
+        }
+        if matches!(op, Ne) && a == b {
+            return SymVal::Bool(false);
+        }
+        // Tuple equality decomposes structurally when arities match.
+        if let (SymVal::Tuple(xs), SymVal::Tuple(ys)) = (&a, &b) {
+            if xs.len() == ys.len() && matches!(op, Eq) {
+                let mut acc = SymVal::Bool(true);
+                for (x, y) in xs.iter().zip(ys) {
+                    acc = SymVal::and(acc, SymVal::bin(Eq, x.clone(), y.clone()));
+                }
+                return acc;
+            }
+        }
+        // Boolean identities.
+        match (op, &a, &b) {
+            (And, SymVal::Bool(true), _) => return b,
+            (And, _, SymVal::Bool(true)) => return a,
+            (And, SymVal::Bool(false), _) | (And, _, SymVal::Bool(false)) => {
+                return SymVal::Bool(false)
+            }
+            (Or, SymVal::Bool(false), _) => return b,
+            (Or, _, SymVal::Bool(false)) => return a,
+            (Or, SymVal::Bool(true), _) | (Or, _, SymVal::Bool(true)) => {
+                return SymVal::Bool(true)
+            }
+            (Add, SymVal::Int(0), _) => return b,
+            (Add, _, SymVal::Int(0)) => return a,
+            (Mul, SymVal::Int(1), _) => return b,
+            (Mul, _, SymVal::Int(1)) => return a,
+            _ => {}
+        }
+        SymVal::Bin(op, Box::new(a), Box::new(b))
+    }
+
+    /// Logical conjunction with folding.
+    pub fn and(a: SymVal, b: SymVal) -> SymVal {
+        SymVal::bin(BinOp::And, a, b)
+    }
+
+    /// Logical negation with folding (double negation, concrete bools,
+    /// comparison inversion).
+    pub fn negate(v: SymVal) -> SymVal {
+        use BinOp::*;
+        match v {
+            SymVal::Bool(b) => SymVal::Bool(!b),
+            SymVal::Not(inner) => *inner,
+            SymVal::Bin(Eq, a, b) => SymVal::Bin(Ne, a, b),
+            SymVal::Bin(Ne, a, b) => SymVal::Bin(Eq, a, b),
+            SymVal::Bin(Lt, a, b) => SymVal::Bin(Ge, a, b),
+            SymVal::Bin(Ge, a, b) => SymVal::Bin(Lt, a, b),
+            SymVal::Bin(Gt, a, b) => SymVal::Bin(Le, a, b),
+            SymVal::Bin(Le, a, b) => SymVal::Bin(Gt, a, b),
+            SymVal::MapContains(m, k) => SymVal::Not(Box::new(SymVal::MapContains(m, k))),
+            other => SymVal::Not(Box::new(other)),
+        }
+    }
+
+    /// Project element `i` from a tuple-valued term.
+    pub fn proj(v: SymVal, i: usize) -> SymVal {
+        match v {
+            SymVal::Tuple(es) if i < es.len() => es[i].clone(),
+            other => SymVal::Proj(Box::new(other), i),
+        }
+    }
+
+    /// All free variable names in the term.
+    pub fn free_vars(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_vars(&mut out);
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    fn collect_vars(&self, out: &mut Vec<String>) {
+        match self {
+            SymVal::Var(v) => out.push(v.clone()),
+            SymVal::Tuple(es) | SymVal::Array(es) => {
+                for e in es {
+                    e.collect_vars(out);
+                }
+            }
+            SymVal::Bin(_, a, b)
+            | SymVal::ArrayGet(a, b)
+            | SymVal::Min(a, b)
+            | SymVal::Max(a, b) => {
+                a.collect_vars(out);
+                b.collect_vars(out);
+            }
+            SymVal::Not(a) | SymVal::Neg(a) | SymVal::Hash(a) | SymVal::Proj(a, _) => {
+                a.collect_vars(out)
+            }
+            SymVal::MapGet(_, k) | SymVal::MapContains(_, k) => k.collect_vars(out),
+            _ => {}
+        }
+    }
+
+    /// Does the term mention any variable with the given prefix
+    /// (`"pkt."`, `"cfg:"`, `"st:"`) or any map operation?
+    pub fn mentions_prefix(&self, prefix: &str) -> bool {
+        self.free_vars().iter().any(|v| v.starts_with(prefix))
+            || (prefix == "st:" && self.mentions_map())
+    }
+
+    /// Does the term contain a map read/membership (state-dependent)?
+    pub fn mentions_map(&self) -> bool {
+        match self {
+            SymVal::MapGet(..) | SymVal::MapContains(..) => true,
+            SymVal::Tuple(es) | SymVal::Array(es) => es.iter().any(|e| e.mentions_map()),
+            SymVal::Bin(_, a, b)
+            | SymVal::ArrayGet(a, b)
+            | SymVal::Min(a, b)
+            | SymVal::Max(a, b) => a.mentions_map() || b.mentions_map(),
+            SymVal::Not(a) | SymVal::Neg(a) | SymVal::Hash(a) | SymVal::Proj(a, _) => {
+                a.mentions_map()
+            }
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for SymVal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SymVal::Int(v) => write!(f, "{v}"),
+            SymVal::Bool(b) => write!(f, "{b}"),
+            SymVal::Str(s) => write!(f, "{s:?}"),
+            SymVal::Var(v) => write!(f, "{v}"),
+            SymVal::Tuple(es) => {
+                write!(f, "(")?;
+                for (i, e) in es.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                write!(f, ")")
+            }
+            SymVal::Array(es) => {
+                write!(f, "[")?;
+                for (i, e) in es.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                write!(f, "]")
+            }
+            SymVal::Bin(op, a, b) => write!(f, "({a} {} {b})", op.symbol()),
+            SymVal::Not(a) => write!(f, "!({a})"),
+            SymVal::Neg(a) => write!(f, "-({a})"),
+            SymVal::Hash(a) => write!(f, "hash({a})"),
+            SymVal::Min(a, b) => write!(f, "min({a}, {b})"),
+            SymVal::Max(a, b) => write!(f, "max({a}, {b})"),
+            SymVal::MapGet(m, k) => write!(f, "{m}[{k}]"),
+            SymVal::MapContains(m, k) => write!(f, "({k} in {m})"),
+            SymVal::ArrayGet(a, i) => write!(f, "{a}[{i}]"),
+            SymVal::Proj(a, i) => write!(f, "{a}.{i}"),
+        }
+    }
+}
+
+/// A symbolic packet: every header field is a term. A fresh input packet
+/// has `field → Var("pkt.<path>")`; rewrites replace entries.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SymPacket {
+    /// Field terms.
+    pub fields: BTreeMap<nf_packet::Field, SymVal>,
+}
+
+impl SymPacket {
+    /// A fully symbolic packet whose fields are free variables named
+    /// after their paths.
+    pub fn fresh() -> SymPacket {
+        let mut fields = BTreeMap::new();
+        for f in nf_packet::Field::ALL {
+            fields.insert(f, SymVal::Var(format!("pkt.{}", f.path())));
+        }
+        SymPacket { fields }
+    }
+
+    /// Read a field term.
+    pub fn get(&self, f: nf_packet::Field) -> SymVal {
+        self.fields
+            .get(&f)
+            .cloned()
+            .unwrap_or_else(|| SymVal::Var(format!("pkt.{}", f.path())))
+    }
+
+    /// Write a field term.
+    pub fn set(&mut self, f: nf_packet::Field, v: SymVal) {
+        self.fields.insert(f, v);
+    }
+
+    /// The fields whose terms differ from the fresh packet — the header
+    /// rewrites this path performs (the model's flow action).
+    pub fn rewrites(&self) -> Vec<(nf_packet::Field, SymVal)> {
+        let fresh = SymPacket::fresh();
+        self.fields
+            .iter()
+            .filter(|(f, v)| fresh.get(**f) != **v)
+            .map(|(f, v)| (*f, v.clone()))
+            .collect()
+    }
+}
+
+impl Default for SymPacket {
+    fn default() -> Self {
+        SymPacket::fresh()
+    }
+}
+
+/// A state-map mutation recorded along a path (the model's state
+/// transition for dictionary state).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MapOp {
+    /// `map[key] = value`.
+    Insert {
+        /// Map name.
+        map: String,
+        /// Key term.
+        key: SymVal,
+        /// Value term.
+        value: SymVal,
+    },
+    /// `map_remove(map, key)`.
+    Remove {
+        /// Map name.
+        map: String,
+        /// Key term.
+        key: SymVal,
+    },
+}
+
+impl fmt::Display for MapOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MapOp::Insert { map, key, value } => write!(f, "{map}[{key}] := {value}"),
+            MapOp::Remove { map, key } => write!(f, "del {map}[{key}]"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nf_packet::Field;
+
+    #[test]
+    fn constant_folding() {
+        assert_eq!(
+            SymVal::bin(BinOp::Add, SymVal::Int(2), SymVal::Int(3)),
+            SymVal::Int(5)
+        );
+        assert_eq!(
+            SymVal::bin(BinOp::Eq, SymVal::Int(2), SymVal::Int(3)),
+            SymVal::Bool(false)
+        );
+        assert_eq!(
+            SymVal::bin(BinOp::Mod, SymVal::Int(-1), SymVal::Int(5)),
+            SymVal::Int(4),
+            "euclidean mod like the interpreter"
+        );
+    }
+
+    #[test]
+    fn symbolic_stays_symbolic() {
+        let v = SymVal::bin(BinOp::Add, SymVal::Var("x".into()), SymVal::Int(1));
+        assert!(!v.is_concrete());
+        assert_eq!(v.to_string(), "(x + 1)");
+    }
+
+    #[test]
+    fn negate_inverts_comparisons() {
+        let lt = SymVal::bin(BinOp::Lt, SymVal::Var("x".into()), SymVal::Int(5));
+        let ge = SymVal::negate(lt);
+        assert_eq!(ge.to_string(), "(x >= 5)");
+        let back = SymVal::negate(SymVal::negate(SymVal::Var("b".into())));
+        assert_eq!(back, SymVal::Var("b".into()));
+    }
+
+    #[test]
+    fn identity_equality_folds() {
+        let x = SymVal::Var("x".into());
+        assert_eq!(
+            SymVal::bin(BinOp::Eq, x.clone(), x.clone()),
+            SymVal::Bool(true)
+        );
+        assert_eq!(SymVal::bin(BinOp::Ne, x.clone(), x), SymVal::Bool(false));
+    }
+
+    #[test]
+    fn tuple_equality_decomposes() {
+        let t1 = SymVal::Tuple(vec![SymVal::Var("a".into()), SymVal::Int(1)]);
+        let t2 = SymVal::Tuple(vec![SymVal::Int(5), SymVal::Int(1)]);
+        let eq = SymVal::bin(BinOp::Eq, t1, t2);
+        // (a == 5) && true  →  (a == 5)
+        assert_eq!(eq.to_string(), "(a == 5)");
+    }
+
+    #[test]
+    fn boolean_identities() {
+        let x = SymVal::Var("x".into());
+        assert_eq!(SymVal::and(SymVal::Bool(true), x.clone()), x);
+        assert_eq!(
+            SymVal::and(SymVal::Bool(false), x.clone()),
+            SymVal::Bool(false)
+        );
+    }
+
+    #[test]
+    fn fresh_packet_and_rewrites() {
+        let mut p = SymPacket::fresh();
+        assert!(p.rewrites().is_empty());
+        p.set(Field::IpSrc, SymVal::Int(0x03030303));
+        let rw = p.rewrites();
+        assert_eq!(rw.len(), 1);
+        assert_eq!(rw[0].0, Field::IpSrc);
+    }
+
+    #[test]
+    fn free_vars_collects() {
+        let v = SymVal::bin(
+            BinOp::Add,
+            SymVal::Var("st:rr_idx".into()),
+            SymVal::MapGet(
+                "nat".into(),
+                Box::new(SymVal::Var("pkt.ip.src".into())),
+            ),
+        );
+        assert_eq!(v.free_vars(), vec!["pkt.ip.src", "st:rr_idx"]);
+        assert!(v.mentions_map());
+        assert!(v.mentions_prefix("st:"));
+        assert!(v.mentions_prefix("pkt."));
+        assert!(!v.mentions_prefix("cfg:"));
+    }
+
+    #[test]
+    fn proj_folds_on_tuples() {
+        let t = SymVal::Tuple(vec![SymVal::Int(1), SymVal::Var("x".into())]);
+        assert_eq!(SymVal::proj(t, 1), SymVal::Var("x".into()));
+        let opaque = SymVal::MapGet("m".into(), Box::new(SymVal::Int(1)));
+        assert_eq!(
+            SymVal::proj(opaque.clone(), 0),
+            SymVal::Proj(Box::new(opaque), 0)
+        );
+    }
+
+    #[test]
+    fn display_figure6_action_shape() {
+        // send(f, server[idx]) — array get with symbolic state index.
+        let term = SymVal::ArrayGet(
+            Box::new(SymVal::Array(vec![
+                SymVal::Tuple(vec![SymVal::Int(1), SymVal::Int(80)]),
+                SymVal::Tuple(vec![SymVal::Int(2), SymVal::Int(80)]),
+            ])),
+            Box::new(SymVal::Var("st:rr_idx".into())),
+        );
+        assert!(term.to_string().contains("st:rr_idx"));
+    }
+}

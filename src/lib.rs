@@ -1,0 +1,62 @@
+//! # NFactor — automatic synthesis of NF forwarding models
+//!
+//! A from-scratch Rust reproduction of *"Automatic Synthesis of NF Models
+//! by Program Analysis"* (Wu, Zhang, Banerjee — HotNets-XV, 2016).
+//!
+//! NFactor takes the **source code of a network function** — a load
+//! balancer, NAT, firewall, IDS — and automatically synthesizes its
+//! **forwarding model**: per-configuration tables of stateful
+//! match/action entries (an OpenFlow-like abstraction with state), via
+//! program slicing and symbolic execution.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use nfactor::core::{synthesize, Options};
+//!
+//! let src = r#"
+//!     config PORT = 80;
+//!     state hits = 0;
+//!     fn cb(pkt: packet) {
+//!         if pkt.tcp.dport == PORT {
+//!             hits = hits + 1;
+//!             send(pkt);
+//!         }
+//!     }
+//!     fn main() { sniff(cb); }
+//! "#;
+//! let synthesis = synthesize("port-filter", src, &Options::default()).unwrap();
+//! println!("{}", synthesis.render_model());
+//! assert_eq!(synthesis.model.entry_count(), 2); // forward + default drop
+//! ```
+//!
+//! ## Crate map
+//!
+//! | module | crate | role |
+//! |---|---|---|
+//! | [`lang`] | `nfl-lang` | the NFL language: lexer, parser, AST, types |
+//! | [`analysis`] | `nfl-analysis` | CFG, dominators, PDG, inlining, Fig. 4 structure normalisation |
+//! | [`interp`] | `nfl-interp` | concrete interpreter + dynamic traces |
+//! | [`slicer`] | `nfl-slicer` | static & dynamic backward slicing, StateAlyzer classes |
+//! | [`symex`] | `nfl-symex` | symbolic execution + SMT-lite solver |
+//! | [`packet`] | `nf-packet` | Ethernet/IPv4/TCP/UDP substrate, packet generator |
+//! | [`tcp`] | `nf-tcp` | TCP FSM + socket unfolding (Fig. 4d → Fig. 5) |
+//! | [`model`] | `nf-model` | the model: tables, evaluator, Figure 6 renderer, FSM |
+//! | [`core`] | `nfactor-core` | the pipeline (Algorithm 1) + §5 accuracy experiments |
+//! | [`corpus`] | `nf-corpus` | the analysed NFs, incl. paper-scale snort/balance generators |
+//! | [`verify`] | `nf-verify` | §4 applications: stateful HSA, chain composition, test generation |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use nf_corpus as corpus;
+pub use nf_model as model;
+pub use nf_packet as packet;
+pub use nf_tcp as tcp;
+pub use nf_verify as verify;
+pub use nfactor_core as core;
+pub use nfl_analysis as analysis;
+pub use nfl_interp as interp;
+pub use nfl_lang as lang;
+pub use nfl_slicer as slicer;
+pub use nfl_symex as symex;

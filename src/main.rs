@@ -1,0 +1,165 @@
+//! The `nfactor` command-line tool.
+//!
+//! ```text
+//! nfactor synthesize <file.nfl | --corpus name>   # synthesize & print the model
+//! nfactor export     <file.nfl | --corpus name>   # machine-readable .nfm model
+//! nfactor slice      <file.nfl | --corpus name>   # Figure-1-style highlighted slice
+//! nfactor classes    <file.nfl | --corpus name>   # Table-1 variable classification
+//! nfactor paths      <file.nfl | --corpus name>   # execution paths of the slice
+//! nfactor fsm        <file.nfl | --corpus name>   # Graphviz dot of the model FSM
+//! nfactor metrics    <file.nfl | --corpus name>   # Table-2 row (add --orig for the slow column)
+//! nfactor test       <file.nfl | --corpus name>   # model-guided compliance tests
+//! nfactor corpus                                  # list bundled corpus NFs
+//! ```
+//!
+//! This is the workflow the paper proposes for NF vendors: run the tool
+//! on proprietary NF code, ship only the resulting model to operators.
+
+use nfactor::core::{synthesize, Options, Synthesis};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: nfactor <synthesize|export|slice|classes|paths|fsm|metrics|test|lint> \
+         <file.nfl | --corpus NAME> [--orig]\n       nfactor corpus"
+    );
+    ExitCode::from(2)
+}
+
+fn corpus_source(name: &str) -> Option<String> {
+    nfactor::corpus::default_corpus()
+        .into_iter()
+        .find(|nf| nf.name == name)
+        .map(|nf| nf.source)
+}
+
+fn load_source(args: &[String]) -> Result<(String, String), String> {
+    match args {
+        [flag, name, ..] if flag == "--corpus" => corpus_source(name)
+            .map(|s| (name.clone(), s))
+            .ok_or_else(|| format!("unknown corpus NF `{name}` (try `nfactor corpus`)")),
+        [path, ..] => std::fs::read_to_string(path)
+            .map(|s| (path.clone(), s))
+            .map_err(|e| format!("{path}: {e}")),
+        [] => Err("missing input (file path or --corpus NAME)".into()),
+    }
+}
+
+fn run_synthesis(args: &[String], orig: bool) -> Result<Synthesis, String> {
+    let (name, src) = load_source(args)?;
+    let opts = Options {
+        measure_original: orig,
+        ..Options::default()
+    };
+    synthesize(&name, &src, &opts).map_err(|e| e.to_string())
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = argv.first() else {
+        return usage();
+    };
+    let orig = argv.iter().any(|a| a == "--orig");
+    let rest: Vec<String> = argv[1..]
+        .iter()
+        .filter(|a| *a != "--orig")
+        .cloned()
+        .collect();
+    let result: Result<(), String> = match cmd.as_str() {
+        "corpus" => {
+            for nf in nfactor::corpus::default_corpus() {
+                let loc = nfactor::lang::parse(&nf.source)
+                    .map(|p| p.loc())
+                    .unwrap_or(0);
+                println!("{:<12} {:>5} LoC", nf.name, loc);
+            }
+            Ok(())
+        }
+        "synthesize" => run_synthesis(&rest, orig).map(|syn| {
+            println!("{}", syn.render_model());
+        }),
+        "export" => run_synthesis(&rest, orig).map(|syn| {
+            // The vendor workflow: print the machine-readable .nfm model
+            // (redirect to a file and ship it to the operator).
+            print!("{}", nfactor::model::to_text(&syn.model));
+        }),
+        "slice" => run_synthesis(&rest, orig).map(|syn| {
+            println!("{}", syn.render_highlighted_slice());
+        }),
+        "classes" => run_synthesis(&rest, orig).map(|syn| {
+            println!("pktVar : {:?}", syn.classes.pkt_vars);
+            println!("cfgVar : {:?}", syn.classes.cfg_vars);
+            println!("oisVar : {:?}", syn.classes.ois_vars);
+            println!("logVar : {:?}", syn.classes.log_vars);
+        }),
+        "paths" => run_synthesis(&rest, orig).map(|syn| {
+            for (i, p) in syn.exploration.paths.iter().enumerate() {
+                println!("path {i}: {}", p.canonical());
+            }
+        }),
+        "fsm" => run_synthesis(&rest, orig).map(|syn| {
+            let fsm = nfactor::model::ModelFsm::from_model(&syn.model);
+            println!("{}", fsm.to_dot());
+        }),
+        "metrics" => run_synthesis(&rest, orig).map(|syn| {
+            let m = &syn.metrics;
+            println!("LoC orig       : {}", m.loc_orig);
+            println!("LoC slice      : {}", m.loc_slice);
+            println!("LoC path (max) : {}", m.loc_path);
+            println!("slicing time   : {:?}", m.slicing_time);
+            println!("EP slice       : {}", m.ep_slice);
+            println!("SE time slice  : {:?}", m.se_time_slice);
+            println!("EP orig        : {}", m.ep_orig_str());
+            match m.se_time_orig {
+                Some(t) => println!("SE time orig   : {t:?}"),
+                None => println!("SE time orig   : - (pass --orig to measure)"),
+            }
+        }),
+        "lint" => {
+            let r: Result<(), String> = (|| {
+                let (_, src) = load_source(&rest)?;
+                let program =
+                    nfactor::lang::parse_and_check(&src).map_err(|e| e.to_string())?;
+                let pl = nfactor::core::pipeline::normalize_with_unfold(&program)
+                    .map_err(|e| e.to_string())?;
+                let diags = nfactor::analysis::dead_stores(&pl.program, &pl.func);
+                if diags.is_empty() {
+                    println!("no dead code found");
+                } else {
+                    for d in &diags {
+                        println!("{} [{}]: {}", d.span, d.kind, d.message);
+                    }
+                }
+                Ok(())
+            })();
+            r
+        }
+        "test" => run_synthesis(&rest, orig).and_then(|syn| {
+            let report =
+                nfactor::verify::compliance_test(&syn).map_err(|e| e.to_string())?;
+            println!("{report}");
+            for (i, t) in report.tests.iter().enumerate() {
+                println!(
+                    "  test {i}: entry {:?}, {} setup, probe {}, expect {}",
+                    t.target,
+                    t.setup.len(),
+                    t.probe,
+                    if t.expect_forward { "FORWARD" } else { "DROP" }
+                );
+            }
+            if report.compliant() {
+                Ok(())
+            } else {
+                Err(format!("compliance violations: {:?}", report.violations))
+            }
+        }),
+        _ => return usage(),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("nfactor: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

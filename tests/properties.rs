@@ -1,0 +1,157 @@
+//! Cross-crate property-based tests (proptest).
+//!
+//! The heavyweight property is the last one: *synthesize a model from a
+//! randomly generated NF and check it agrees with the program on random
+//! traffic* — a miniature, randomized version of the paper's whole
+//! evaluation.
+
+use nfactor::core::accuracy::differential_test;
+use nfactor::core::{synthesize, Options};
+use nfactor::packet::{Field, Packet, TcpFlags};
+use nfactor::symex::{Solver, SymVal};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Wire-format round trip for arbitrary header values.
+    #[test]
+    fn packet_wire_roundtrip(
+        src in any::<u32>(),
+        dst in any::<u32>(),
+        sport in any::<u16>(),
+        dport in any::<u16>(),
+        flags in 0u8..64,
+        ttl in 1u8..,
+        payload in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let mut p = Packet::tcp(src, sport, dst, dport, TcpFlags(flags));
+        p.ip_ttl = ttl;
+        p.payload = payload;
+        let q = Packet::from_wire(&p.to_wire()).unwrap();
+        prop_assert_eq!(p, q);
+    }
+
+    /// Solver models satisfy the constraints they were generated from
+    /// (interval + disequality fragment).
+    #[test]
+    fn solver_models_satisfy(
+        lo in 0i64..30000,
+        width in 1i64..1000,
+        holes in proptest::collection::vec(0i64..31000, 0..4),
+    ) {
+        let hi = lo + width;
+        let var = SymVal::Var("x".to_string());
+        let mut cs = vec![
+            SymVal::bin(nfactor::lang::BinOp::Ge, var.clone(), SymVal::Int(lo)),
+            SymVal::bin(nfactor::lang::BinOp::Le, var.clone(), SymVal::Int(hi)),
+        ];
+        for h in &holes {
+            cs.push(SymVal::bin(
+                nfactor::lang::BinOp::Ne,
+                var.clone(),
+                SymVal::Int(*h),
+            ));
+        }
+        let solver = Solver;
+        if let Some(model) = solver.model(&cs, |_| (0, 65535)) {
+            let x = model["x"];
+            prop_assert!(x >= lo && x <= hi);
+            for h in &holes {
+                prop_assert!(x != *h);
+            }
+        } else {
+            // Only allowed when the holes cover the whole interval.
+            prop_assert!((hi - lo + 1) as usize <= holes.len());
+        }
+    }
+}
+
+/// A strategy generating small random NF sources: a chain of guarded
+/// actions over header fields, counters, and an optional NAT map.
+fn random_nf() -> impl Strategy<Value = String> {
+    let guard_field = prop_oneof![
+        Just(("pkt.tcp.dport", 65535u64)),
+        Just(("pkt.tcp.sport", 65535)),
+        Just(("pkt.ip.ttl", 255)),
+        Just(("pkt.payload.b0", 255)),
+    ];
+    let op = prop_oneof![Just("=="), Just("!="), Just("<"), Just(">")];
+    let guard = (guard_field, op, any::<u64>()).prop_map(|((f, max), op, v)| {
+        format!("{f} {op} {}", v % (max + 1))
+    });
+    let action = prop_oneof![
+        Just("pkt.ip.ttl = pkt.ip.ttl - 1;".to_string()),
+        Just("pkt.tcp.dport = 8080;".to_string()),
+        Just("counter = counter + 1;".to_string()),
+        Just("send(pkt); return;".to_string()),
+        Just("return;".to_string()),
+    ];
+    let rule = (guard, action).prop_map(|(g, a)| {
+        format!("    if {g} {{\n        {a}\n    }}\n")
+    });
+    (proptest::collection::vec(rule, 0..4), any::<bool>()).prop_map(|(rules, tail_send)| {
+        let mut src = String::from(
+            "state counter = 0;\nstate seen = map();\nfn cb(pkt: packet) {\n",
+        );
+        for r in rules {
+            src.push_str(&r);
+        }
+        if tail_send {
+            src.push_str("    let k = (pkt.ip.src, pkt.tcp.sport);\n");
+            src.push_str("    if k not in seen {\n        seen[k] = 1;\n    }\n");
+            src.push_str("    send(pkt);\n");
+        }
+        src.push_str("}\nfn main() { sniff(cb); }\n");
+        src
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The synthesized model of a random NF agrees with the NF itself on
+    /// random traffic.
+    #[test]
+    fn random_nf_model_matches_program(src in random_nf(), seed in any::<u64>()) {
+        let syn = match synthesize("random", &src, &Options::default()) {
+            Ok(s) => s,
+            Err(e) => return Err(TestCaseError::fail(format!("pipeline: {e}\n{src}"))),
+        };
+        let report = differential_test(&syn, seed, 120)
+            .map_err(|e| TestCaseError::fail(format!("{e}\n{src}")))?;
+        prop_assert!(
+            report.perfect(),
+            "disagreements {:?}\nsource:\n{src}\nmodel:\n{}",
+            report.mismatches,
+            syn.render_model()
+        );
+    }
+}
+
+#[test]
+fn hash_is_stable_across_interp_and_model() {
+    // The differential experiment is meaningless unless both sides hash
+    // identically; pin the contract with a direct probe.
+    let src = r#"
+        config servers = [(1.1.1.1, 80), (2.2.2.2, 80), (9.9.9.9, 80)];
+        fn cb(pkt: packet) {
+            let s = servers[hash((pkt.ip.src, pkt.tcp.sport)) % len(servers)];
+            pkt.ip.dst = s[0];
+            send(pkt);
+        }
+        fn main() { sniff(cb); }
+    "#;
+    let syn = synthesize("hash-lb", src, &Options::default()).unwrap();
+    let report = differential_test(&syn, 5, 500).unwrap();
+    assert!(report.perfect(), "{:?}", report.mismatches);
+    // And the backend choice actually varies across sources.
+    let mut interp = nfactor::interp::Interp::new(&syn.nf_loop).unwrap();
+    let mut dsts = std::collections::BTreeSet::new();
+    for sport in 0..32u16 {
+        let p = Packet::tcp(0x0a000001, sport, 0x03030303, 80, TcpFlags::syn());
+        let out = interp.process(&p).unwrap().outputs;
+        dsts.insert(out[0].get(Field::IpDst).unwrap());
+    }
+    assert!(dsts.len() > 1, "hash spreads load: {dsts:?}");
+}
