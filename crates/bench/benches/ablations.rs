@@ -10,7 +10,7 @@
 //! * `solver` — the SMT-lite fragment's check cost on NF-shaped
 //!   conjunctions.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nf_support::bench::Harness;
 use nf_packet::wire::{parse_ipv4, TcpFlags};
 use nf_packet::Packet;
 use nfactor_core::{synthesize, Options};
@@ -18,8 +18,8 @@ use nfl_lang::BinOp;
 use nfl_slicer::statealyzer::{statealyzer, StateAlyzerInput};
 use nfl_symex::{PathLimits, Solver, SymExec, SymVal};
 
-fn bench_statealyzer_input(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation/statealyzer_input");
+fn bench_statealyzer_input(h: &mut Harness) {
+    let mut g = h.benchmark_group("ablation/statealyzer_input");
     let src = nf_corpus::snort::source(100);
     let syn = synthesize("snort", &src, &Options::default()).unwrap();
     let info = nfl_lang::types::check(&syn.nf_loop.program).unwrap();
@@ -51,8 +51,8 @@ fn bench_statealyzer_input(c: &mut Criterion) {
     g.finish();
 }
 
-fn bench_loop_bound(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation/loop_bound");
+fn bench_loop_bound(h: &mut Harness) {
+    let mut g = h.benchmark_group("ablation/loop_bound");
     // An NF with a bounded retry loop whose unrolling multiplies paths.
     let src = r#"
         config N = 3;
@@ -70,7 +70,7 @@ fn bench_loop_bound(c: &mut Criterion) {
     let p = nfl_lang::parse_and_check(src).unwrap();
     let pl = nfl_analysis::normalize::normalize(&p).unwrap();
     for bound in [1usize, 2, 4, 8] {
-        g.bench_with_input(BenchmarkId::from_parameter(bound), &bound, |b, &bound| {
+        g.bench_with_input(bound.to_string(), &bound, |b, &bound| {
             b.iter(|| {
                 SymExec::new(&pl)
                     .with_limits(PathLimits {
@@ -85,8 +85,8 @@ fn bench_loop_bound(c: &mut Criterion) {
     g.finish();
 }
 
-fn bench_slice_kind(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation/slice_kind");
+fn bench_slice_kind(h: &mut Harness) {
+    let mut g = h.benchmark_group("ablation/slice_kind");
     let src = nf_corpus::fig1_lb::source();
     let syn = synthesize("lb", &src, &Options::default()).unwrap();
     // Static: PDG + backward reachability.
@@ -117,8 +117,8 @@ fn bench_slice_kind(c: &mut Criterion) {
     g.finish();
 }
 
-fn bench_solver(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation/solver");
+fn bench_solver(h: &mut Harness) {
+    let mut g = h.benchmark_group("ablation/solver");
     let solver = Solver;
     // NF-shaped conjunction: field equalities, intervals, mask, residue.
     let var = |n: &str| SymVal::Var(n.to_string());
@@ -154,11 +154,11 @@ fn bench_solver(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_statealyzer_input,
-    bench_loop_bound,
-    bench_slice_kind,
-    bench_solver
-);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::from_args("ablations");
+    bench_statealyzer_input(&mut h);
+    bench_loop_bound(&mut h);
+    bench_slice_kind(&mut h);
+    bench_solver(&mut h);
+    h.finish();
+}

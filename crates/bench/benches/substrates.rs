@@ -2,7 +2,7 @@
 //! packet wire codec, the TCP state machine, the concrete interpreter,
 //! and the model evaluator (the §5 experiment's two inner loops).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use nf_support::bench::Harness;
 use nf_packet::wire::{parse_ipv4, TcpFlags};
 use nf_packet::{Packet, PacketGen};
 use nf_tcp::{ConnTable, TcpState};
@@ -10,8 +10,8 @@ use nfactor_core::accuracy::initial_model_state;
 use nfactor_core::{synthesize, Options};
 use nfl_interp::Interp;
 
-fn bench_packet_codec(c: &mut Criterion) {
-    let mut g = c.benchmark_group("substrate/packet");
+fn bench_packet_codec(h: &mut Harness) {
+    let mut g = h.benchmark_group("substrate/packet");
     let mut pkt = Packet::tcp(
         parse_ipv4("10.0.0.1").unwrap(),
         40000,
@@ -30,8 +30,8 @@ fn bench_packet_codec(c: &mut Criterion) {
     g.finish();
 }
 
-fn bench_tcp_fsm(c: &mut Criterion) {
-    let mut g = c.benchmark_group("substrate/tcp_fsm");
+fn bench_tcp_fsm(h: &mut Harness) {
+    let mut g = h.benchmark_group("substrate/tcp_fsm");
     let syn = Packet::tcp(1, 2, 3, 80, TcpFlags::syn());
     let ack = Packet::tcp(1, 2, 3, 80, TcpFlags::ack());
     let mut data = Packet::tcp(1, 2, 3, 80, TcpFlags::ack());
@@ -52,8 +52,8 @@ fn bench_tcp_fsm(c: &mut Criterion) {
     g.finish();
 }
 
-fn bench_interp_vs_model(c: &mut Criterion) {
-    let mut g = c.benchmark_group("substrate/per_packet");
+fn bench_interp_vs_model(h: &mut Harness) {
+    let mut g = h.benchmark_group("substrate/per_packet");
     let syn = synthesize("nat", &nf_corpus::nat::source(), &Options::default()).unwrap();
     let pkts = PacketGen::new(11).batch(256);
     g.bench_function("interpreter", |b| {
@@ -76,10 +76,10 @@ fn bench_interp_vs_model(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_packet_codec,
-    bench_tcp_fsm,
-    bench_interp_vs_model
-);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::from_args("substrates");
+    bench_packet_codec(&mut h);
+    bench_tcp_fsm(&mut h);
+    bench_interp_vs_model(&mut h);
+    h.finish();
+}

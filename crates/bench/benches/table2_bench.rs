@@ -1,25 +1,25 @@
-//! Criterion benches behind Table 2: slicing time and symbolic-execution
+//! Micro-benches behind Table 2: slicing time and symbolic-execution
 //! time, slice vs. original, across corpus sizes.
 //!
 //! The `table2` *binary* prints the paper's exact table at paper scale;
-//! these benches measure the same two pipeline stages with statistical
-//! rigour at sizes that keep `cargo bench` snappy.
+//! these benches measure the same two pipeline stages with repeated
+//! timed samples at sizes that keep `cargo bench` snappy.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nf_support::bench::Harness;
 use nfactor_core::{synthesize, Options};
 use nfl_analysis::pdg::{default_boundary, Pdg};
 use nfl_slicer::static_slice::packet_slice;
 use nfl_symex::{PathLimits, SymExec};
 
 /// Slicing (PDG + packet slice) as a function of snort rule count.
-fn bench_slicing(c: &mut Criterion) {
-    let mut g = c.benchmark_group("table2/slicing");
+fn bench_slicing(h: &mut Harness) {
+    let mut g = h.benchmark_group("table2/slicing");
     g.sample_size(20);
     for rules in [25usize, 100, 250] {
         let src = nf_corpus::snort::source(rules);
         let program = nfl_lang::parse_and_check(&src).unwrap();
         let pl = nfl_analysis::normalize::normalize(&program).unwrap();
-        g.bench_with_input(BenchmarkId::new("snort", rules), &pl, |b, pl| {
+        g.bench_with_input(format!("snort/{rules}"), &pl, |b, pl| {
             b.iter(|| {
                 let boundary = default_boundary(&pl.program, &pl.func);
                 let pdg = Pdg::build(&pl.program, &pl.func, &boundary);
@@ -43,8 +43,8 @@ fn bench_slicing(c: &mut Criterion) {
 
 /// Symbolic execution: the slice (fast) vs. the original program
 /// (explodes) — the paper's headline SE-time columns.
-fn bench_symex(c: &mut Criterion) {
-    let mut g = c.benchmark_group("table2/symex");
+fn bench_symex(h: &mut Harness) {
+    let mut g = h.benchmark_group("table2/symex");
     g.sample_size(10);
     let src = nf_corpus::snort::source(25);
     let syn = synthesize("snort", &src, &Options::default()).unwrap();
@@ -83,8 +83,8 @@ fn bench_symex(c: &mut Criterion) {
 }
 
 /// The whole pipeline end to end per corpus NF (what a vendor would run).
-fn bench_pipeline(c: &mut Criterion) {
-    let mut g = c.benchmark_group("table2/pipeline");
+fn bench_pipeline(h: &mut Harness) {
+    let mut g = h.benchmark_group("table2/pipeline");
     g.sample_size(10);
     for (name, src) in [
         ("fig1-lb", nf_corpus::fig1_lb::source()),
@@ -100,5 +100,10 @@ fn bench_pipeline(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_slicing, bench_symex, bench_pipeline);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::from_args("table2_bench");
+    bench_slicing(&mut h);
+    bench_symex(&mut h);
+    bench_pipeline(&mut h);
+    h.finish();
+}

@@ -10,10 +10,9 @@
 
 use crate::model::{Entry, Model};
 use nfl_symex::SymVal;
-use serde::{Deserialize, Serialize};
 
 /// One transition of the model FSM.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Transition {
     /// Which `(table, entry)` this transition came from.
     pub source: (usize, usize),
@@ -29,7 +28,7 @@ pub struct Transition {
 }
 
 /// The FSM extracted from a model.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ModelFsm {
     /// Node labels (canonical state-match strings; "⊤" for entries with
     /// no state condition).

@@ -1,0 +1,269 @@
+//! Hand-written JSON serialization for synthesized models.
+//!
+//! Replaces the former `serde` derives with explicit `ToJson`/`FromJson`
+//! impls: a [`Model`] serializes to a stable, human-diffable document in
+//! which symbolic terms use the tagged encoding from `nfl_symex::json`
+//! and packet fields appear by their dotted path (e.g. `"ip.dst"`).
+
+use crate::model::{ConfigTable, Entry, FlowAction, Model, StateAction};
+use nf_packet::Field;
+use nf_support::json::{FromJson, JsonError, ToJson, Value};
+use nfl_symex::{MapOp, SymVal};
+
+fn str_field(v: &Value, key: &str) -> Result<String, JsonError> {
+    v.field(key)?
+        .as_str()
+        .map(str::to_string)
+        .ok_or_else(|| JsonError::msg(format!("field '{key}' must be a string")))
+}
+
+fn term_list(v: &Value, key: &str) -> Result<Vec<SymVal>, JsonError> {
+    v.field(key)?
+        .as_array()
+        .ok_or_else(|| JsonError::msg(format!("field '{key}' must be an array")))?
+        .iter()
+        .map(SymVal::from_json)
+        .collect()
+}
+
+fn terms_to_json(terms: &[SymVal]) -> Value {
+    Value::Array(terms.iter().map(|t| t.to_json()).collect())
+}
+
+impl ToJson for FlowAction {
+    fn to_json(&self) -> Value {
+        match self {
+            FlowAction::Drop => Value::Object(vec![(
+                "action".to_string(),
+                Value::Str("drop".to_string()),
+            )]),
+            FlowAction::Forward { rewrites } => Value::Object(vec![
+                ("action".to_string(), Value::Str("forward".to_string())),
+                (
+                    "rewrites".to_string(),
+                    Value::Array(
+                        rewrites
+                            .iter()
+                            .map(|(f, t)| {
+                                Value::Object(vec![
+                                    ("field".to_string(), Value::Str(f.path().to_string())),
+                                    ("value".to_string(), t.to_json()),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+        }
+    }
+}
+
+impl FromJson for FlowAction {
+    fn from_json(v: &Value) -> Result<FlowAction, JsonError> {
+        match str_field(v, "action")?.as_str() {
+            "drop" => Ok(FlowAction::Drop),
+            "forward" => {
+                let raw = v
+                    .field("rewrites")?
+                    .as_array()
+                    .ok_or_else(|| JsonError::msg("'rewrites' must be an array"))?;
+                let mut rewrites = Vec::with_capacity(raw.len());
+                for rw in raw {
+                    let path = str_field(rw, "field")?;
+                    let field = Field::from_path(&path)
+                        .ok_or_else(|| JsonError::msg(format!("unknown field '{path}'")))?;
+                    rewrites.push((field, SymVal::from_json(rw.field("value")?)?));
+                }
+                Ok(FlowAction::Forward { rewrites })
+            }
+            other => Err(JsonError::msg(format!("unknown flow action '{other}'"))),
+        }
+    }
+}
+
+impl ToJson for StateAction {
+    fn to_json(&self) -> Value {
+        Value::Object(vec![
+            (
+                "updates".to_string(),
+                Value::Array(
+                    self.updates
+                        .iter()
+                        .map(|(name, t)| {
+                            Value::Object(vec![
+                                ("var".to_string(), Value::Str(name.clone())),
+                                ("value".to_string(), t.to_json()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "map_ops".to_string(),
+                Value::Array(self.map_ops.iter().map(|op| op.to_json()).collect()),
+            ),
+        ])
+    }
+}
+
+impl FromJson for StateAction {
+    fn from_json(v: &Value) -> Result<StateAction, JsonError> {
+        let raw_updates = v
+            .field("updates")?
+            .as_array()
+            .ok_or_else(|| JsonError::msg("'updates' must be an array"))?;
+        let mut updates = Vec::with_capacity(raw_updates.len());
+        for u in raw_updates {
+            updates.push((str_field(u, "var")?, SymVal::from_json(u.field("value")?)?));
+        }
+        let map_ops = v
+            .field("map_ops")?
+            .as_array()
+            .ok_or_else(|| JsonError::msg("'map_ops' must be an array"))?
+            .iter()
+            .map(MapOp::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(StateAction { updates, map_ops })
+    }
+}
+
+impl ToJson for Entry {
+    fn to_json(&self) -> Value {
+        Value::Object(vec![
+            ("flow_match".to_string(), terms_to_json(&self.flow_match)),
+            ("state_match".to_string(), terms_to_json(&self.state_match)),
+            ("flow_action".to_string(), self.flow_action.to_json()),
+            ("state_action".to_string(), self.state_action.to_json()),
+            ("truncated".to_string(), Value::Bool(self.truncated)),
+        ])
+    }
+}
+
+impl FromJson for Entry {
+    fn from_json(v: &Value) -> Result<Entry, JsonError> {
+        Ok(Entry {
+            flow_match: term_list(v, "flow_match")?,
+            state_match: term_list(v, "state_match")?,
+            flow_action: FlowAction::from_json(v.field("flow_action")?)?,
+            state_action: StateAction::from_json(v.field("state_action")?)?,
+            truncated: v
+                .field("truncated")?
+                .as_bool()
+                .ok_or_else(|| JsonError::msg("'truncated' must be a boolean"))?,
+        })
+    }
+}
+
+impl ToJson for ConfigTable {
+    fn to_json(&self) -> Value {
+        Value::Object(vec![
+            ("config".to_string(), terms_to_json(&self.config)),
+            (
+                "entries".to_string(),
+                Value::Array(self.entries.iter().map(|e| e.to_json()).collect()),
+            ),
+        ])
+    }
+}
+
+impl FromJson for ConfigTable {
+    fn from_json(v: &Value) -> Result<ConfigTable, JsonError> {
+        Ok(ConfigTable {
+            config: term_list(v, "config")?,
+            entries: v
+                .field("entries")?
+                .as_array()
+                .ok_or_else(|| JsonError::msg("'entries' must be an array"))?
+                .iter()
+                .map(Entry::from_json)
+                .collect::<Result<Vec<_>, _>>()?,
+        })
+    }
+}
+
+impl ToJson for Model {
+    fn to_json(&self) -> Value {
+        Value::Object(vec![
+            ("nf_name".to_string(), Value::Str(self.nf_name.clone())),
+            (
+                "tables".to_string(),
+                Value::Array(self.tables.iter().map(|t| t.to_json()).collect()),
+            ),
+        ])
+    }
+}
+
+impl FromJson for Model {
+    fn from_json(v: &Value) -> Result<Model, JsonError> {
+        Ok(Model {
+            nf_name: str_field(v, "nf_name")?,
+            tables: v
+                .field("tables")?
+                .as_array()
+                .ok_or_else(|| JsonError::msg("'tables' must be an array"))?
+                .iter()
+                .map(ConfigTable::from_json)
+                .collect::<Result<Vec<_>, _>>()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nfl_analysis::normalize::normalize;
+    use nfl_lang::parse_and_check;
+    use nfl_symex::SymExec;
+
+    fn model_of(src: &str) -> Model {
+        let p = parse_and_check(src).unwrap();
+        let pl = normalize(&p).unwrap();
+        let stats = SymExec::new(&pl).explore().unwrap();
+        Model::from_paths("test-nf", &stats.paths)
+    }
+
+    #[test]
+    fn synthesized_model_roundtrips() {
+        let m = model_of(
+            r#"
+            config PORT = 80;
+            state nat = map();
+            state counter = 0;
+            fn cb(pkt: packet) {
+                if pkt.tcp.dport == PORT {
+                    if pkt.ip.src not in nat {
+                        nat[pkt.ip.src] = counter;
+                        counter = counter + 1;
+                    }
+                    pkt.ip.dst = 1.2.3.4;
+                    send(pkt);
+                }
+            }
+            fn main() { sniff(cb); }
+        "#,
+        );
+        let json = m.to_json().render_pretty();
+        let parsed = Model::from_json(&Value::parse(&json).unwrap()).unwrap();
+        assert_eq!(parsed, m, "{json}");
+    }
+
+    #[test]
+    fn drop_and_forward_actions_roundtrip() {
+        for a in [
+            FlowAction::Drop,
+            FlowAction::Forward { rewrites: vec![] },
+            FlowAction::Forward {
+                rewrites: vec![(Field::TcpDport, SymVal::Int(8080))],
+            },
+        ] {
+            let json = a.to_json().render();
+            assert_eq!(FlowAction::from_json(&Value::parse(&json).unwrap()).unwrap(), a);
+        }
+    }
+
+    #[test]
+    fn unknown_field_path_is_an_error() {
+        let json = r#"{"action": "forward", "rewrites": [{"field": "ip.nope", "value": {"t": "int", "v": 1}}]}"#;
+        assert!(FlowAction::from_json(&Value::parse(json).unwrap()).is_err());
+    }
+}

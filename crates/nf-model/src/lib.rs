@@ -23,6 +23,7 @@
 
 pub mod eval;
 pub mod fsm;
+pub mod json;
 pub mod model;
 pub mod render;
 pub mod text;

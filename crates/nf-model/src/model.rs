@@ -20,10 +20,9 @@
 
 use nf_packet::Field;
 use nfl_symex::{MapOp, Path, SymVal};
-use serde::{Deserialize, Serialize};
 
 /// What happens to the packet.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum FlowAction {
     /// Forward, applying the header rewrites in order.
     Forward {
@@ -42,7 +41,7 @@ impl FlowAction {
 }
 
 /// What happens to the NF's state.
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct StateAction {
     /// New symbolic values for scalar state variables.
     pub updates: Vec<(String, SymVal)>,
@@ -59,7 +58,7 @@ impl StateAction {
 }
 
 /// One `⟨match, action⟩` row of a table.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Entry {
     /// Conjunction of literals over packet fields (possibly referencing
     /// configs, e.g. `pkt.tcp.dport == cfg:LB_PORT`).
@@ -126,7 +125,7 @@ impl Entry {
 
 /// All entries sharing one configuration condition (one table of
 /// Figure 2a, e.g. `c1: mode = RR`).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ConfigTable {
     /// The configuration literals selecting this table (empty = the NF
     /// has a single unconditional table).
@@ -145,7 +144,7 @@ impl ConfigTable {
 }
 
 /// A synthesized NF forwarding model.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Model {
     /// Name of the NF the model was extracted from.
     pub nf_name: String,

@@ -725,65 +725,98 @@ mod tests {
 #[cfg(test)]
 mod fuzz_tests {
     use super::*;
-    use proptest::prelude::*;
+    use nf_support::check::{
+        self, any_bool, any_i64, check, identifier, int_range, string_of, tuple2, vec_of, Config,
+        Gen,
+    };
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(256))]
-
-        /// The term parser is total: arbitrary input parses or errors,
-        /// never panics.
-        #[test]
-        fn parse_term_total(s in "\\PC{0,80}") {
-            let _ = parse_term(&s);
-        }
-
-        /// The model parser is total on arbitrary line soup.
-        #[test]
-        fn from_text_total(s in "[a-z0-9\\[\\]():=. \n]{0,400}") {
-            let _ = from_text(&s);
-        }
-
-        /// Round trip for randomly generated terms.
-        #[test]
-        fn random_term_roundtrip(t in term_strategy()) {
-            let printed = t.to_string();
-            let parsed = parse_term(&printed)
-                .unwrap_or_else(|e| panic!("{printed}: {e}"));
-            prop_assert_eq!(parsed, t);
-        }
+    /// The term parser is total: arbitrary input parses or errors,
+    /// never panics.
+    #[test]
+    fn parse_term_total() {
+        let cfg = Config::with_cases(256);
+        check(
+            "parse_term_total",
+            &cfg,
+            &check::ascii_printable(80),
+            |s| {
+                let _ = parse_term(s);
+            },
+        );
     }
 
-    fn term_strategy() -> impl Strategy<Value = SymVal> {
-        let leaf = prop_oneof![
-            any::<i64>().prop_map(SymVal::Int),
-            any::<bool>().prop_map(SymVal::Bool),
-            "[a-z][a-z0-9_]{0,5}".prop_map(SymVal::Var),
-            "(pkt\\.ip\\.src|cfg:mode|st:idx)".prop_map(SymVal::Var),
-        ];
-        leaf.prop_recursive(3, 32, 3, |inner| {
-            prop_oneof![
-                (inner.clone(), inner.clone()).prop_map(|(a, b)| SymVal::Bin(
-                    BinOp::Add,
-                    Box::new(a),
-                    Box::new(b)
-                )),
-                (inner.clone(), inner.clone()).prop_map(|(a, b)| SymVal::Bin(
-                    BinOp::Eq,
-                    Box::new(a),
-                    Box::new(b)
-                )),
-                inner.clone().prop_map(|a| SymVal::Hash(Box::new(a))),
-                (inner.clone(), inner.clone())
-                    .prop_map(|(a, b)| SymVal::Min(Box::new(a), Box::new(b))),
-                proptest::collection::vec(inner.clone(), 2..4).prop_map(SymVal::Tuple),
-                proptest::collection::vec(inner.clone(), 0..3).prop_map(SymVal::Array),
-                ("[a-z]{1,5}", inner.clone())
-                    .prop_map(|(m, k)| SymVal::MapGet(m, Box::new(k))),
-                ("[a-z]{1,5}", inner.clone())
-                    .prop_map(|(m, k)| SymVal::MapContains(m, Box::new(k))),
-                (inner.clone(), 0usize..4)
-                    .prop_map(|(a, i)| SymVal::Proj(Box::new(a), i)),
-            ]
+    /// The model parser is total on arbitrary line soup.
+    #[test]
+    fn from_text_total() {
+        let cfg = Config::with_cases(256);
+        let soup = string_of("abcdefghijklmnopqrstuvwxyz0123456789[]():=. \n", 0, 400);
+        check("from_text_total", &cfg, &soup, |s| {
+            let _ = from_text(s);
+        });
+    }
+
+    /// Round trip for randomly generated terms.
+    #[test]
+    fn random_term_roundtrip() {
+        let cfg = Config::with_cases(256);
+        check("random_term_roundtrip", &cfg, &term_gen(), |t| {
+            let printed = t.to_string();
+            let parsed = parse_term(&printed).unwrap_or_else(|e| panic!("{printed}: {e}"));
+            assert_eq!(parsed, *t);
+        });
+    }
+
+    /// Historical fuzzer counterexamples (formerly `proptest-regressions/
+    /// text.txt`), pinned as fixed deterministic cases so every run
+    /// re-checks them regardless of the random stream.
+    #[test]
+    fn regression_proj_of_bool_roundtrips() {
+        let t = SymVal::Proj(Box::new(SymVal::Bool(false)), 0);
+        let printed = t.to_string();
+        assert_eq!(parse_term(&printed).unwrap(), t, "{printed}");
+    }
+
+    #[test]
+    fn regression_nested_map_contains_roundtrips() {
+        let t = SymVal::MapContains(
+            "a".into(),
+            Box::new(SymVal::MapContains("a".into(), Box::new(SymVal::Int(0)))),
+        );
+        let printed = t.to_string();
+        assert_eq!(parse_term(&printed).unwrap(), t, "{printed}");
+    }
+
+    fn term_gen() -> Gen<SymVal> {
+        let leaf = Gen::one_of(vec![
+            any_i64().map(SymVal::Int),
+            any_bool().map(SymVal::Bool),
+            identifier(5).map(SymVal::Var),
+            Gen::one_of(vec![
+                Gen::just(SymVal::Var("pkt.ip.src".into())),
+                Gen::just(SymVal::Var("cfg:mode".into())),
+                Gen::just(SymVal::Var("st:idx".into())),
+            ]),
+        ]);
+        check::recursive(leaf.clone(), 3, move |inner| {
+            let map_name = string_of("abcdefghijklmnopqrstuvwxyz", 1, 5);
+            Gen::one_of(vec![
+                leaf.clone(),
+                tuple2(inner.clone(), inner.clone())
+                    .map(|(a, b)| SymVal::Bin(BinOp::Add, Box::new(a), Box::new(b))),
+                tuple2(inner.clone(), inner.clone())
+                    .map(|(a, b)| SymVal::Bin(BinOp::Eq, Box::new(a), Box::new(b))),
+                inner.clone().map(|a| SymVal::Hash(Box::new(a))),
+                tuple2(inner.clone(), inner.clone())
+                    .map(|(a, b)| SymVal::Min(Box::new(a), Box::new(b))),
+                vec_of(inner.clone(), 2, 3).map(SymVal::Tuple),
+                vec_of(inner.clone(), 0, 2).map(SymVal::Array),
+                tuple2(map_name.clone(), inner.clone())
+                    .map(|(m, k)| SymVal::MapGet(m, Box::new(k))),
+                tuple2(map_name, inner.clone())
+                    .map(|(m, k)| SymVal::MapContains(m, Box::new(k))),
+                tuple2(inner.clone(), int_range(0, 3))
+                    .map(|(a, i)| SymVal::Proj(Box::new(a), i as usize)),
+            ])
         })
     }
 }

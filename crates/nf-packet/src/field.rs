@@ -6,11 +6,10 @@
 //! every layer of the system — interpreter, symbolic executor, model
 //! evaluator, verifier — speaks in these fields.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A named, integer-valued packet header field.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Field {
     /// Ethernet source MAC (48 bits, packed into an integer).
     EthSrc,

@@ -6,11 +6,10 @@
 
 use crate::packet::{Packet, PacketError};
 use crate::Field;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A transport 4-tuple `(src ip, src port, dst ip, dst port)`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct FlowKey {
     /// Source IPv4 address.
     pub src_ip: u32,
@@ -83,7 +82,7 @@ impl fmt::Display for FlowKey {
 }
 
 /// A transport 5-tuple: [`FlowKey`] plus IP protocol.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct FiveTuple {
     /// The 4-tuple.
     pub key: FlowKey,

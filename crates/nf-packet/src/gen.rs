@@ -9,8 +9,7 @@
 
 use crate::packet::Packet;
 use crate::wire::TcpFlags;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use nf_support::rng::Rng;
 
 /// Configuration for the random packet stream.
 #[derive(Debug, Clone)]
@@ -50,7 +49,7 @@ impl Default for GenConfig {
 /// A seeded random packet generator.
 #[derive(Debug)]
 pub struct PacketGen {
-    rng: StdRng,
+    rng: Rng,
     cfg: GenConfig,
     history: Vec<(u32, u16, u32, u16)>,
 }
@@ -64,42 +63,42 @@ impl PacketGen {
     /// Create a generator with an explicit config.
     pub fn with_config(seed: u64, cfg: GenConfig) -> Self {
         PacketGen {
-            rng: StdRng::seed_from_u64(seed),
+            rng: Rng::new(seed),
             cfg,
             history: Vec::new(),
         }
     }
 
     fn pick<T: Copy>(&mut self, pool: &[T]) -> T {
-        pool[self.rng.random_range(0..pool.len())]
+        pool[self.rng.gen_index(pool.len())]
     }
 
     /// Generate the next packet in the stream.
     pub fn next_packet(&mut self) -> Packet {
         // Possibly replay a known flow to hit "existing connection" logic.
-        if !self.history.is_empty() && self.rng.random_bool(self.cfg.reuse_flow) {
-            let idx = self.rng.random_range(0..self.history.len());
+        if !self.history.is_empty() && self.rng.gen_bool(self.cfg.reuse_flow) {
+            let idx = self.rng.gen_index(self.history.len());
             let (si, sp, di, dp) = self.history[idx];
             let mut p = Packet::tcp(si, sp, di, dp, TcpFlags::ack());
             p.payload = self.payload();
             return p;
         }
         let si = self.pick(&self.cfg.client_ips.clone());
-        let sp: u16 = self.rng.random_range(1024..=u16::MAX);
+        let sp = self.rng.gen_range_u64(1024, u64::from(u16::MAX)) as u16;
         let di = self.pick(&self.cfg.server_ips.clone());
-        let dp = if self.rng.random_bool(self.cfg.bias_listen) {
+        let dp = if self.rng.gen_bool(self.cfg.bias_listen) {
             self.pick(&self.cfg.listen_ports.clone())
         } else {
-            self.rng.random_range(1..=u16::MAX)
+            self.rng.gen_range_u64(1, u64::from(u16::MAX)) as u16
         };
         self.history.push((si, sp, di, dp));
         if self.history.len() > 256 {
             self.history.remove(0);
         }
-        let mut p = if self.rng.random_bool(self.cfg.udp_ratio) {
+        let mut p = if self.rng.gen_bool(self.cfg.udp_ratio) {
             Packet::udp(si, sp, di, dp)
         } else {
-            let flags = match self.rng.random_range(0..4) {
+            let flags = match self.rng.gen_index(4) {
                 0 => TcpFlags::syn(),
                 1 => TcpFlags::ack(),
                 2 => TcpFlags(TcpFlags::ACK | TcpFlags::PSH),
@@ -108,13 +107,15 @@ impl PacketGen {
             Packet::tcp(si, sp, di, dp, flags)
         };
         p.payload = self.payload();
-        p.ip_id = self.rng.random();
+        p.ip_id = self.rng.gen_u16();
         p
     }
 
     fn payload(&mut self) -> Vec<u8> {
-        let n = self.rng.random_range(0..=self.cfg.max_payload);
-        (0..n).map(|_| self.rng.random()).collect()
+        let n = self.rng.gen_range_u64(0, self.cfg.max_payload as u64) as usize;
+        let mut out = vec![0u8; n];
+        self.rng.fill(&mut out);
+        out
     }
 
     /// Generate a batch of `n` packets.

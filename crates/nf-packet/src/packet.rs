@@ -12,8 +12,6 @@ use crate::wire::{
     fmt_ipv4, EtherType, EthernetFrame, IpProtocol, Ipv4Header, MacAddr, TcpFlags, TcpHeader,
     UdpHeader, WireError,
 };
-use bytes::BytesMut;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Errors raised by packet construction or field access.
@@ -54,7 +52,7 @@ impl From<WireError> for PacketError {
 }
 
 /// Transport-layer content of a packet.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Transport {
     /// A TCP segment.
     Tcp {
@@ -81,7 +79,7 @@ pub enum Transport {
 }
 
 /// A parsed, field-addressable packet.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Packet {
     /// Ethernet source (packed 48-bit).
     pub eth_src: u64,
@@ -285,7 +283,7 @@ impl Packet {
 
     /// Serialize to wire bytes, computing all checksums.
     pub fn to_wire(&self) -> Vec<u8> {
-        let mut out = BytesMut::with_capacity(self.wire_len());
+        let mut out: Vec<u8> = Vec::with_capacity(self.wire_len());
         EthernetFrame {
             dst: MacAddr::from_u64(self.eth_dst),
             src: MacAddr::from_u64(self.eth_src),
@@ -326,9 +324,7 @@ impl Packet {
                 .emit(&mut out);
                 out.extend_from_slice(&self.payload);
                 let (src, dst) = (self.ip_src, self.ip_dst);
-                let mut seg = out.split_off(seg_start);
-                TcpHeader::fill_checksum(&mut seg, src, dst);
-                out.unsplit(seg);
+                TcpHeader::fill_checksum(&mut out[seg_start..], src, dst);
             }
             Transport::Udp { sport, dport } => {
                 UdpHeader {
@@ -344,7 +340,7 @@ impl Packet {
             }
         }
         debug_assert!(out.len() >= ip_start);
-        out.to_vec()
+        out
     }
 
     /// Parse from wire bytes. Verifies the IPv4 checksum; TCP checksum is

@@ -5,7 +5,7 @@
 //! Checksums are computed with the standard Internet one's-complement sum;
 //! `parse` verifies them and `emit` fills them in.
 
-use bytes::{Buf, BufMut, BytesMut};
+use nf_support::bytes::PutBytes;
 use std::fmt;
 
 /// Errors raised while parsing a wire-format header.
@@ -143,7 +143,7 @@ impl EthernetFrame {
     }
 
     /// Append the wire form of this header to `out`.
-    pub fn emit(&self, out: &mut BytesMut) {
+    pub fn emit(&self, out: &mut Vec<u8>) {
         out.put_slice(&self.dst.0);
         out.put_slice(&self.src.0);
         out.put_u16(self.ethertype.into());
@@ -303,7 +303,7 @@ impl Ipv4Header {
     }
 
     /// Append the wire form, computing the header checksum.
-    pub fn emit(&self, out: &mut BytesMut) {
+    pub fn emit(&self, out: &mut Vec<u8>) {
         let start = out.len();
         out.put_u8(0x45);
         out.put_u8(self.dscp_ecn);
@@ -482,7 +482,7 @@ impl TcpHeader {
 
     /// Append the wire form with a zero checksum; [`TcpHeader::fill_checksum`]
     /// patches it once the payload is in place.
-    pub fn emit(&self, out: &mut BytesMut) {
+    pub fn emit(&self, out: &mut Vec<u8>) {
         out.put_u16(self.sport);
         out.put_u16(self.dport);
         out.put_u32(self.seq);
@@ -544,7 +544,7 @@ impl UdpHeader {
     }
 
     /// Append the wire form with a zero checksum (legal for IPv4 UDP).
-    pub fn emit(&self, out: &mut BytesMut) {
+    pub fn emit(&self, out: &mut Vec<u8>) {
         out.put_u16(self.sport);
         out.put_u16(self.dport);
         out.put_u16(self.length);
@@ -617,7 +617,7 @@ pub fn parse_ipv4(s: &str) -> Option<u32> {
 
 /// Skip past a parsed region of a buffer. Utility for chained parsing.
 pub fn advance(buf: &mut &[u8], n: usize) {
-    Buf::advance(buf, n)
+    nf_support::bytes::advance(buf, n)
 }
 
 #[cfg(test)]
@@ -653,7 +653,7 @@ mod tests {
             src: MacAddr([7, 8, 9, 10, 11, 12]),
             ethertype: EtherType::Ipv4,
         };
-        let mut b = BytesMut::new();
+        let mut b: Vec<u8> = Vec::new();
         f.emit(&mut b);
         let (g, n) = EthernetFrame::parse(&b).unwrap();
         assert_eq!(n, EthernetFrame::LEN);
@@ -682,7 +682,7 @@ mod tests {
             src: parse_ipv4("10.0.0.1").unwrap(),
             dst: parse_ipv4("10.0.0.2").unwrap(),
         };
-        let mut b = BytesMut::new();
+        let mut b: Vec<u8> = Vec::new();
         h.emit(&mut b);
         let (g, n) = Ipv4Header::parse(&b).unwrap();
         assert_eq!(n, Ipv4Header::LEN);
@@ -695,7 +695,7 @@ mod tests {
     #[test]
     fn ipv4_rejects_options_and_bad_version() {
         let h = Ipv4Header::default();
-        let mut b = BytesMut::new();
+        let mut b: Vec<u8> = Vec::new();
         h.emit(&mut b);
         let mut with_opts = b.clone();
         with_opts[0] = 0x46; // ihl = 6 words
@@ -718,12 +718,12 @@ mod tests {
             flags: TcpFlags::syn_ack(),
             window: 4096,
         };
-        let mut b = BytesMut::new();
+        let mut b: Vec<u8> = Vec::new();
         h.emit(&mut b);
         b.put_slice(b"hello");
         let src = parse_ipv4("1.1.1.1").unwrap();
         let dst = parse_ipv4("2.2.2.2").unwrap();
-        let mut seg = b.to_vec();
+        let mut seg = b.clone();
         TcpHeader::fill_checksum(&mut seg, src, dst);
         assert!(TcpHeader::verify_checksum(&seg, src, dst));
         seg[20] ^= 0x01; // flip payload bit
@@ -741,7 +741,7 @@ mod tests {
             dport: 5353,
             length: 8 + 4,
         };
-        let mut b = BytesMut::new();
+        let mut b: Vec<u8> = Vec::new();
         h.emit(&mut b);
         let (g, n) = UdpHeader::parse(&b).unwrap();
         assert_eq!(n, UdpHeader::LEN);
@@ -755,7 +755,7 @@ mod tests {
             dport: 2,
             length: 4,
         };
-        let mut b = BytesMut::new();
+        let mut b: Vec<u8> = Vec::new();
         h.emit(&mut b);
         assert_eq!(UdpHeader::parse(&b).unwrap_err(), WireError::Malformed);
     }

@@ -1,0 +1,69 @@
+//! Byte-buffer helpers for wire-format emission.
+//!
+//! Wire buffers are plain `Vec<u8>`; [`PutBytes`] adds the big-endian
+//! append methods header emitters use (the slice of the `bytes` crate's
+//! `BufMut` surface the workspace actually exercised).
+
+/// Big-endian append operations on a growable byte buffer.
+pub trait PutBytes {
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8);
+    /// Append a `u16` big-endian.
+    fn put_u16(&mut self, v: u16);
+    /// Append a `u32` big-endian.
+    fn put_u32(&mut self, v: u32);
+    /// Append a `u64` big-endian.
+    fn put_u64(&mut self, v: u64);
+    /// Append a byte slice.
+    fn put_slice(&mut self, s: &[u8]);
+}
+
+impl PutBytes for Vec<u8> {
+    fn put_u8(&mut self, v: u8) {
+        self.push(v);
+    }
+    fn put_u16(&mut self, v: u16) {
+        self.extend_from_slice(&v.to_be_bytes());
+    }
+    fn put_u32(&mut self, v: u32) {
+        self.extend_from_slice(&v.to_be_bytes());
+    }
+    fn put_u64(&mut self, v: u64) {
+        self.extend_from_slice(&v.to_be_bytes());
+    }
+    fn put_slice(&mut self, s: &[u8]) {
+        self.extend_from_slice(s);
+    }
+}
+
+/// Advance a borrowed byte slice past `n` parsed bytes.
+pub fn advance(buf: &mut &[u8], n: usize) {
+    *buf = &buf[n..];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn big_endian_appends() {
+        let mut b: Vec<u8> = Vec::new();
+        b.put_u8(0xab);
+        b.put_u16(0x0102);
+        b.put_u32(0x03040506);
+        b.put_u64(0x0708090a0b0c0d0e);
+        b.put_slice(&[0xff]);
+        assert_eq!(
+            b,
+            [0xab, 1, 2, 3, 4, 5, 6, 7, 8, 9, 0xa, 0xb, 0xc, 0xd, 0xe, 0xff]
+        );
+    }
+
+    #[test]
+    fn advance_moves_window() {
+        let data = [1u8, 2, 3, 4];
+        let mut view: &[u8] = &data;
+        advance(&mut view, 2);
+        assert_eq!(view, &[3, 4]);
+    }
+}

@@ -1,0 +1,30 @@
+//! In-tree support substrate for the NFactor workspace.
+//!
+//! The NFactor pipeline (slicing → symbolic execution → model
+//! refactoring) is pure in-memory program analysis; nothing in it needs a
+//! crates.io dependency. This crate supplies, with zero external
+//! dependencies, the four facilities the workspace previously pulled from
+//! the network, so a clean checkout builds and tests fully offline:
+//!
+//! * [`rng`] — a seeded SplitMix64 / xoshiro256** PRNG (replaces `rand`).
+//! * [`check`] — a minimal property-testing harness with generators,
+//!   bounded shrinking, and deterministic seeds (replaces `proptest`).
+//! * [`bench`] — a `harness = false` micro-benchmark runner with warmup /
+//!   iteration control and JSON reports (replaces `criterion`).
+//! * [`json`] — a small JSON `Value` with `render` / `parse` and the
+//!   [`json::ToJson`] / [`json::FromJson`] traits model types implement by
+//!   hand (replaces the `serde` derives).
+//! * [`bytes`] — big-endian append helpers for `Vec<u8>` wire buffers
+//!   (replaces the `bytes` crate).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bench;
+pub mod bytes;
+pub mod check;
+pub mod json;
+pub mod rng;
+
+pub use json::{FromJson, JsonError, ToJson, Value};
+pub use rng::Rng;

@@ -2,11 +2,11 @@
 
 use nf_packet::wire::{parse_ipv4, TcpFlags};
 use nf_packet::Packet;
+use nf_support::check::{check, tuple2, tuple3, uint_range, vec_of, Config, Gen};
 use nf_tcp::{ConnTable, TcpAction, TcpEvent, TcpState};
-use proptest::prelude::*;
 
-fn flags_strategy() -> impl Strategy<Value = TcpFlags> {
-    (0u8..64).prop_map(TcpFlags)
+fn flags_gen() -> Gen<TcpFlags> {
+    uint_range(0, 63).map(|v| TcpFlags(v as u8))
 }
 
 fn pkt(flags: TcpFlags, payload: usize, sport: u16) -> Packet {
@@ -21,63 +21,72 @@ fn pkt(flags: TcpFlags, payload: usize, sport: u16) -> Packet {
     p
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// Any packet sequence keeps the table consistent and never panics.
-    #[test]
-    fn fsm_total_under_random_sequences(
-        seq in proptest::collection::vec((flags_strategy(), 0usize..64, 1u16..4), 0..64)
-    ) {
+/// Any packet sequence keeps the table consistent and never panics.
+#[test]
+fn fsm_total_under_random_sequences() {
+    let cfg = Config::with_cases(256);
+    let step = tuple3(
+        flags_gen(),
+        uint_range(0, 63).map(|v| v as usize),
+        uint_range(1, 3).map_int(|v| v as u16),
+    );
+    let seq = vec_of(step, 0, 63);
+    check("fsm_total_under_random_sequences", &cfg, &seq, |seq| {
         let mut t = ConnTable::default();
         for (flags, payload, sport) in seq {
-            let _ = t.on_packet(&pkt(flags, payload, sport));
+            let _ = t.on_packet(&pkt(*flags, *payload, *sport));
         }
         // Every tracked connection is in a non-CLOSED state by table
         // invariant (CLOSED entries are removed).
-        prop_assert!(t.len() <= 3, "at most one per sport pool");
-    }
+        assert!(t.len() <= 3, "at most one per sport pool");
+    });
+}
 
-    /// Data is only ever accepted on flows that completed a handshake
-    /// at some earlier point of the sequence.
-    #[test]
-    fn data_accept_implies_prior_handshake(
-        seq in proptest::collection::vec((flags_strategy(), 0usize..32), 1..48)
-    ) {
+/// Data is only ever accepted on flows that completed a handshake
+/// at some earlier point of the sequence.
+#[test]
+fn data_accept_implies_prior_handshake() {
+    let cfg = Config::with_cases(256);
+    let step = tuple2(flags_gen(), uint_range(0, 31).map(|v| v as usize));
+    let seq = vec_of(step, 1, 47);
+    check("data_accept_implies_prior_handshake", &cfg, &seq, |seq| {
         let mut t = ConnTable::default();
         let mut established_seen = false;
         for (flags, payload) in seq {
-            let p = pkt(flags, payload, 1000);
+            let p = pkt(*flags, *payload, 1000);
             let key = nf_packet::FlowKey::of(&p).unwrap();
             let action = t.on_packet(&p);
             if t.state(&key) == TcpState::Established {
                 established_seen = true;
             }
-            if payload > 0
-                && TcpEvent::classify(flags, payload) == TcpEvent::Data
+            if *payload > 0
+                && TcpEvent::classify(*flags, *payload) == TcpEvent::Data
                 && action == TcpAction::Accept
             {
-                prop_assert!(
+                assert!(
                     established_seen,
                     "data accepted without any prior handshake"
                 );
             }
         }
-    }
+    });
+}
 
-    /// RST always leaves the flow untracked.
-    #[test]
-    fn rst_always_clears(
-        pre in proptest::collection::vec((flags_strategy(), 0usize..16), 0..16)
-    ) {
+/// RST always leaves the flow untracked.
+#[test]
+fn rst_always_clears() {
+    let cfg = Config::with_cases(256);
+    let step = tuple2(flags_gen(), uint_range(0, 15).map(|v| v as usize));
+    let pre = vec_of(step, 0, 15);
+    check("rst_always_clears", &cfg, &pre, |pre| {
         let mut t = ConnTable::default();
         for (flags, payload) in pre {
-            t.on_packet(&pkt(flags, payload, 1000));
+            t.on_packet(&pkt(*flags, *payload, 1000));
         }
         t.on_packet(&pkt(TcpFlags::rst(), 0, 1000));
         let key = nf_packet::FlowKey::of(&pkt(TcpFlags::rst(), 0, 1000)).unwrap();
-        prop_assert_eq!(t.state(&key), TcpState::Closed);
-    }
+        assert_eq!(t.state(&key), TcpState::Closed);
+    });
 }
 
 /// transition() is deterministic and never produces an invalid encoding.

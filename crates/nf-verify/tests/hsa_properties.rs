@@ -1,11 +1,11 @@
 //! Property tests of the header-space algebra.
 
-use nf_verify::hsa::{HeaderSpace, IntervalSet};
 use nf_packet::Field;
-use proptest::prelude::*;
+use nf_support::check::{any_u16, check, tuple2, tuple3, uint_range, vec_of, Config, Gen};
+use nf_verify::hsa::{HeaderSpace, IntervalSet};
 
-fn iset() -> impl Strategy<Value = IntervalSet> {
-    proptest::collection::vec((0u64..5000, 0u64..5000), 1..4).prop_map(|pairs| {
+fn iset() -> Gen<IntervalSet> {
+    vec_of(tuple2(uint_range(0, 4999), uint_range(0, 4999)), 1, 3).map(|pairs| {
         // Build as a union via repeated intersection-free construction:
         // use range() pieces merged through intersect with full —
         // simplest is to fold pairwise ranges into one set via points.
@@ -23,50 +23,74 @@ fn iset() -> impl Strategy<Value = IntervalSet> {
     })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+/// Intersection is commutative and idempotent.
+#[test]
+fn intersect_commutative() {
+    let cfg = Config::with_cases(256);
+    check(
+        "intersect_commutative",
+        &cfg,
+        &tuple2(iset(), iset()),
+        |(a, b)| {
+            assert_eq!(a.intersect(b), b.intersect(a));
+            assert_eq!(&a.intersect(a), a);
+        },
+    );
+}
 
-    /// Intersection is commutative and idempotent.
-    #[test]
-    fn intersect_commutative(a in iset(), b in iset()) {
-        prop_assert_eq!(a.intersect(&b), b.intersect(&a));
-        prop_assert_eq!(a.intersect(&a), a);
-    }
+/// Intersection only shrinks.
+#[test]
+fn intersect_shrinks() {
+    let cfg = Config::with_cases(256);
+    check(
+        "intersect_shrinks",
+        &cfg,
+        &tuple2(iset(), iset()),
+        |(a, b)| {
+            let i = a.intersect(b);
+            assert!(i.size() <= a.size());
+            assert!(i.size() <= b.size());
+        },
+    );
+}
 
-    /// Intersection only shrinks.
-    #[test]
-    fn intersect_shrinks(a in iset(), b in iset()) {
-        let i = a.intersect(&b);
-        prop_assert!(i.size() <= a.size());
-        prop_assert!(i.size() <= b.size());
-    }
-
-    /// remove_point removes exactly that point.
-    #[test]
-    fn remove_point_exact(lo in 0u64..1000, width in 0u64..1000, p in 0u64..2500) {
+/// remove_point removes exactly that point.
+#[test]
+fn remove_point_exact() {
+    let cfg = Config::with_cases(256);
+    let input = tuple3(uint_range(0, 999), uint_range(0, 999), uint_range(0, 2499));
+    check("remove_point_exact", &cfg, &input, |&(lo, width, p)| {
         let s = IntervalSet::range(lo, lo + width);
         let r = s.remove_point(p);
-        prop_assert!(!r.contains(p));
+        assert!(!r.contains(p));
         if s.contains(p) {
-            prop_assert_eq!(r.size(), s.size() - 1);
+            assert_eq!(r.size(), s.size() - 1);
         } else {
-            prop_assert_eq!(r.size(), s.size());
+            assert_eq!(r.size(), s.size());
         }
         // Every other point is preserved.
         for q in [lo, lo + width, lo + width / 2] {
             if q != p {
-                prop_assert_eq!(r.contains(q), s.contains(q));
+                assert_eq!(r.contains(q), s.contains(q));
             }
         }
-    }
+    });
+}
 
-    /// Packet membership matches field-wise interval membership.
-    #[test]
-    fn space_membership(dport in 0u16.., probe in 0u16..) {
-        let hs = HeaderSpace::all().with_point(Field::TcpDport, u64::from(dport));
-        let pkt = nf_packet::Packet::tcp(1, 2, 3, probe, nf_packet::TcpFlags::syn());
-        prop_assert_eq!(hs.contains_packet(&pkt), probe == dport);
-    }
+/// Packet membership matches field-wise interval membership.
+#[test]
+fn space_membership() {
+    let cfg = Config::with_cases(256);
+    check(
+        "space_membership",
+        &cfg,
+        &tuple2(any_u16(), any_u16()),
+        |&(dport, probe)| {
+            let hs = HeaderSpace::all().with_point(Field::TcpDport, u64::from(dport));
+            let pkt = nf_packet::Packet::tcp(1, 2, 3, probe, nf_packet::TcpFlags::syn());
+            assert_eq!(hs.contains_packet(&pkt), probe == dport);
+        },
+    );
 }
 
 #[test]
@@ -74,6 +98,10 @@ fn full_domain_sizes() {
     assert_eq!(IntervalSet::full(Field::TcpDport).size(), 65536);
     assert_eq!(IntervalSet::full(Field::TcpFlags).size(), 64);
     assert!(HeaderSpace::all().contains_packet(&nf_packet::Packet::tcp(
-        1, 2, 3, 4, nf_packet::TcpFlags::syn()
+        1,
+        2,
+        3,
+        4,
+        nf_packet::TcpFlags::syn()
     )));
 }

@@ -8,10 +8,9 @@
 //! contributed to an output, versus the static slice's *might*.
 
 use nfl_lang::StmtId;
-use serde::{Deserialize, Serialize};
 
 /// One executed statement instance.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TraceEvent {
     /// The statement that executed.
     pub stmt: StmtId,
@@ -29,7 +28,7 @@ pub struct TraceEvent {
 }
 
 /// The full trace of one per-packet execution.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Trace {
     /// Events in execution order.
     pub events: Vec<TraceEvent>,

@@ -8,7 +8,6 @@
 
 use crate::span::Span;
 use nf_packet::Field;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Unique identifier of a statement within one [`Program`].
@@ -16,7 +15,7 @@ use std::fmt;
 /// Ids are dense, assigned in parse order, and re-assigned by
 /// [`Program::renumber`] after transformations.
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default,
 )]
 pub struct StmtId(pub u32);
 
@@ -27,7 +26,7 @@ impl fmt::Display for StmtId {
 }
 
 /// Binary operators.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BinOp {
     /// `+`
     Add,
@@ -108,7 +107,7 @@ impl BinOp {
 }
 
 /// Unary operators.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum UnOp {
     /// `-`
     Neg,
@@ -117,7 +116,7 @@ pub enum UnOp {
 }
 
 /// An expression.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Expr {
     /// What the expression is.
     pub kind: ExprKind,
@@ -126,7 +125,7 @@ pub struct Expr {
 }
 
 /// Expression kinds.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ExprKind {
     /// Integer literal (plain, hex, or dotted-quad IPv4).
     Int(i64),
@@ -225,7 +224,7 @@ impl Expr {
 }
 
 /// The target of an assignment.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum LValue {
     /// `x = …`
     Var(String),
@@ -260,7 +259,7 @@ impl LValue {
 }
 
 /// What a `for` loop iterates over.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ForIter {
     /// `for i in lo..hi` — an integer range.
     Range(Expr, Expr),
@@ -269,7 +268,7 @@ pub enum ForIter {
 }
 
 /// A statement.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Stmt {
     /// Unique id, dense within the program.
     pub id: StmtId,
@@ -280,7 +279,7 @@ pub struct Stmt {
 }
 
 /// Statement kinds.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum StmtKind {
     /// `let x = e;` — introduces a local.
     Let {
@@ -334,7 +333,7 @@ pub enum StmtKind {
 }
 
 /// A function definition.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Function {
     /// Function name.
     pub name: String,
@@ -348,7 +347,7 @@ pub struct Function {
 }
 
 /// A top-level declaration other than a function.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Item {
     /// Declared name.
     pub name: String,
@@ -359,7 +358,7 @@ pub struct Item {
 }
 
 /// A whole NFL program.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Program {
     /// `const` declarations — compile-time constants, folded freely.
     pub consts: Vec<Item>,

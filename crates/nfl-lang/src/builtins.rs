@@ -9,10 +9,9 @@
 //! slices), and socket calls with hidden OS state (unfolded by `nf-tcp`).
 
 use crate::types::Ty;
-use serde::{Deserialize, Serialize};
 
 /// The analysis-relevant effect of a builtin.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Effect {
     /// No side effect; value depends only on arguments.
     Pure,

@@ -1,11 +1,10 @@
 //! Source positions, used for diagnostics and for the Table 2 LoC
 //! accounting (a slice is reported by which source lines it keeps).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A half-open byte range in the source with the 1-based line of its start.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct Span {
     /// Byte offset of the first character.
     pub start: usize,

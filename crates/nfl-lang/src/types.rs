@@ -14,12 +14,11 @@
 use crate::ast::{BinOp, Expr, ExprKind, ForIter, Function, LValue, Program, Stmt, StmtKind, UnOp};
 use crate::builtins;
 use crate::span::Span;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
 
 /// Element types — what may live inside a container.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ElemTy {
     /// 64-bit signed integer.
     Int,
@@ -36,7 +35,7 @@ pub enum ElemTy {
 }
 
 /// NFL types.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Ty {
     /// 64-bit signed integer (also IPv4 addresses, ports, fds).
     Int,

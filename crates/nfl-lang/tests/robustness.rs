@@ -2,74 +2,97 @@
 //! pretty-printer must be a parser fixpoint on everything the corpus
 //! grammar can produce.
 
+use nf_support::check::{
+    self, ascii_printable, check, identifier, int_range, string_of, tuple2, Config, Gen,
+};
 use nfl_lang::{lexer, parse, parser, pretty};
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// Arbitrary byte soup: tokenize returns Ok or Err, never panics.
-    #[test]
-    fn lexer_total_on_arbitrary_input(s in "\\PC*") {
-        let _ = lexer::tokenize(&s);
-    }
-
-    /// Arbitrary ASCII with NFL-ish characters: parser never panics.
-    #[test]
-    fn parser_total_on_nflish_input(s in "[a-z0-9(){}\\[\\];=<>!&|.,+*/% \n\"_-]{0,200}") {
-        let _ = parse(&s);
-    }
-
-    /// Integer literals round-trip through the lexer.
-    #[test]
-    fn int_literals_roundtrip(v in 0i64..=i64::MAX) {
-        let toks = lexer::tokenize(&v.to_string()).unwrap();
-        assert_eq!(toks[0].kind, nfl_lang::token::TokenKind::Int(v));
-    }
-
-    /// Dotted quads lex to the packed address.
-    #[test]
-    fn ip_literals_pack(a in 0u8..=255, b in 0u8..=255, c in 0u8..=255, d in 0u8..=255) {
-        let src = format!("{a}.{b}.{c}.{d}");
-        let toks = lexer::tokenize(&src).unwrap();
-        let expect = (i64::from(a) << 24) | (i64::from(b) << 16) | (i64::from(c) << 8) | i64::from(d);
-        assert_eq!(toks[0].kind, nfl_lang::token::TokenKind::Int(expect));
-    }
+/// Arbitrary byte soup: tokenize returns Ok or Err, never panics.
+#[test]
+fn lexer_total_on_arbitrary_input() {
+    let cfg = Config::with_cases(256);
+    check(
+        "lexer_total_on_arbitrary_input",
+        &cfg,
+        &ascii_printable(120),
+        |s| {
+            let _ = lexer::tokenize(s);
+        },
+    );
 }
 
-/// Strategy: generate random well-formed NFL expressions.
-fn expr_strategy() -> impl Strategy<Value = String> {
-    let leaf = prop_oneof![
-        (0i64..100000).prop_map(|v| v.to_string()),
-        Just("true".to_string()),
-        Just("false".to_string()),
-        "[a-z][a-z0-9_]{0,6}".prop_map(|s| s),
-        Just("pkt.ip.src".to_string()),
-        Just("pkt.tcp.dport".to_string()),
-    ];
-    leaf.prop_recursive(3, 24, 3, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a} + {b})")),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a} == {b})")),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a} % {b})")),
-            inner.clone().prop_map(|a| format!("hash({a})")),
-            (inner.clone(), inner).prop_map(|(a, b)| format!("min({a}, {b})")),
-        ]
+/// Arbitrary ASCII with NFL-ish characters: parser never panics.
+#[test]
+fn parser_total_on_nflish_input() {
+    let cfg = Config::with_cases(256);
+    let soup = string_of("abcdefghijklmnopqrstuvwxyz0123456789(){}[];=<>!&|.,+*/% \n\"_-", 0, 200);
+    check("parser_total_on_nflish_input", &cfg, &soup, |s| {
+        let _ = parse(s);
+    });
+}
+
+/// Integer literals round-trip through the lexer.
+#[test]
+fn int_literals_roundtrip() {
+    let cfg = Config::with_cases(256);
+    check(
+        "int_literals_roundtrip",
+        &cfg,
+        &int_range(0, i64::MAX),
+        |&v| {
+            let toks = lexer::tokenize(&v.to_string()).unwrap();
+            assert_eq!(toks[0].kind, nfl_lang::token::TokenKind::Int(v));
+        },
+    );
+}
+
+/// Dotted quads lex to the packed address.
+#[test]
+fn ip_literals_pack() {
+    let cfg = Config::with_cases(256);
+    let octet = || int_range(0, 255);
+    let quad = tuple2(tuple2(octet(), octet()), tuple2(octet(), octet()));
+    check("ip_literals_pack", &cfg, &quad, |((a, b), (c, d))| {
+        let src = format!("{a}.{b}.{c}.{d}");
+        let toks = lexer::tokenize(&src).unwrap();
+        let expect = (a << 24) | (b << 16) | (c << 8) | d;
+        assert_eq!(toks[0].kind, nfl_lang::token::TokenKind::Int(expect));
+    });
+}
+
+/// Generator for random well-formed NFL expressions.
+fn expr_gen() -> Gen<String> {
+    let leaf = Gen::one_of(vec![
+        int_range(0, 99_999).map(|v| v.to_string()),
+        Gen::just("true".to_string()),
+        Gen::just("false".to_string()),
+        identifier(6),
+        Gen::just("pkt.ip.src".to_string()),
+        Gen::just("pkt.tcp.dport".to_string()),
+    ]);
+    check::recursive(leaf.clone(), 3, move |inner| {
+        Gen::one_of(vec![
+            leaf.clone(),
+            tuple2(inner.clone(), inner.clone()).map(|(a, b)| format!("({a} + {b})")),
+            tuple2(inner.clone(), inner.clone()).map(|(a, b)| format!("({a} == {b})")),
+            tuple2(inner.clone(), inner.clone()).map(|(a, b)| format!("({a} % {b})")),
+            inner.clone().map(|a| format!("hash({a})")),
+            tuple2(inner.clone(), inner.clone()).map(|(a, b)| format!("min({a}, {b})")),
+        ])
     })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// parse ∘ pretty is a fixpoint on generated expressions.
-    #[test]
-    fn expr_pretty_parse_fixpoint(e in expr_strategy()) {
-        let parsed = parser::parse_expr(&e).unwrap();
+/// parse ∘ pretty is a fixpoint on generated expressions.
+#[test]
+fn expr_pretty_parse_fixpoint() {
+    let cfg = Config::with_cases(128);
+    check("expr_pretty_parse_fixpoint", &cfg, &expr_gen(), |e| {
+        let parsed = parser::parse_expr(e).unwrap();
         let printed = pretty::expr_to_string(&parsed);
         let reparsed = parser::parse_expr(&printed).unwrap();
         let reprinted = pretty::expr_to_string(&reparsed);
-        prop_assert_eq!(printed, reprinted);
-    }
+        assert_eq!(printed, reprinted);
+    });
 }
 
 #[test]

@@ -29,7 +29,6 @@
 use nfl_analysis::normalize::PacketLoop;
 use nfl_lang::types::{Ty, TypeInfo};
 use nfl_lang::{Stmt, StmtId, StmtKind};
-use serde::{Deserialize, Serialize};
 use std::collections::{BTreeSet, HashSet};
 
 /// Which statements feed feature extraction (ablation knob; NFactor uses
@@ -43,7 +42,7 @@ pub enum StateAlyzerInput {
 }
 
 /// The classification result.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct VarClasses {
     /// Packet variables.
     pub pkt_vars: BTreeSet<String>,

@@ -25,6 +25,7 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod json;
 pub mod solver;
 pub mod sym;
 

@@ -8,12 +8,11 @@
 //! constant-fold so concrete programs stay concrete.
 
 use nfl_lang::BinOp;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 
 /// A symbolic value / term.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum SymVal {
     /// Concrete integer.
     Int(i64),
@@ -274,7 +273,7 @@ impl fmt::Display for SymVal {
 
 /// A symbolic packet: every header field is a term. A fresh input packet
 /// has `field → Var("pkt.<path>")`; rewrites replace entries.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SymPacket {
     /// Field terms.
     pub fields: BTreeMap<nf_packet::Field, SymVal>,
@@ -324,7 +323,7 @@ impl Default for SymPacket {
 
 /// A state-map mutation recorded along a path (the model's state
 /// transition for dictionary state).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum MapOp {
     /// `map[key] = value`.
     Insert {

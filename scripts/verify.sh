@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Tier-1 verification: hermetic (offline) build + full test suite.
+#
+# The workspace has zero external dependencies by design — everything
+# builds from the in-tree `nf-support` substrate — so `--offline` must
+# always succeed. Treat any attempt to reach a registry as a failure.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release --offline"
+cargo build --release --offline
+
+echo "==> cargo test -q --offline --workspace"
+cargo test -q --offline --workspace
+
+echo "==> verify OK"

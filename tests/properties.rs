@@ -1,99 +1,120 @@
-//! Cross-crate property-based tests (proptest).
+//! Cross-crate property-based tests (`nf_support::check`).
 //!
 //! The heavyweight property is the last one: *synthesize a model from a
 //! randomly generated NF and check it agrees with the program on random
 //! traffic* — a miniature, randomized version of the paper's whole
 //! evaluation.
 
+use nf_support::check::{
+    any_bool, any_u16, any_u32, any_u64, any_u8, check, int_range, tuple2, tuple3, uint_range,
+    vec_of, Config, Gen,
+};
 use nfactor::core::accuracy::differential_test;
 use nfactor::core::{synthesize, Options};
 use nfactor::packet::{Field, Packet, TcpFlags};
 use nfactor::symex::{Solver, SymVal};
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Wire-format round trip for arbitrary header values.
-    #[test]
-    fn packet_wire_roundtrip(
-        src in any::<u32>(),
-        dst in any::<u32>(),
-        sport in any::<u16>(),
-        dport in any::<u16>(),
-        flags in 0u8..64,
-        ttl in 1u8..,
-        payload in proptest::collection::vec(any::<u8>(), 0..256),
-    ) {
-        let mut p = Packet::tcp(src, sport, dst, dport, TcpFlags(flags));
-        p.ip_ttl = ttl;
-        p.payload = payload;
-        let q = Packet::from_wire(&p.to_wire()).unwrap();
-        prop_assert_eq!(p, q);
-    }
-
-    /// Solver models satisfy the constraints they were generated from
-    /// (interval + disequality fragment).
-    #[test]
-    fn solver_models_satisfy(
-        lo in 0i64..30000,
-        width in 1i64..1000,
-        holes in proptest::collection::vec(0i64..31000, 0..4),
-    ) {
-        let hi = lo + width;
-        let var = SymVal::Var("x".to_string());
-        let mut cs = vec![
-            SymVal::bin(nfactor::lang::BinOp::Ge, var.clone(), SymVal::Int(lo)),
-            SymVal::bin(nfactor::lang::BinOp::Le, var.clone(), SymVal::Int(hi)),
-        ];
-        for h in &holes {
-            cs.push(SymVal::bin(
-                nfactor::lang::BinOp::Ne,
-                var.clone(),
-                SymVal::Int(*h),
-            ));
-        }
-        let solver = Solver;
-        if let Some(model) = solver.model(&cs, |_| (0, 65535)) {
-            let x = model["x"];
-            prop_assert!(x >= lo && x <= hi);
-            for h in &holes {
-                prop_assert!(x != *h);
-            }
-        } else {
-            // Only allowed when the holes cover the whole interval.
-            prop_assert!((hi - lo + 1) as usize <= holes.len());
-        }
-    }
+/// Wire-format round trip for arbitrary header values.
+#[test]
+fn packet_wire_roundtrip() {
+    let cfg = Config::with_cases(64);
+    let header = tuple3(
+        tuple2(any_u32(), any_u32()),
+        tuple2(any_u16(), any_u16()),
+        tuple2(
+            uint_range(0, 63).map_int(|v| v as u8),
+            uint_range(1, u8::MAX as u64).map_int(|v| v as u8),
+        ),
+    );
+    let input = tuple2(header, vec_of(any_u8(), 0, 255));
+    check(
+        "packet_wire_roundtrip",
+        &cfg,
+        &input,
+        |((ips, ports, (flags, ttl)), payload)| {
+            let (src, dst) = *ips;
+            let (sport, dport) = *ports;
+            let mut p = Packet::tcp(src, sport, dst, dport, TcpFlags(*flags));
+            p.ip_ttl = *ttl;
+            p.payload = payload.clone();
+            let q = Packet::from_wire(&p.to_wire()).unwrap();
+            assert_eq!(p, q);
+        },
+    );
 }
 
-/// A strategy generating small random NF sources: a chain of guarded
-/// actions over header fields, counters, and an optional NAT map.
-fn random_nf() -> impl Strategy<Value = String> {
-    let guard_field = prop_oneof![
-        Just(("pkt.tcp.dport", 65535u64)),
-        Just(("pkt.tcp.sport", 65535)),
-        Just(("pkt.ip.ttl", 255)),
-        Just(("pkt.payload.b0", 255)),
-    ];
-    let op = prop_oneof![Just("=="), Just("!="), Just("<"), Just(">")];
-    let guard = (guard_field, op, any::<u64>()).prop_map(|((f, max), op, v)| {
-        format!("{f} {op} {}", v % (max + 1))
-    });
-    let action = prop_oneof![
-        Just("pkt.ip.ttl = pkt.ip.ttl - 1;".to_string()),
-        Just("pkt.tcp.dport = 8080;".to_string()),
-        Just("counter = counter + 1;".to_string()),
-        Just("send(pkt); return;".to_string()),
-        Just("return;".to_string()),
-    ];
-    let rule = (guard, action).prop_map(|(g, a)| {
-        format!("    if {g} {{\n        {a}\n    }}\n")
-    });
-    (proptest::collection::vec(rule, 0..4), any::<bool>()).prop_map(|(rules, tail_send)| {
-        let mut src = String::from(
-            "state counter = 0;\nstate seen = map();\nfn cb(pkt: packet) {\n",
-        );
+/// Solver models satisfy the constraints they were generated from
+/// (interval + disequality fragment).
+#[test]
+fn solver_models_satisfy() {
+    let cfg = Config::with_cases(64);
+    let input = tuple3(
+        int_range(0, 29_999),
+        int_range(1, 999),
+        vec_of(int_range(0, 30_999), 0, 3),
+    );
+    check(
+        "solver_models_satisfy",
+        &cfg,
+        &input,
+        |(lo, width, holes)| {
+            let (lo, width) = (*lo, *width);
+            let hi = lo + width;
+            let var = SymVal::Var("x".to_string());
+            let mut cs = vec![
+                SymVal::bin(nfactor::lang::BinOp::Ge, var.clone(), SymVal::Int(lo)),
+                SymVal::bin(nfactor::lang::BinOp::Le, var.clone(), SymVal::Int(hi)),
+            ];
+            for h in holes {
+                cs.push(SymVal::bin(
+                    nfactor::lang::BinOp::Ne,
+                    var.clone(),
+                    SymVal::Int(*h),
+                ));
+            }
+            let solver = Solver;
+            if let Some(model) = solver.model(&cs, |_| (0, 65535)) {
+                let x = model["x"];
+                assert!(x >= lo && x <= hi);
+                for h in holes {
+                    assert!(x != *h);
+                }
+            } else {
+                // Only allowed when the holes cover the whole interval.
+                assert!((hi - lo + 1) as usize <= holes.len());
+            }
+        },
+    );
+}
+
+/// A generator for small random NF sources: a chain of guarded actions
+/// over header fields, counters, and an optional NAT map.
+fn random_nf() -> Gen<String> {
+    let guard_field = Gen::one_of(vec![
+        Gen::just(("pkt.tcp.dport", 65535u64)),
+        Gen::just(("pkt.tcp.sport", 65535)),
+        Gen::just(("pkt.ip.ttl", 255)),
+        Gen::just(("pkt.payload.b0", 255)),
+    ]);
+    let op = Gen::one_of(vec![
+        Gen::just("=="),
+        Gen::just("!="),
+        Gen::just("<"),
+        Gen::just(">"),
+    ]);
+    let guard = tuple3(guard_field, op, any_u64())
+        .map(|((f, max), op, v)| format!("{f} {op} {}", v % (max + 1)));
+    let action = Gen::one_of(vec![
+        Gen::just("pkt.ip.ttl = pkt.ip.ttl - 1;".to_string()),
+        Gen::just("pkt.tcp.dport = 8080;".to_string()),
+        Gen::just("counter = counter + 1;".to_string()),
+        Gen::just("send(pkt); return;".to_string()),
+        Gen::just("return;".to_string()),
+    ]);
+    let rule = tuple2(guard, action).map(|(g, a)| format!("    if {g} {{\n        {a}\n    }}\n"));
+    tuple2(vec_of(rule, 0, 3), any_bool()).map(|(rules, tail_send)| {
+        let mut src =
+            String::from("state counter = 0;\nstate seen = map();\nfn cb(pkt: packet) {\n");
         for r in rules {
             src.push_str(&r);
         }
@@ -107,26 +128,29 @@ fn random_nf() -> impl Strategy<Value = String> {
     })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// The synthesized model of a random NF agrees with the NF itself on
-    /// random traffic.
-    #[test]
-    fn random_nf_model_matches_program(src in random_nf(), seed in any::<u64>()) {
-        let syn = match synthesize("random", &src, &Options::default()) {
-            Ok(s) => s,
-            Err(e) => return Err(TestCaseError::fail(format!("pipeline: {e}\n{src}"))),
-        };
-        let report = differential_test(&syn, seed, 120)
-            .map_err(|e| TestCaseError::fail(format!("{e}\n{src}")))?;
-        prop_assert!(
-            report.perfect(),
-            "disagreements {:?}\nsource:\n{src}\nmodel:\n{}",
-            report.mismatches,
-            syn.render_model()
-        );
-    }
+/// The synthesized model of a random NF agrees with the NF itself on
+/// random traffic.
+#[test]
+fn random_nf_model_matches_program() {
+    let cfg = Config::with_cases(24);
+    let input = tuple2(random_nf(), any_u64());
+    check(
+        "random_nf_model_matches_program",
+        &cfg,
+        &input,
+        |(src, seed)| {
+            let syn = synthesize("random", src, &Options::default())
+                .unwrap_or_else(|e| panic!("pipeline: {e}\n{src}"));
+            let report =
+                differential_test(&syn, *seed, 120).unwrap_or_else(|e| panic!("{e}\n{src}"));
+            assert!(
+                report.perfect(),
+                "disagreements {:?}\nsource:\n{src}\nmodel:\n{}",
+                report.mismatches,
+                syn.render_model()
+            );
+        },
+    );
 }
 
 #[test]
