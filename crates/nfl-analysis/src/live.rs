@@ -5,18 +5,15 @@
 //! (`state`) variables are live at function exit — the next packet may
 //! read them — which is precisely why per-packet liveness alone cannot
 //! prune state updates and the paper needs the output-impact analysis
-//! instead. What liveness *does* catch is genuinely dead code:
+//! instead.
 //!
-//! * **dead locals** — `let` bindings never read afterwards;
-//! * **dead state** — `state` declarations never read anywhere in the
-//!   packet loop (write-only state is at best a log sink and at worst a
-//!   bug).
-//!
-//! Exposed in the CLI as `nfactor lint`.
+//! This module is a pure dataflow fact provider; the dead-store *lints*
+//! built on it (dead locals, dead/write-only state) live in `nfl-lint`
+//! and surface through `nfactor lint` as `NFL001`–`NFL003`.
 
 use crate::cfg::build_cfg;
 use crate::defuse::{def_use, DefKind};
-use nfl_lang::{Program, Span, Stmt, StmtId, StmtKind};
+use nfl_lang::{Program, Stmt, StmtId};
 use std::collections::{BTreeSet, HashMap};
 
 /// The liveness solution for one function.
@@ -94,231 +91,80 @@ pub fn liveness(
     (cfg, Liveness { live_in, live_out })
 }
 
-/// A diagnostic from the dead-code lint.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Diagnostic {
-    /// Short machine-readable kind: `dead-local`, `dead-state`,
-    /// `write-only-state`.
-    pub kind: &'static str,
-    /// The variable.
-    pub var: String,
-    /// Source location of the offending definition (best effort).
-    pub span: Span,
-    /// Human-readable message.
-    pub message: String,
-}
-
-/// Lint `func`: report `let` bindings whose value is dead immediately
-/// after the binding, and `state` declarations never read in the
-/// function.
-pub fn dead_stores(program: &Program, func: &str) -> Vec<Diagnostic> {
-    let mut persistent: BTreeSet<String> = BTreeSet::new();
-    for it in program
-        .consts
-        .iter()
-        .chain(&program.configs)
-        .chain(&program.states)
-    {
-        persistent.insert(it.name.clone());
-    }
-    let (cfg, live) = liveness(program, func, &persistent);
-    let mut stmt_by_id: HashMap<StmtId, &Stmt> = HashMap::new();
-    program.for_each_stmt(|s| {
-        stmt_by_id.insert(s.id, s);
-    });
-    let mut out = Vec::new();
-    // Dead locals: a strong def whose variable is not live-out of the
-    // defining node (and is not persistent).
-    for node in 0..cfg.len() {
-        let Some(sid) = cfg.nodes[node].stmt else {
-            continue;
-        };
-        let Some(s) = stmt_by_id.get(&sid) else {
-            continue;
-        };
-        if let StmtKind::Let { name, .. } = &s.kind {
-            if !persistent.contains(name) && !live.live_out[node].contains(name) {
-                out.push(Diagnostic {
-                    kind: "dead-local",
-                    var: name.clone(),
-                    span: s.span,
-                    message: format!(
-                        "the value bound to `{name}` here is never read \
-                         (every path overwrites or ignores it)"
-                    ),
-                });
-            }
-        }
-    }
-    // Write-only state: a state var that is defined somewhere in the
-    // function but used nowhere (reads of the variable, including weak
-    // updates' self-reads, count).
-    let mut read_somewhere: BTreeSet<String> = BTreeSet::new();
-    let mut written_somewhere: BTreeSet<String> = BTreeSet::new();
-    if let Some(f) = program.function(func) {
-        fn walk(
-            stmts: &[Stmt],
-            read: &mut BTreeSet<String>,
-            written: &mut BTreeSet<String>,
-        ) {
-            for s in stmts {
-                let du = def_use(s);
-                // A weak update (m[k] = v, x = x + 1) reads the old
-                // value only incidentally; for the write-only lint we
-                // count *real* reads: uses not solely caused by being a
-                // weak-update base of the same statement.
-                for u in &du.uses {
-                    let self_increment = du.defs.iter().any(|(d, _)| d == u);
-                    if !self_increment {
-                        read.insert(u.clone());
-                    }
-                }
-                for (d, _) in &du.defs {
-                    written.insert(d.clone());
-                }
-                match &s.kind {
-                    StmtKind::If {
-                        then_branch,
-                        else_branch,
-                        ..
-                    } => {
-                        walk(then_branch, read, written);
-                        walk(else_branch, read, written);
-                    }
-                    StmtKind::While { body, .. } | StmtKind::For { body, .. } => {
-                        walk(body, read, written)
-                    }
-                    _ => {}
-                }
-            }
-        }
-        walk(&f.body, &mut read_somewhere, &mut written_somewhere);
-    }
-    for st in &program.states {
-        if written_somewhere.contains(&st.name) && !read_somewhere.contains(&st.name) {
-            out.push(Diagnostic {
-                kind: "write-only-state",
-                var: st.name.clone(),
-                span: st.span,
-                message: format!(
-                    "state `{}` is only ever written (a log counter at best; \
-                     consider whether it should influence forwarding)",
-                    st.name
-                ),
-            });
-        } else if !written_somewhere.contains(&st.name) && !read_somewhere.contains(&st.name)
-        {
-            out.push(Diagnostic {
-                kind: "dead-state",
-                var: st.name.clone(),
-                span: st.span,
-                message: format!("state `{}` is never used", st.name),
-            });
-        }
-    }
-    out
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use nfl_lang::parse;
 
+    /// Liveness at the node that defines `var` (its `live_out`).
+    fn live_out_of(src: &str, var: &str, exit: &[&str]) -> bool {
+        let p = parse(src).unwrap();
+        let seed: BTreeSet<String> = exit.iter().map(|s| s.to_string()).collect();
+        let (cfg, live) = liveness(&p, "main", &seed);
+        let mut stmt_by_id: HashMap<StmtId, &Stmt> = HashMap::new();
+        p.for_each_stmt(|s| {
+            stmt_by_id.insert(s.id, s);
+        });
+        for node in 0..cfg.len() {
+            let Some(sid) = cfg.nodes[node].stmt else { continue };
+            let Some(s) = stmt_by_id.get(&sid) else { continue };
+            let defines = def_use(s)
+                .defs
+                .iter()
+                .any(|(d, k)| d == var && *k == DefKind::Strong);
+            if defines {
+                return live.live_out[node].contains(var);
+            }
+        }
+        panic!("no strong def of {var}");
+    }
+
     #[test]
-    fn dead_local_detected() {
-        let p = parse(
-            r#"
+    fn unused_binding_is_dead() {
+        let src = r#"
             fn main() {
                 let unused = 42;
                 let used = 1;
                 let y = used + 1;
                 log(y);
             }
-        "#,
-        )
-        .unwrap();
-        let diags = dead_stores(&p, "main");
-        assert!(diags.iter().any(|d| d.kind == "dead-local" && d.var == "unused"));
-        assert!(!diags.iter().any(|d| d.var == "used"));
-        // `y` is read by log.
-        assert!(!diags.iter().any(|d| d.var == "y" && d.kind == "dead-local"));
-    }
-
-    #[test]
-    fn write_only_state_detected() {
-        let p = parse(
-            r#"
-            state counter = 0;
-            state threshold = 5;
-            fn main() {
-                counter = counter + 1;
-                if threshold > 0 { log(threshold); }
-            }
-        "#,
-        )
-        .unwrap();
-        let diags = dead_stores(&p, "main");
-        assert!(diags
-            .iter()
-            .any(|d| d.kind == "write-only-state" && d.var == "counter"));
-        assert!(!diags.iter().any(|d| d.var == "threshold"));
-    }
-
-    #[test]
-    fn dead_state_detected() {
-        let p = parse(
-            r#"
-            state never = 0;
-            fn main() { let x = 1; log(x); }
-        "#,
-        )
-        .unwrap();
-        let diags = dead_stores(&p, "main");
-        assert!(diags.iter().any(|d| d.kind == "dead-state" && d.var == "never"));
+        "#;
+        assert!(!live_out_of(src, "unused", &[]));
+        assert!(live_out_of(src, "used", &[]));
     }
 
     #[test]
     fn state_live_at_exit() {
-        // A state write at the end of the function is NOT a dead store —
-        // the next packet reads it.
-        let p = parse(
-            r#"
+        // A state write at the end of the function is NOT dead — the
+        // next packet reads it — when the exit seed says so.
+        let src = r#"
             state nat_port = 1000;
             fn main() {
                 let x = nat_port;
                 nat_port = x + 1;
                 log(x);
             }
-        "#,
-        )
-        .unwrap();
-        let diags = dead_stores(&p, "main");
-        assert!(
-            !diags.iter().any(|d| d.var == "nat_port"),
-            "{diags:?}"
-        );
+        "#;
+        assert!(live_out_of(src, "nat_port", &["nat_port"]));
+        assert!(!live_out_of(src, "nat_port", &[]));
     }
 
     #[test]
     fn liveness_through_branches() {
-        let p = parse(
-            r#"
+        let src = r#"
             fn main() {
                 let a = 1;
                 let b = 2;
                 if a == 1 { log(b); }
             }
-        "#,
-        )
-        .unwrap();
-        let diags = dead_stores(&p, "main");
-        assert!(diags.is_empty(), "{diags:?}");
+        "#;
+        assert!(live_out_of(src, "a", &[]));
+        assert!(live_out_of(src, "b", &[]));
     }
 
     #[test]
     fn loop_carried_liveness() {
-        let p = parse(
-            r#"
+        let src = r#"
             fn main() {
                 let i = 0;
                 while i < 10 {
@@ -326,10 +172,7 @@ mod tests {
                 }
                 log(i);
             }
-        "#,
-        )
-        .unwrap();
-        let diags = dead_stores(&p, "main");
-        assert!(diags.is_empty(), "{diags:?}");
+        "#;
+        assert!(live_out_of(src, "i", &[]));
     }
 }

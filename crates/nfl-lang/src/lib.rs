@@ -56,7 +56,7 @@ pub use ast::{
     BinOp, Expr, ExprKind, ForIter, Function, Item, LValue, Program, Stmt, StmtId, StmtKind, UnOp,
 };
 pub use builtins::{Builtin, Effect};
-pub use span::Span;
+pub use span::{LineIndex, ResolvedSpan, Span};
 
 /// Parse NFL source into a [`Program`]. Convenience over
 /// [`parser::parse_program`].

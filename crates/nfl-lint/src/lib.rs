@@ -1,0 +1,185 @@
+//! nfl-lint — a diagnostics framework over the NFL analyses.
+//!
+//! The synthesis pipeline (`nfl-slicer`, `nfl-symex`) consumes the
+//! CFG/def-use/dominator/PDG machinery of `nfl-analysis` to *extract*
+//! models; this crate points the same machinery back at the NF source to
+//! *judge* it. A [`PassManager`](passes::PassManager) runs registered
+//! [`LintPass`](passes::LintPass)es over one shared
+//! [`AnalysisCtx`](ctx::AnalysisCtx) (built once: normalisation, types,
+//! PDG, dominators, packet slice, StateAlyzer classes), and every pass
+//! reports through a common [`Diagnostic`] carrying a stable `NFL0xx`
+//! [`Code`], a [`Severity`], and a byte [`Span`](nfl_lang::Span).
+//!
+//! The headline pass is the **cross-flow state-sharing analysis**
+//! ([`sharding`]): for every `state` map it traces each access's key
+//! expression back through the def/use chains and decides whether the
+//! key derives purely from the packet's flow tuple (`per-flow` — the map
+//! partitions under RSS and the NF shards across cores) or mixes
+//! non-flow data (`shared` — a global shard is unavoidable). That is the
+//! question the paper's oisVar/logVar taxonomy stops short of answering,
+//! and the one that decides whether a synthesised model can be deployed
+//! scale-out.
+//!
+//! Renderers: rustc-style text snippets ([`render::render_text`]) and
+//! machine JSON via `nf_support::json` ([`LintReport::to_json`]).
+//!
+//! ```
+//! let report = nfl_lint::lint_source(
+//!     "demo",
+//!     r#"
+//!     state buckets = map();
+//!     fn cb(pkt: packet) {
+//!         let src = pkt.ip.src;
+//!         if src not in buckets { buckets[src] = 10; }
+//!         if buckets[src] > 0 { buckets[src] = buckets[src] - 1; send(pkt); }
+//!     }
+//!     fn main() { sniff(cb); }
+//!     "#,
+//! )
+//! .unwrap();
+//! assert!(report.sharding.shardable());
+//! assert!(!report.has_errors());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ctx;
+pub mod diag;
+pub mod passes;
+pub mod render;
+pub mod sharding;
+
+pub use ctx::AnalysisCtx;
+pub use diag::{Code, Diagnostic, Severity};
+pub use passes::{LintPass, LintSink, PassManager};
+pub use sharding::{ShardingReport, StateShard, StateVerdict};
+
+use nf_support::json::{FromJson, JsonError, ToJson, Value};
+use nfl_lang::Program;
+
+/// The result of linting one NF.
+#[derive(Debug, Clone)]
+pub struct LintReport {
+    /// NF name (corpus id or file stem).
+    pub name: String,
+    /// Sorted diagnostics.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Per-state sharding verdicts.
+    pub sharding: ShardingReport,
+    /// The *analysed* source text the diagnostic spans index — for
+    /// socket-shaped NFs this is the unfolded program, not the input.
+    /// Carried for rendering; not serialised.
+    pub source: String,
+}
+
+impl LintReport {
+    /// Did any [`Severity::Error`] diagnostic fire? (`nfactor lint`'s
+    /// exit status.)
+    pub fn has_errors(&self) -> bool {
+        self.diagnostics
+            .iter()
+            .any(|d| d.severity == Severity::Error)
+    }
+
+    /// Render the human-readable text form.
+    pub fn render_text(&self) -> String {
+        render::render_text(self)
+    }
+}
+
+impl ToJson for LintReport {
+    fn to_json(&self) -> Value {
+        Value::Object(vec![
+            ("name".into(), Value::Str(self.name.clone())),
+            (
+                "diagnostics".into(),
+                Value::Array(self.diagnostics.iter().map(ToJson::to_json).collect()),
+            ),
+            ("sharding".into(), self.sharding.to_json()),
+            ("has_errors".into(), Value::Bool(self.has_errors())),
+        ])
+    }
+}
+
+impl FromJson for LintReport {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        Ok(LintReport {
+            name: v
+                .field("name")?
+                .as_str()
+                .ok_or_else(|| JsonError::msg("name must be a string"))?
+                .to_string(),
+            diagnostics: v
+                .field("diagnostics")?
+                .as_array()
+                .ok_or_else(|| JsonError::msg("diagnostics must be an array"))?
+                .iter()
+                .map(Diagnostic::from_json)
+                .collect::<Result<Vec<_>, _>>()?,
+            sharding: ShardingReport::from_json(v.field("sharding")?)?,
+            source: String::new(),
+        })
+    }
+}
+
+/// Lint an already-parsed program with the default passes.
+pub fn lint_program(name: &str, program: &Program) -> Result<LintReport, String> {
+    let ctx = AnalysisCtx::build(program)?;
+    let sink = PassManager::with_default_passes().run(&ctx);
+    Ok(LintReport {
+        name: name.to_string(),
+        diagnostics: sink.diagnostics,
+        sharding: sink.sharding.unwrap_or_default(),
+        source: ctx.program().source.clone(),
+    })
+}
+
+/// Parse, check and lint NFL source with the default passes.
+pub fn lint_source(name: &str, src: &str) -> Result<LintReport, String> {
+    let program = nfl_lang::parse_and_check(src)?;
+    lint_program(name, &program)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_json_omits_source_but_roundtrips_rest() {
+        let report = lint_source(
+            "demo",
+            r#"
+            config UNUSED = 1;
+            state next = 0;
+            state m = map();
+            fn cb(pkt: packet) {
+                m[next] = 1;
+                next = next + 1;
+                send(pkt);
+            }
+            fn main() { sniff(cb); }
+            "#,
+        )
+        .unwrap();
+        let rendered = report.to_json().render();
+        assert!(!rendered.contains("fn cb"), "source leaked into JSON");
+        let parsed = Value::parse(&rendered).unwrap();
+        let back = LintReport::from_json(&parsed).unwrap();
+        assert_eq!(back.name, report.name);
+        assert_eq!(back.diagnostics, report.diagnostics);
+        assert_eq!(back.sharding, report.sharding);
+        assert_eq!(back.has_errors(), report.has_errors());
+    }
+
+    #[test]
+    fn unfolded_source_is_carried_for_rendering() {
+        // balance-shaped NF: spans refer to the unfolded text, which the
+        // report must carry so the renderer shows real snippets.
+        let src = nf_corpus::balance::source(0);
+        let report = lint_source("balance", &src).unwrap();
+        assert!(report.source.contains("__tcp"), "expected unfolded source");
+        // Rendering must not panic and must mention the verdict.
+        assert!(report.render_text().contains("sharding verdict for balance"));
+    }
+}

@@ -1,0 +1,917 @@
+//! Cross-flow state-sharing analysis — is this NF shardable by RSS?
+//!
+//! The StateAlyzer classes say *what* each persistent variable is; this
+//! pass decides *how state is keyed*, which is what determines whether
+//! the NF can be scaled out across cores or replicas (Maestro's
+//! observation): if every access to a `state` map is keyed by data
+//! derived **purely from the packet's flow tuple** (src/dst address,
+//! protocol, src/dst port), then RSS steers all packets of a flow to one
+//! shard and the map partitions cleanly — `per-flow`. A key that mixes
+//! **non-flow data** (another state variable, an allocator counter, a
+//! non-flow header field, an effectful call) couples flows together and
+//! forces a global shard — `shared`.
+//!
+//! Mechanically, each access site's key expression is traced backwards
+//! through the reaching-definitions relation (the same def/use chains
+//! the slicer walks): **strong** definitions replace a variable's
+//! origin, **weak** definitions taint it, branches join. Sources
+//! terminate at packet fields (flow or non-flow), `config`/`const`
+//! (constant across packets — a constant key means every flow collides
+//! on it, so constants do *not* make a key per-flow), `state` reads
+//! (non-flow by definition), and calls (pure builtins classify by their
+//! arguments; effectful ones are non-flow).
+//!
+//! Scalar state has no key: if it is written on the packet path it is a
+//! single cell every flow updates — `shared`, unless StateAlyzer proved
+//! it never impacts output (`logVar`), in which case per-shard copies
+//! can be aggregated offline — `log-only`. State never written is
+//! `read-only` and replicates freely.
+
+use crate::ctx::AnalysisCtx;
+use crate::diag::{Code, Diagnostic};
+use nf_packet::Field;
+use nf_support::json::{FromJson, JsonError, ToJson, Value};
+use nfl_analysis::cfg::NodeId;
+use nfl_analysis::defuse::DefKind;
+use nfl_lang::types::Ty;
+use nfl_lang::{BinOp, Expr, ExprKind, ForIter, LValue, Span, Stmt, StmtKind};
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+/// Is `f` part of the flow tuple RSS hashes on?
+pub fn is_flow_field(f: Field) -> bool {
+    matches!(
+        f,
+        Field::IpSrc | Field::IpDst | Field::IpProto | Field::TcpSport | Field::TcpDport
+    )
+}
+
+/// Builtins whose result is a pure function of their arguments, so a key
+/// through them inherits the arguments' origin.
+fn is_pure_builtin(name: &str) -> bool {
+    matches!(name, "hash" | "len" | "min" | "max" | "checksum")
+}
+
+/// Where a key expression's value ultimately comes from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Origin {
+    /// Constant across packets (literals, `config`, `const`, loop
+    /// counters over constant ranges). Every flow sees the same value.
+    Const,
+    /// Derived from the packet's flow tuple (and possibly constants).
+    Flow,
+    /// Mixes data that is not a function of the flow tuple; the string
+    /// names the first culprit found.
+    NonFlow(String),
+}
+
+impl Origin {
+    fn join(self, other: Origin) -> Origin {
+        match (self, other) {
+            (o @ Origin::NonFlow(_), _) => o,
+            (_, o @ Origin::NonFlow(_)) => o,
+            (Origin::Flow, _) | (_, Origin::Flow) => Origin::Flow,
+            _ => Origin::Const,
+        }
+    }
+}
+
+/// How a state map was accessed at a key site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    /// `m[k]` in expression position.
+    Read,
+    /// `m[k] = v`.
+    Write,
+    /// `k in m` / `k not in m`.
+    Membership,
+    /// `map_remove(m, k)`.
+    Remove,
+}
+
+impl AccessKind {
+    /// Lowercase label for reports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            AccessKind::Read => "read",
+            AccessKind::Write => "write",
+            AccessKind::Membership => "membership",
+            AccessKind::Remove => "remove",
+        }
+    }
+}
+
+/// One keyed access to a state map.
+#[derive(Debug, Clone)]
+pub struct KeySite {
+    /// The map.
+    pub var: String,
+    /// Access flavour.
+    pub kind: AccessKind,
+    /// Span of the key expression.
+    pub span: Span,
+    /// Traced origin of the key.
+    pub origin: Origin,
+}
+
+/// The sharding verdict for one `state` variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StateShard {
+    /// Keyed purely by flow-tuple data — partitions under RSS.
+    PerFlow,
+    /// Requires a global shard (cross-flow coupling).
+    Shared,
+    /// Never written during packet processing — replicate freely.
+    ReadOnly,
+    /// Written but never output-impacting — per-shard copies, aggregate
+    /// offline.
+    LogOnly,
+}
+
+impl StateShard {
+    /// The lowercase rendering (stable; goldens pin it).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            StateShard::PerFlow => "per-flow",
+            StateShard::Shared => "shared",
+            StateShard::ReadOnly => "read-only",
+            StateShard::LogOnly => "log-only",
+        }
+    }
+
+    /// Parse [`StateShard::as_str`] back.
+    pub fn from_str(s: &str) -> Option<StateShard> {
+        match s {
+            "per-flow" => Some(StateShard::PerFlow),
+            "shared" => Some(StateShard::Shared),
+            "read-only" => Some(StateShard::ReadOnly),
+            "log-only" => Some(StateShard::LogOnly),
+            _ => None,
+        }
+    }
+}
+
+/// Verdict plus evidence for one state variable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StateVerdict {
+    /// The state variable.
+    pub var: String,
+    /// Its verdict.
+    pub verdict: StateShard,
+    /// Why, in one sentence.
+    pub reason: String,
+    /// Span of the declaration.
+    pub span: Span,
+    /// Number of keyed accesses analysed (0 for scalars).
+    pub key_sites: usize,
+}
+
+/// The per-NF sharding report.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ShardingReport {
+    /// One verdict per `state` declaration, in declaration order.
+    pub states: Vec<StateVerdict>,
+}
+
+impl ShardingReport {
+    /// The NF-level verdict: `per-flow` iff no state needs a global
+    /// shard.
+    pub fn nf_verdict(&self) -> StateShard {
+        if self.states.iter().any(|s| s.verdict == StateShard::Shared) {
+            StateShard::Shared
+        } else {
+            StateShard::PerFlow
+        }
+    }
+
+    /// Can the NF be sharded by RSS with no cross-shard state?
+    pub fn shardable(&self) -> bool {
+        self.nf_verdict() == StateShard::PerFlow
+    }
+}
+
+impl ToJson for ShardingReport {
+    fn to_json(&self) -> Value {
+        Value::Object(vec![
+            (
+                "verdict".into(),
+                Value::Str(self.nf_verdict().as_str().into()),
+            ),
+            (
+                "states".into(),
+                Value::Array(
+                    self.states
+                        .iter()
+                        .map(|s| {
+                            Value::Object(vec![
+                                ("var".into(), Value::Str(s.var.clone())),
+                                ("verdict".into(), Value::Str(s.verdict.as_str().into())),
+                                ("reason".into(), Value::Str(s.reason.clone())),
+                                ("line".into(), Value::Int(i64::from(s.span.line))),
+                                ("start".into(), Value::Int(s.span.start as i64)),
+                                ("end".into(), Value::Int(s.span.end as i64)),
+                                ("key_sites".into(), Value::Int(s.key_sites as i64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+impl FromJson for ShardingReport {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        let states = v
+            .field("states")?
+            .as_array()
+            .ok_or_else(|| JsonError::msg("states must be an array"))?
+            .iter()
+            .map(|s| {
+                let str_field = |k: &str| -> Result<String, JsonError> {
+                    Ok(s.field(k)?
+                        .as_str()
+                        .ok_or_else(|| JsonError::msg(format!("{k} must be a string")))?
+                        .to_string())
+                };
+                let int = |k: &str| -> Result<i64, JsonError> {
+                    s.field(k)?
+                        .as_int()
+                        .ok_or_else(|| JsonError::msg(format!("{k} must be an integer")))
+                };
+                let verdict_str = str_field("verdict")?;
+                Ok(StateVerdict {
+                    var: str_field("var")?,
+                    verdict: StateShard::from_str(&verdict_str)
+                        .ok_or_else(|| JsonError::msg(format!("unknown verdict {verdict_str}")))?,
+                    reason: str_field("reason")?,
+                    span: Span::new(
+                        int("start")? as usize,
+                        int("end")? as usize,
+                        int("line")? as u32,
+                    ),
+                    key_sites: int("key_sites")? as usize,
+                })
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(ShardingReport { states })
+    }
+}
+
+/// The key tracer: classifies expressions and variables at program
+/// points by walking reaching definitions.
+struct Tracer<'a> {
+    ctx: &'a AnalysisCtx,
+    stmts: HashMap<nfl_lang::StmtId, &'a Stmt>,
+    states: BTreeSet<String>,
+    configs: BTreeSet<String>,
+}
+
+impl<'a> Tracer<'a> {
+    fn new(ctx: &'a AnalysisCtx, stmts: HashMap<nfl_lang::StmtId, &'a Stmt>) -> Tracer<'a> {
+        Tracer {
+            states: ctx.state_names(),
+            configs: ctx.config_names(),
+            ctx,
+            stmts,
+        }
+    }
+
+    /// Origin of `expr` evaluated at CFG node `node`.
+    fn classify_expr(
+        &self,
+        node: NodeId,
+        expr: &Expr,
+        visiting: &mut HashSet<(String, NodeId)>,
+    ) -> Origin {
+        match &expr.kind {
+            ExprKind::Int(_) | ExprKind::Bool(_) | ExprKind::Str(_) => Origin::Const,
+            ExprKind::Field(_, f) => {
+                if is_flow_field(*f) {
+                    Origin::Flow
+                } else {
+                    Origin::NonFlow(format!("non-flow packet field `{f:?}`"))
+                }
+            }
+            ExprKind::Var(v) => self.classify_var(node, v, visiting),
+            ExprKind::Tuple(es) | ExprKind::Array(es) => es
+                .iter()
+                .fold(Origin::Const, |acc, e| {
+                    acc.join(self.classify_expr(node, e, visiting))
+                }),
+            ExprKind::Index(base, key) => {
+                // Reading a container: a state map's *value* is non-flow
+                // data even under a flow key (it was written by some other
+                // packet); config/const containers contribute constants.
+                let base_origin = match &base.kind {
+                    ExprKind::Var(v) if self.states.contains(v) => {
+                        Origin::NonFlow(format!("value read from state `{v}`"))
+                    }
+                    _ => self.classify_expr(node, base, visiting),
+                };
+                base_origin.join(self.classify_expr(node, key, visiting))
+            }
+            ExprKind::Binary(_, a, b) => self
+                .classify_expr(node, a, visiting)
+                .join(self.classify_expr(node, b, visiting)),
+            ExprKind::Unary(_, e) => self.classify_expr(node, e, visiting),
+            ExprKind::Call(name, args) => {
+                if is_pure_builtin(name) {
+                    args.iter().fold(Origin::Const, |acc, a| {
+                        acc.join(self.classify_expr(node, a, visiting))
+                    })
+                } else {
+                    Origin::NonFlow(format!("call to `{name}`"))
+                }
+            }
+        }
+    }
+
+    /// Origin of variable `v` as read at node `node`, via its reaching
+    /// definitions.
+    fn classify_var(
+        &self,
+        node: NodeId,
+        v: &str,
+        visiting: &mut HashSet<(String, NodeId)>,
+    ) -> Origin {
+        if self.configs.contains(v) {
+            return Origin::Const;
+        }
+        if self.states.contains(v) {
+            return Origin::NonFlow(format!("state `{v}`"));
+        }
+        if self.ctx.info.var_ty(self.ctx.func(), v) == Some(Ty::Packet) {
+            // A whole packet value as key includes non-flow headers.
+            return Origin::NonFlow(format!("whole packet `{v}` used as key"));
+        }
+        if !visiting.insert((v.to_string(), node)) {
+            // Already tracing this (var, point): a dependence cycle. The
+            // cycle itself adds nothing new; other reaching defs decide.
+            return Origin::Const;
+        }
+        let mut origin: Option<Origin> = None;
+        let mut saw_def = false;
+        for (dv, def_node) in self.ctx.pdg.reaching.reaching_in(node) {
+            if dv != v {
+                continue;
+            }
+            saw_def = true;
+            let o = self.classify_def(*def_node, v, visiting);
+            origin = Some(match origin {
+                None => o,
+                Some(acc) => acc.join(o),
+            });
+        }
+        visiting.remove(&(v.to_string(), node));
+        if !saw_def {
+            // No initializing definition — NFL006's territory; stay
+            // conservative here.
+            return Origin::NonFlow(format!("`{v}` has no reaching definition"));
+        }
+        origin.unwrap_or(Origin::Const)
+    }
+
+    /// Origin contributed by the definition of `v` at `def_node`.
+    fn classify_def(
+        &self,
+        def_node: NodeId,
+        v: &str,
+        visiting: &mut HashSet<(String, NodeId)>,
+    ) -> Origin {
+        if def_node == self.ctx.pdg.cfg.entry {
+            // Boundary definition: parameters (the packet) and globals
+            // are handled in classify_var; anything else entering here is
+            // a non-packet parameter.
+            return Origin::NonFlow(format!("parameter `{v}`"));
+        }
+        let Some(sid) = self.ctx.pdg.cfg.nodes[def_node].stmt else {
+            return Origin::NonFlow(format!("synthetic definition of `{v}`"));
+        };
+        let Some(stmt) = self.stmts.get(&sid) else {
+            return Origin::NonFlow(format!("unknown definition of `{v}`"));
+        };
+        // Weak definitions (map/field stores, mutating builtins) taint:
+        // the variable holds partially-updated contents the tracer does
+        // not model element-wise.
+        let du = nfl_analysis::defuse::def_use(stmt);
+        let strong = du
+            .defs
+            .iter()
+            .any(|(d, k)| d == v && *k == DefKind::Strong);
+        if !strong {
+            return Origin::NonFlow(format!("partial update of `{v}`"));
+        }
+        match &stmt.kind {
+            StmtKind::Let { value, .. } => self.classify_expr(def_node, value, visiting),
+            StmtKind::Assign {
+                target: LValue::Var(_),
+                value,
+            } => self.classify_expr(def_node, value, visiting),
+            StmtKind::For { iter, .. } => match iter {
+                // A loop counter enumerates its range within one packet —
+                // it is not flow-identifying, so only the bounds' origins
+                // flow through (constant bounds ⇒ Const ⇒ shared keys).
+                ForIter::Range(lo, hi) => self
+                    .classify_expr(def_node, lo, visiting)
+                    .join(self.classify_expr(def_node, hi, visiting)),
+                ForIter::Array(a) => self.classify_expr(def_node, a, visiting),
+            },
+            _ => Origin::NonFlow(format!("opaque definition of `{v}`")),
+        }
+    }
+}
+
+/// Collect every keyed access to `states` in the per-packet function.
+fn collect_key_sites<'a>(
+    ctx: &AnalysisCtx,
+    tracer: &Tracer<'a>,
+    states: &BTreeSet<String>,
+) -> Vec<KeySite> {
+    let mut sites = Vec::new();
+    let func = ctx
+        .program()
+        .function(ctx.func())
+        .expect("normalised function");
+
+    fn scan_expr(
+        t: &Tracer<'_>,
+        states: &BTreeSet<String>,
+        node: NodeId,
+        e: &Expr,
+        out: &mut Vec<KeySite>,
+    ) {
+        match &e.kind {
+            ExprKind::Index(base, key) => {
+                if let ExprKind::Var(m) = &base.kind {
+                    if states.contains(m) {
+                        let mut visiting = HashSet::new();
+                        out.push(KeySite {
+                            var: m.clone(),
+                            kind: AccessKind::Read,
+                            span: key.span,
+                            origin: t.classify_expr(node, key, &mut visiting),
+                        });
+                    }
+                }
+                scan_expr(t, states, node, base, out);
+                scan_expr(t, states, node, key, out);
+            }
+            ExprKind::Binary(op, a, b) => {
+                if matches!(op, BinOp::In | BinOp::NotIn) {
+                    if let ExprKind::Var(m) = &b.kind {
+                        if states.contains(m) {
+                            let mut visiting = HashSet::new();
+                            out.push(KeySite {
+                                var: m.clone(),
+                                kind: AccessKind::Membership,
+                                span: a.span,
+                                origin: t.classify_expr(node, a, &mut visiting),
+                            });
+                        }
+                    }
+                }
+                scan_expr(t, states, node, a, out);
+                scan_expr(t, states, node, b, out);
+            }
+            ExprKind::Call(name, args) => {
+                if name == "map_remove" {
+                    if let (Some(Expr { kind: ExprKind::Var(m), .. }), Some(key)) =
+                        (args.first(), args.get(1))
+                    {
+                        if states.contains(m) {
+                            let mut visiting = HashSet::new();
+                            out.push(KeySite {
+                                var: m.clone(),
+                                kind: AccessKind::Remove,
+                                span: key.span,
+                                origin: t.classify_expr(node, key, &mut visiting),
+                            });
+                        }
+                    }
+                }
+                for a in args {
+                    scan_expr(t, states, node, a, out);
+                }
+            }
+            ExprKind::Tuple(es) | ExprKind::Array(es) => {
+                for x in es {
+                    scan_expr(t, states, node, x, out);
+                }
+            }
+            ExprKind::Unary(_, x) => scan_expr(t, states, node, x, out),
+            _ => {}
+        }
+    }
+
+    fn scan_stmts(
+        t: &Tracer<'_>,
+        ctx: &AnalysisCtx,
+        states: &BTreeSet<String>,
+        stmts: &[Stmt],
+        out: &mut Vec<KeySite>,
+    ) {
+        for s in stmts {
+            let Some(&node) = ctx.pdg.cfg.stmt_node.get(&s.id) else {
+                continue;
+            };
+            match &s.kind {
+                StmtKind::Let { value, .. } | StmtKind::Expr(value) => {
+                    scan_expr(t, states, node, value, out)
+                }
+                StmtKind::Assign { target, value } => {
+                    if let LValue::Index(m, key) = target {
+                        if states.contains(m) {
+                            let mut visiting = HashSet::new();
+                            out.push(KeySite {
+                                var: m.clone(),
+                                kind: AccessKind::Write,
+                                span: key.span,
+                                origin: t.classify_expr(node, key, &mut visiting),
+                            });
+                            scan_expr(t, states, node, key, out);
+                        }
+                    }
+                    scan_expr(t, states, node, value, out);
+                }
+                StmtKind::If {
+                    cond,
+                    then_branch,
+                    else_branch,
+                } => {
+                    scan_expr(t, states, node, cond, out);
+                    scan_stmts(t, ctx, states, then_branch, out);
+                    scan_stmts(t, ctx, states, else_branch, out);
+                }
+                StmtKind::While { cond, body } => {
+                    scan_expr(t, states, node, cond, out);
+                    scan_stmts(t, ctx, states, body, out);
+                }
+                StmtKind::For { iter, body, .. } => {
+                    match iter {
+                        ForIter::Range(lo, hi) => {
+                            scan_expr(t, states, node, lo, out);
+                            scan_expr(t, states, node, hi, out);
+                        }
+                        ForIter::Array(a) => scan_expr(t, states, node, a, out),
+                    }
+                    scan_stmts(t, ctx, states, body, out);
+                }
+                StmtKind::Return(Some(e)) => scan_expr(t, states, node, e, out),
+                _ => {}
+            }
+        }
+    }
+
+    scan_stmts(tracer, ctx, states, &func.body, &mut sites);
+    sites
+}
+
+/// Run the analysis: per-state verdicts plus `NFL009` diagnostics for
+/// everything that needs a global shard.
+pub fn analyze(ctx: &AnalysisCtx) -> (ShardingReport, Vec<Diagnostic>) {
+    let stmts = ctx.stmt_map();
+    let states = ctx.state_names();
+    let tracer = Tracer::new(ctx, stmts);
+    let sites = collect_key_sites(ctx, &tracer, &states);
+
+    // Which states are read/written at all in the per-packet function.
+    let mut written: BTreeSet<String> = BTreeSet::new();
+    let mut read: BTreeSet<String> = BTreeSet::new();
+    for node in 0..ctx.pdg.cfg.len() {
+        let du = &ctx.pdg.reaching.node_du[node];
+        for (d, _) in &du.defs {
+            written.insert(d.clone());
+        }
+        for u in &du.uses {
+            // A weak update's self-read does not count as a real read.
+            if !du.defs.iter().any(|(d, _)| d == u) {
+                read.insert(u.clone());
+            }
+        }
+    }
+
+    let mut report = ShardingReport::default();
+    let mut diags = Vec::new();
+    for item in &ctx.program().states {
+        let name = &item.name;
+        let my_sites: Vec<&KeySite> = sites.iter().filter(|s| &s.var == name).collect();
+        let is_map = matches!(
+            ctx.info.var_ty(ctx.func(), name),
+            Some(Ty::Map(_, _))
+        ) || !my_sites.is_empty();
+        let is_written = written.contains(name);
+        let is_log = ctx.classes.log_vars.contains(name);
+
+        let (verdict, reason, bad_site): (StateShard, String, Option<&KeySite>) =
+            if !is_written && !read.contains(name) {
+                (
+                    StateShard::ReadOnly,
+                    "never touched by the packet loop".into(),
+                    None,
+                )
+            } else if !is_written {
+                (
+                    StateShard::ReadOnly,
+                    "never written during packet processing; replicate to every shard".into(),
+                    None,
+                )
+            } else if is_map {
+                match my_sites
+                    .iter()
+                    .find(|s| !matches!(s.origin, Origin::Flow))
+                {
+                    None => (
+                        StateShard::PerFlow,
+                        format!(
+                            "all {} keys derive from the packet flow tuple",
+                            my_sites.len()
+                        ),
+                        None,
+                    ),
+                    Some(bad) => {
+                        let culprit = match &bad.origin {
+                            Origin::Const => "constant key shared by every flow".to_string(),
+                            Origin::NonFlow(why) => why.clone(),
+                            Origin::Flow => unreachable!(),
+                        };
+                        let reason = format!(
+                            "{} key at line {} is not flow-derived: {}",
+                            bad.kind.as_str(),
+                            bad.span.line,
+                            culprit
+                        );
+                        if is_log {
+                            (
+                                StateShard::LogOnly,
+                                format!("{reason}; never output-impacting, so per-shard copies can be aggregated"),
+                                None,
+                            )
+                        } else {
+                            (StateShard::Shared, reason, Some(bad))
+                        }
+                    }
+                }
+            } else if is_log {
+                (
+                    StateShard::LogOnly,
+                    "counter never impacts output; keep per-shard copies and aggregate".into(),
+                    None,
+                )
+            } else {
+                (
+                    StateShard::Shared,
+                    "single cell updated on the packet path couples all flows".into(),
+                    None,
+                )
+            };
+
+        if verdict == StateShard::Shared {
+            let span = bad_site.map(|s| s.span).unwrap_or(item.span);
+            diags.push(Diagnostic::new(
+                Code::SharedState,
+                span,
+                Some(name.clone()),
+                format!("state `{name}` cannot be sharded per-flow: {reason}"),
+            ));
+        }
+        report.states.push(StateVerdict {
+            var: name.clone(),
+            verdict,
+            reason,
+            span: item.span,
+            key_sites: my_sites.len(),
+        });
+    }
+    (report, diags)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> ShardingReport {
+        let p = nfl_lang::parse_and_check(src).unwrap();
+        let ctx = AnalysisCtx::build(&p).unwrap();
+        analyze(&ctx).0
+    }
+
+    fn verdict_of<'r>(r: &'r ShardingReport, var: &str) -> &'r StateVerdict {
+        r.states.iter().find(|s| s.var == var).unwrap()
+    }
+
+    #[test]
+    fn flow_keyed_map_is_per_flow() {
+        let r = run(r#"
+            state buckets = map();
+            fn cb(pkt: packet) {
+                let src = pkt.ip.src;
+                if src not in buckets { buckets[src] = 1; }
+                if buckets[src] > 0 { send(pkt); }
+            }
+            fn main() { sniff(cb); }
+        "#);
+        let v = verdict_of(&r, "buckets");
+        assert_eq!(v.verdict, StateShard::PerFlow, "{v:?}");
+        assert_eq!(v.key_sites, 3); // membership, write, read
+        assert!(r.shardable());
+    }
+
+    #[test]
+    fn strong_redefinition_kills_flow_origin() {
+        // `k` starts flow-derived but is strongly overwritten with a
+        // constant before the access: only the constant def reaches, so
+        // the key is constant → shared.
+        let r = run(r#"
+            state m = map();
+            fn cb(pkt: packet) {
+                let k = pkt.ip.src;
+                k = 7;
+                if k in m { drop(pkt); } else { m[k] = 1; send(pkt); }
+            }
+            fn main() { sniff(cb); }
+        "#);
+        let v = verdict_of(&r, "m");
+        assert_eq!(v.verdict, StateShard::Shared, "{v:?}");
+        assert!(v.reason.contains("constant"), "{}", v.reason);
+    }
+
+    #[test]
+    fn weak_defs_do_not_launder_state_reads() {
+        // The key is a value read out of another state map: a *weak*
+        // def chain that must stay non-flow even though the outer index
+        // is flow-derived.
+        let r = run(r#"
+            state alias = map();
+            state m = map();
+            fn cb(pkt: packet) {
+                let k = alias[pkt.ip.src];
+                if k in m { drop(pkt); } else { m[k] = 1; send(pkt); }
+            }
+            fn main() { sniff(cb); }
+        "#);
+        let v = verdict_of(&r, "m");
+        assert_eq!(v.verdict, StateShard::Shared, "{v:?}");
+        assert!(v.reason.contains("state `alias`"), "{}", v.reason);
+        assert!(!r.shardable());
+    }
+
+    #[test]
+    fn branch_join_taints_key() {
+        // One branch derives the key from the flow, the other from an
+        // allocator state — both defs reach the access, so it is shared.
+        let r = run(r#"
+            state next = 0;
+            state m = map();
+            fn cb(pkt: packet) {
+                let k = pkt.tcp.dport;
+                if pkt.ip.src == 1 {
+                    k = next;
+                    next = next + 1;
+                }
+                if k in m { drop(pkt); } else { m[k] = 1; send(pkt); }
+            }
+            fn main() { sniff(cb); }
+        "#);
+        let v = verdict_of(&r, "m");
+        assert_eq!(v.verdict, StateShard::Shared, "{v:?}");
+        assert!(v.reason.contains("state `next`"), "{}", v.reason);
+    }
+
+    #[test]
+    fn hash_of_flow_fields_stays_flow() {
+        let r = run(r#"
+            state m = map();
+            fn cb(pkt: packet) {
+                let k = hash(pkt.ip.src) % 64;
+                m[k] = 1;
+                send(pkt);
+            }
+            fn main() { sniff(cb); }
+        "#);
+        assert_eq!(verdict_of(&r, "m").verdict, StateShard::PerFlow);
+    }
+
+    #[test]
+    fn tuple_key_mixing_config_and_flow_is_flow() {
+        // Configs are constant across flows; they neither make a key
+        // per-flow on their own nor taint a flow-derived one.
+        let r = run(r#"
+            config PORT = 80;
+            state m = map();
+            fn cb(pkt: packet) {
+                m[(pkt.ip.src, PORT)] = 1;
+                send(pkt);
+            }
+            fn main() { sniff(cb); }
+        "#);
+        assert_eq!(verdict_of(&r, "m").verdict, StateShard::PerFlow);
+    }
+
+    #[test]
+    fn config_only_key_is_shared() {
+        let r = run(r#"
+            config PORT = 80;
+            state m = map();
+            fn cb(pkt: packet) {
+                if PORT in m { drop(pkt); } else { m[PORT] = 1; send(pkt); }
+            }
+            fn main() { sniff(cb); }
+        "#);
+        let v = verdict_of(&r, "m");
+        assert_eq!(v.verdict, StateShard::Shared, "{v:?}");
+    }
+
+    #[test]
+    fn non_flow_packet_field_key_is_shared() {
+        // Two different flows can carry the same TTL; RSS will not keep
+        // them on one core.
+        let r = run(r#"
+            state m = map();
+            fn cb(pkt: packet) {
+                if pkt.ip.ttl in m { drop(pkt); } else { m[pkt.ip.ttl] = 1; send(pkt); }
+            }
+            fn main() { sniff(cb); }
+        "#);
+        let v = verdict_of(&r, "m");
+        assert_eq!(v.verdict, StateShard::Shared);
+        assert!(v.reason.contains("non-flow packet field"), "{}", v.reason);
+    }
+
+    #[test]
+    fn scalar_verdicts() {
+        let r = run(r#"
+            state seen = 0;
+            state budget = 10;
+            state floor = 3;
+            fn cb(pkt: packet) {
+                seen = seen + 1;
+                if budget > floor {
+                    budget = budget - 1;
+                    send(pkt);
+                }
+            }
+            fn main() { sniff(cb); }
+        "#);
+        // `seen` never impacts output → log-only.
+        assert_eq!(verdict_of(&r, "seen").verdict, StateShard::LogOnly);
+        // `budget` guards the send and is written → shared.
+        assert_eq!(verdict_of(&r, "budget").verdict, StateShard::Shared);
+        // `floor` is read-only.
+        assert_eq!(verdict_of(&r, "floor").verdict, StateShard::ReadOnly);
+        assert_eq!(r.nf_verdict(), StateShard::Shared);
+    }
+
+    #[test]
+    fn loop_counter_key_is_shared() {
+        // Iterating every slot each packet is the opposite of per-flow.
+        let r = run(r#"
+            config N = 4;
+            state slots = map();
+            fn cb(pkt: packet) {
+                for i in 0..N {
+                    if i in slots { drop(pkt); return; }
+                }
+                slots[pkt.ip.src] = 1;
+                send(pkt);
+            }
+            fn main() { sniff(cb); }
+        "#);
+        assert_eq!(verdict_of(&r, "slots").verdict, StateShard::Shared);
+    }
+
+    #[test]
+    fn map_remove_key_is_traced() {
+        let r = run(r#"
+            state m = map();
+            fn cb(pkt: packet) {
+                let k = (pkt.ip.src, pkt.tcp.sport);
+                if k in m {
+                    map_remove(m, k);
+                } else {
+                    m[k] = 1;
+                }
+                send(pkt);
+            }
+            fn main() { sniff(cb); }
+        "#);
+        let v = verdict_of(&r, "m");
+        assert_eq!(v.verdict, StateShard::PerFlow, "{v:?}");
+        assert_eq!(v.key_sites, 3);
+    }
+
+    #[test]
+    fn report_json_roundtrips() {
+        let r = run(r#"
+            state next = 0;
+            state m = map();
+            fn cb(pkt: packet) {
+                if next in m { drop(pkt); } else { m[next] = 1; send(pkt); }
+                next = next + 1;
+            }
+            fn main() { sniff(cb); }
+        "#);
+        let v = nf_support::json::Value::parse(&r.to_json().render()).unwrap();
+        assert_eq!(ShardingReport::from_json(&v).unwrap(), r);
+        assert_eq!(r.nf_verdict(), StateShard::Shared);
+    }
+}

@@ -13,4 +13,12 @@ cargo build --release --offline
 echo "==> cargo test -q --offline --workspace"
 cargo test -q --offline --workspace
 
+echo "==> nfactor lint over the corpus"
+# The lint exits non-zero iff an error-severity (NFL006/NFL008)
+# diagnostic fires; the corpus must stay clean of those.
+for nf in fig1-lb balance snort nat firewall ratelimiter portknock router; do
+    ./target/release/nfactor lint --corpus "$nf" > /dev/null
+    echo "    lint $nf: ok"
+done
+
 echo "==> verify OK"

@@ -38,6 +38,7 @@
 //! | [`analysis`] | `nfl-analysis` | CFG, dominators, PDG, inlining, Fig. 4 structure normalisation |
 //! | [`interp`] | `nfl-interp` | concrete interpreter + dynamic traces |
 //! | [`slicer`] | `nfl-slicer` | static & dynamic backward slicing, StateAlyzer classes |
+//! | [`lint`] | `nfl-lint` | diagnostics passes (`NFL0xx`) + cross-flow sharding analysis |
 //! | [`symex`] | `nfl-symex` | symbolic execution + SMT-lite solver |
 //! | [`packet`] | `nf-packet` | Ethernet/IPv4/TCP/UDP substrate, packet generator |
 //! | [`tcp`] | `nf-tcp` | TCP FSM + socket unfolding (Fig. 4d → Fig. 5) |
@@ -45,6 +46,7 @@
 //! | [`core`] | `nfactor-core` | the pipeline (Algorithm 1) + §5 accuracy experiments |
 //! | [`corpus`] | `nf-corpus` | the analysed NFs, incl. paper-scale snort/balance generators |
 //! | [`verify`] | `nf-verify` | §4 applications: stateful HSA, chain composition, test generation |
+//! | [`support`] | `nf-support` | zero-dep substrate: JSON, bench harness, property testing |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -57,6 +59,8 @@ pub use nf_verify as verify;
 pub use nfactor_core as core;
 pub use nfl_analysis as analysis;
 pub use nfl_interp as interp;
+pub use nf_support as support;
 pub use nfl_lang as lang;
+pub use nfl_lint as lint;
 pub use nfl_slicer as slicer;
 pub use nfl_symex as symex;

@@ -9,6 +9,7 @@
 //! nfactor fsm        <file.nfl | --corpus name>   # Graphviz dot of the model FSM
 //! nfactor metrics    <file.nfl | --corpus name>   # Table-2 row (add --orig for the slow column)
 //! nfactor test       <file.nfl | --corpus name>   # model-guided compliance tests
+//! nfactor lint       <file.nfl | --corpus name>   # NFL0xx diagnostics + sharding verdict (--json for machine output)
 //! nfactor corpus                                  # list bundled corpus NFs
 //! ```
 //!
@@ -21,7 +22,7 @@ use std::process::ExitCode;
 fn usage() -> ExitCode {
     eprintln!(
         "usage: nfactor <synthesize|export|slice|classes|paths|fsm|metrics|test|lint> \
-         <file.nfl | --corpus NAME> [--orig]\n       nfactor corpus"
+         <file.nfl | --corpus NAME> [--orig] [--json]\n       nfactor corpus"
     );
     ExitCode::from(2)
 }
@@ -60,9 +61,10 @@ fn main() -> ExitCode {
         return usage();
     };
     let orig = argv.iter().any(|a| a == "--orig");
+    let json = argv.iter().any(|a| a == "--json");
     let rest: Vec<String> = argv[1..]
         .iter()
-        .filter(|a| *a != "--orig")
+        .filter(|a| *a != "--orig" && *a != "--json")
         .cloned()
         .collect();
     let result: Result<(), String> = match cmd.as_str() {
@@ -116,23 +118,23 @@ fn main() -> ExitCode {
             }
         }),
         "lint" => {
-            let r: Result<(), String> = (|| {
-                let (_, src) = load_source(&rest)?;
-                let program =
-                    nfactor::lang::parse_and_check(&src).map_err(|e| e.to_string())?;
-                let pl = nfactor::core::pipeline::normalize_with_unfold(&program)
-                    .map_err(|e| e.to_string())?;
-                let diags = nfactor::analysis::dead_stores(&pl.program, &pl.func);
-                if diags.is_empty() {
-                    println!("no dead code found");
+            let r: Result<bool, String> = (|| {
+                let (name, src) = load_source(&rest)?;
+                let report = nfactor::lint::lint_source(&name, &src)?;
+                if json {
+                    use nfactor::support::json::ToJson;
+                    println!("{}", report.to_json().render_pretty());
                 } else {
-                    for d in &diags {
-                        println!("{} [{}]: {}", d.span, d.kind, d.message);
-                    }
+                    print!("{}", report.render_text());
                 }
-                Ok(())
+                Ok(report.has_errors())
             })();
-            r
+            match r {
+                // Exit non-zero iff an error-severity diagnostic fired.
+                Ok(false) => Ok(()),
+                Ok(true) => return ExitCode::FAILURE,
+                Err(e) => Err(e),
+            }
         }
         "test" => run_synthesis(&rest, orig).and_then(|syn| {
             let report =

@@ -1,0 +1,162 @@
+//! Golden-file tests for `nfactor lint`: the rendered diagnostics and
+//! sharding verdict of every corpus NF, pinned as checked-in text.
+//!
+//! The golden files double as the review surface for the sharding
+//! analysis: `fig1_lb`, `nat` and `balance10` are intentionally
+//! shared-state NFs (allocator counters key their reverse maps), while
+//! `firewall`, `portknock`, `ratelimiter` and `snort25` must stay
+//! per-flow. A diff here means either a lint changed behaviour or an NF
+//! changed shardability — both worth a human look. To refresh after an
+//! intentional change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test lint_golden
+//! ```
+
+use nfactor::lint::lint_source;
+use std::path::PathBuf;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden/lint")
+        .join(format!("{name}.txt"))
+}
+
+fn check_golden(name: &str, src: &str) {
+    let report = lint_source(name, src).unwrap_or_else(|e| panic!("lint failed on {name}: {e}"));
+    let actual = format!(
+        "# golden: lint/{name}\n# regenerate with UPDATE_GOLDEN=1 cargo test --test lint_golden\n\n{}",
+        report.render_text()
+    );
+    let path = golden_path(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); run UPDATE_GOLDEN=1 cargo test --test lint_golden",
+            path.display()
+        )
+    });
+    assert_eq!(
+        actual, expected,
+        "lint golden mismatch for {name}; if intentional, rerun with UPDATE_GOLDEN=1"
+    );
+}
+
+/// The corpus must lint clean of error-severity diagnostics; warnings
+/// and notes are expected (that is what the lint is for).
+fn check_no_errors(name: &str, src: &str) {
+    let report = lint_source(name, src).unwrap();
+    assert!(
+        !report.has_errors(),
+        "{name} has error-severity diagnostics: {:?}",
+        report
+            .diagnostics
+            .iter()
+            .filter(|d| d.severity == nfactor::lint::Severity::Error)
+            .collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn lint_golden_fig1_lb() {
+    let src = nfactor::corpus::fig1_lb::source();
+    check_golden("fig1_lb", &src);
+    check_no_errors("fig1_lb", &src);
+}
+
+#[test]
+fn lint_golden_firewall() {
+    let src = nfactor::corpus::firewall::source();
+    check_golden("firewall", &src);
+    check_no_errors("firewall", &src);
+}
+
+#[test]
+fn lint_golden_nat() {
+    let src = nfactor::corpus::nat::source();
+    check_golden("nat", &src);
+    check_no_errors("nat", &src);
+}
+
+#[test]
+fn lint_golden_portknock() {
+    let src = nfactor::corpus::portknock::source();
+    check_golden("portknock", &src);
+    check_no_errors("portknock", &src);
+}
+
+#[test]
+fn lint_golden_ratelimiter() {
+    let src = nfactor::corpus::ratelimiter::source();
+    check_golden("ratelimiter", &src);
+    check_no_errors("ratelimiter", &src);
+}
+
+#[test]
+fn lint_golden_router() {
+    let src = nfactor::corpus::router::source();
+    check_golden("router", &src);
+    check_no_errors("router", &src);
+}
+
+#[test]
+fn lint_golden_balance() {
+    let src = nfactor::corpus::balance::source(10);
+    check_golden("balance10", &src);
+    check_no_errors("balance10", &src);
+}
+
+#[test]
+fn lint_golden_snort() {
+    let src = nfactor::corpus::snort::source(25);
+    check_golden("snort25", &src);
+    check_no_errors("snort25", &src);
+}
+
+/// Cross-NF shardability expectations, independent of the golden text:
+/// the reverse-NAT allocators make fig1-lb and nat shared, balance's
+/// round-robin index makes it shared (its unfolded `__tcp` map is still
+/// per-flow), and the pure per-flow NFs must stay shardable.
+#[test]
+fn corpus_shardability_matrix() {
+    use nfactor::lint::StateShard;
+    let expect = [
+        ("fig1-lb", nfactor::corpus::fig1_lb::source(), false),
+        ("nat", nfactor::corpus::nat::source(), false),
+        ("balance", nfactor::corpus::balance::source(10), false),
+        ("firewall", nfactor::corpus::firewall::source(), true),
+        ("portknock", nfactor::corpus::portknock::source(), true),
+        ("ratelimiter", nfactor::corpus::ratelimiter::source(), true),
+        ("router", nfactor::corpus::router::source(), true),
+        ("snort", nfactor::corpus::snort::source(25), true),
+    ];
+    for (name, src, shardable) in expect {
+        let report = lint_source(name, &src).unwrap();
+        assert_eq!(
+            report.sharding.shardable(),
+            shardable,
+            "{name}: expected shardable={shardable}, got {:?}",
+            report.sharding
+        );
+    }
+    // Spot-check the interesting verdicts.
+    let lb = lint_source("fig1-lb", &nfactor::corpus::fig1_lb::source()).unwrap();
+    let verdict = |r: &nfactor::lint::LintReport, var: &str| {
+        r.sharding
+            .states
+            .iter()
+            .find(|s| s.var == var)
+            .unwrap_or_else(|| panic!("no verdict for {var}"))
+            .verdict
+    };
+    assert_eq!(verdict(&lb, "f2b_nat"), StateShard::PerFlow);
+    assert_eq!(verdict(&lb, "b2f_nat"), StateShard::Shared);
+    assert_eq!(verdict(&lb, "pass_stat"), StateShard::LogOnly);
+    let bal = lint_source("balance", &nfactor::corpus::balance::source(10)).unwrap();
+    assert_eq!(verdict(&bal, "__tcp"), StateShard::PerFlow);
+    assert_eq!(verdict(&bal, "idx"), StateShard::Shared);
+}
