@@ -6,8 +6,11 @@ use nfl_analysis::normalize::{normalize, PacketLoop, StructureError};
 use nfl_analysis::pdg::{default_boundary, Pdg};
 use nfl_lang::types::TypeInfo;
 use nfl_lang::Program;
+use nf_support::budget::Budget;
 use nfl_slicer::statealyzer::StateAlyzerInput;
-use nfl_slicer::static_slice::{packet_slice, slice_union, state_slice, SliceResult};
+use nfl_slicer::static_slice::{
+    packet_slice_budgeted, slice_union, state_slice_budgeted, SliceResult,
+};
 use nfl_slicer::statealyzer::{statealyzer, VarClasses};
 use nfl_symex::{ExplorationStats, PathLimits, SymExec};
 use std::fmt;
@@ -53,6 +56,12 @@ pub struct Options {
     pub measure_original: bool,
     /// Limits for that original-program execution.
     pub original_limits: PathLimits,
+    /// Resource budget for the whole pipeline (wall-clock deadline plus
+    /// path/step/solver caps). On exhaustion the pipeline degrades
+    /// gracefully: it returns a *partial* model stamped
+    /// [`Completeness::Truncated`](nf_model::Completeness) instead of
+    /// hanging or erroring — Table 2's ">1000 paths" made first-class.
+    pub budget: Budget,
 }
 
 impl Default for Options {
@@ -67,6 +76,7 @@ impl Default for Options {
                 max_steps: 20_000,
                 track_executed: false,
             },
+            budget: Budget::unlimited(),
         }
     }
 }
@@ -179,17 +189,26 @@ pub fn synthesize_program(
     let t_slice = Instant::now();
     let boundary = default_boundary(&nf_loop.program, &nf_loop.func);
     let pdg = Pdg::build(&nf_loop.program, &nf_loop.func, &boundary);
-    let pkt_slice = packet_slice(&pdg, &nf_loop.program, &nf_loop.func);
+    let (pkt_slice, pkt_stop) =
+        packet_slice_budgeted(&pdg, &nf_loop.program, &nf_loop.func, &opts.budget);
     let classes = statealyzer(&nf_loop, &pkt_slice.stmts, &type_info, opts.statealyzer_input);
-    let st_slice = state_slice(&pdg, &nf_loop.program, &nf_loop.func, &classes.ois_vars);
+    let (st_slice, st_stop) = state_slice_budgeted(
+        &pdg,
+        &nf_loop.program,
+        &nf_loop.func,
+        &classes.ois_vars,
+        &opts.budget,
+    );
+    let slicing_stop = pkt_stop.or(st_stop);
     let union = slice_union(&pkt_slice, &st_slice);
     let slicing_time = t_slice.elapsed();
 
-    // 5. Symbolic execution on the slice.
+    // 5. Symbolic execution on the slice, under the same budget.
     let sliced_loop = filter_loop(&nf_loop, &union.stmts);
     let t_se = Instant::now();
     let exploration = SymExec::new(&sliced_loop)
         .with_limits(opts.limits)
+        .with_budget(opts.budget)
         .explore()
         .map_err(|e| Error::Symex(e.to_string()))?;
     let se_time_slice = t_se.elapsed();
@@ -209,8 +228,14 @@ pub fn synthesize_program(
         (None, None)
     };
 
-    // 6. Refactor paths into the model.
+    // 6. Refactor paths into the model. A budget stop anywhere in the
+    // pipeline stamps the model as a partial one, reason attached.
     let model = Model::from_paths(name, &exploration.paths);
+    let truncation = slicing_stop.or_else(|| exploration.stop_reason.clone());
+    let model = match truncation {
+        Some(reason) => model.with_truncation(reason),
+        None => model,
+    };
 
     let loc_path = exploration
         .paths
@@ -393,6 +418,63 @@ mod tests {
         assert!(syn.classes.ois_vars.contains("idx"), "{:?}", syn.classes);
         let rendered = syn.render_model();
         assert!(rendered.contains("idx := ((idx + 1) % 2)"), "{rendered}");
+    }
+
+    #[test]
+    fn expired_deadline_degrades_to_truncated_model() {
+        // A pre-expired deadline must not hang, panic, or error out: the
+        // pipeline returns a partial model that says why it is partial.
+        let opts = Options {
+            budget: Budget::unlimited().with_timeout_ms(0),
+            ..Options::default()
+        };
+        let syn = synthesize("fig1-lb", LB_SRC, &opts).unwrap();
+        assert!(
+            syn.model.completeness.is_truncated(),
+            "{:?}",
+            syn.model.completeness
+        );
+        let reason = syn.model.completeness.reason().unwrap();
+        assert!(reason.contains("deadline"), "{reason}");
+        // The reason is visible in the Figure 6 rendering…
+        assert!(syn.render_model().contains("PARTIAL MODEL"));
+        // …and round-trips through JSON.
+        use nf_support::json::{FromJson, ToJson};
+        let json = syn.model.to_json().render();
+        let val = nf_support::json::Value::parse(&json).unwrap();
+        let back = nf_model::Model::from_json(&val).unwrap();
+        assert_eq!(back.completeness, syn.model.completeness);
+    }
+
+    #[test]
+    fn generous_budget_leaves_model_complete() {
+        let opts = Options {
+            budget: Budget::unlimited()
+                .with_timeout_ms(120_000)
+                .with_max_solver_calls(1_000_000),
+            ..Options::default()
+        };
+        let syn = synthesize("fig1-lb", LB_SRC, &opts).unwrap();
+        assert!(!syn.model.completeness.is_truncated());
+        assert_eq!(syn.metrics.ep_slice, 5);
+    }
+
+    #[test]
+    fn solver_budget_truncates_with_reason() {
+        let opts = Options {
+            budget: Budget::unlimited().with_max_solver_calls(1),
+            ..Options::default()
+        };
+        let syn = synthesize("fig1-lb", LB_SRC, &opts).unwrap();
+        assert!(syn.model.completeness.is_truncated());
+        assert!(syn
+            .model
+            .completeness
+            .reason()
+            .unwrap()
+            .contains("solver-call budget"));
+        // Partial ≤ full path count.
+        assert!(syn.metrics.ep_slice <= 5);
     }
 
     #[test]

@@ -1,0 +1,112 @@
+//! Byte-level mutators for NFL source text and wire-format packets.
+//!
+//! Mutations are deliberately dumb — flip, insert, delete, duplicate,
+//! splice-in of syntax characters — because the oracles only demand the
+//! *absence of panics* on mutated input. Smarter, grammar-aware inputs
+//! come from [`crate::grammar`] instead.
+
+use nf_support::rng::Rng;
+
+/// Characters that stress an NFL parser: delimiters, operators, and the
+/// keywords' first letters.
+const SYNTAX_BYTES: &[u8] = b"{}();=<>!&|.,:#\"[]+-*/% \n\tfnconfigstatewhile";
+
+fn mutate_once(rng: &mut Rng, buf: &mut Vec<u8>, pool: &[u8]) {
+    if buf.is_empty() {
+        buf.push(pool[rng.gen_index(pool.len())]);
+        return;
+    }
+    match rng.gen_index(5) {
+        // Flip a random byte.
+        0 => {
+            let i = rng.gen_index(buf.len());
+            buf[i] ^= rng.gen_u8() | 1;
+        }
+        // Overwrite with a syntax byte.
+        1 => {
+            let i = rng.gen_index(buf.len());
+            buf[i] = pool[rng.gen_index(pool.len())];
+        }
+        // Insert a syntax byte.
+        2 => {
+            let i = rng.gen_index(buf.len() + 1);
+            buf.insert(i, pool[rng.gen_index(pool.len())]);
+        }
+        // Delete a chunk.
+        3 => {
+            let start = rng.gen_index(buf.len());
+            let len = 1 + rng.gen_index(8.min(buf.len() - start));
+            buf.drain(start..start + len);
+        }
+        // Duplicate a chunk.
+        _ => {
+            let start = rng.gen_index(buf.len());
+            let len = 1 + rng.gen_index(16.min(buf.len() - start));
+            let chunk: Vec<u8> = buf[start..start + len].to_vec();
+            let at = rng.gen_index(buf.len() + 1);
+            for (k, b) in chunk.into_iter().enumerate() {
+                buf.insert(at + k, b);
+            }
+        }
+    }
+}
+
+/// Mutate NFL source text: 1–8 random byte edits biased toward syntax
+/// characters. The result may be arbitrarily malformed (including invalid
+/// UTF-8, which is lossily re-decoded).
+pub fn mutate_text(rng: &mut Rng, src: &str) -> String {
+    let mut buf = src.as_bytes().to_vec();
+    for _ in 0..1 + rng.gen_index(8) {
+        mutate_once(rng, &mut buf, SYNTAX_BYTES);
+    }
+    String::from_utf8_lossy(&buf).into_owned()
+}
+
+/// Mutate wire-format packet bytes: 1–8 random byte edits.
+pub fn mutate_wire(rng: &mut Rng, wire: &[u8]) -> Vec<u8> {
+    let mut buf = wire.to_vec();
+    let pool: Vec<u8> = (0..=255).collect();
+    for _ in 0..1 + rng.gen_index(8) {
+        mutate_once(rng, &mut buf, &pool);
+    }
+    buf
+}
+
+/// Pure random bytes (the harshest diet): `len` bytes drawn uniformly.
+pub fn random_bytes(rng: &mut Rng, len: usize) -> Vec<u8> {
+    (0..len).map(|_| rng.gen_u8()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mutations_are_deterministic() {
+        let src = "fn main() { let x = 1; }";
+        let a = mutate_text(&mut Rng::new(5), src);
+        let b = mutate_text(&mut Rng::new(5), src);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn mutation_changes_input_usually() {
+        let src = "config LB_PORT = 80;\nfn main() { sniff(cb); }";
+        let mut rng = Rng::new(1);
+        let changed = (0..50)
+            .filter(|_| mutate_text(&mut rng, src) != src)
+            .count();
+        assert!(changed > 40, "only {changed}/50 mutations changed the text");
+    }
+
+    #[test]
+    fn wire_mutation_handles_empty_and_tiny_buffers() {
+        let mut rng = Rng::new(9);
+        for n in 0..4 {
+            let buf = vec![0u8; n];
+            let m = mutate_wire(&mut rng, &buf);
+            // No panic, and something comes back.
+            assert!(m.len() + 8 >= buf.len());
+        }
+    }
+}

@@ -35,6 +35,9 @@ pub struct ModelFsm {
     pub states: Vec<String>,
     /// All transitions.
     pub transitions: Vec<Transition>,
+    /// Truncation reason when the source model was budget-truncated —
+    /// an FSM missing transitions must say so.
+    pub truncated: Option<String>,
 }
 
 fn state_label(e: &Entry) -> String {
@@ -84,6 +87,7 @@ impl ModelFsm {
         ModelFsm {
             states,
             transitions,
+            truncated: model.completeness.reason().map(str::to_string),
         }
     }
 
@@ -96,6 +100,12 @@ impl ModelFsm {
     /// Render as Graphviz dot (for documentation and debugging).
     pub fn to_dot(&self) -> String {
         let mut out = String::from("digraph nf_fsm {\n  rankdir=LR;\n");
+        if let Some(reason) = &self.truncated {
+            out.push_str(&format!(
+                "  label=\"PARTIAL MODEL — {}\";\n  labelloc=t;\n",
+                escape(reason)
+            ));
+        }
         for (i, s) in self.states.iter().enumerate() {
             out.push_str(&format!("  s{i} [label=\"{}\"];\n", escape(s)));
         }
@@ -158,6 +168,26 @@ mod tests {
         }
         fn main() { sniff(cb); }
     "#;
+
+    #[test]
+    fn truncated_model_surfaces_in_dot() {
+        let p = parse_and_check(NAT).unwrap();
+        let pl = normalize(&p).unwrap();
+        let stats = SymExec::new(&pl).explore().unwrap();
+        let model = Model::from_paths("t", &stats.paths)
+            .with_truncation("path budget exhausted (4 paths)");
+        let fsm = ModelFsm::from_model(&model);
+        assert_eq!(
+            fsm.truncated.as_deref(),
+            Some("path budget exhausted (4 paths)")
+        );
+        let dot = fsm.to_dot();
+        assert!(dot.contains("PARTIAL MODEL"), "{dot}");
+        // A full model's dot carries no banner.
+        let full = ModelFsm::from_model(&Model::from_paths("t", &stats.paths));
+        assert!(full.truncated.is_none());
+        assert!(!full.to_dot().contains("PARTIAL"));
+    }
 
     #[test]
     fn nat_fsm_has_two_states_one_mutating() {

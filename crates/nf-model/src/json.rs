@@ -5,7 +5,7 @@
 //! which symbolic terms use the tagged encoding from `nfl_symex::json`
 //! and packet fields appear by their dotted path (e.g. `"ip.dst"`).
 
-use crate::model::{ConfigTable, Entry, FlowAction, Model, StateAction};
+use crate::model::{Completeness, ConfigTable, Entry, FlowAction, Model, StateAction};
 use nf_packet::Field;
 use nf_support::json::{FromJson, JsonError, ToJson, Value};
 use nfl_symex::{MapOp, SymVal};
@@ -183,18 +183,43 @@ impl FromJson for ConfigTable {
 
 impl ToJson for Model {
     fn to_json(&self) -> Value {
-        Value::Object(vec![
+        let mut fields = vec![
             ("nf_name".to_string(), Value::Str(self.nf_name.clone())),
             (
                 "tables".to_string(),
                 Value::Array(self.tables.iter().map(|t| t.to_json()).collect()),
             ),
-        ])
+        ];
+        // The key is present iff the model is partial, so full-model
+        // documents (and their goldens) are unchanged.
+        if let Completeness::Truncated { reason } = &self.completeness {
+            fields.push((
+                "completeness".to_string(),
+                Value::Object(vec![
+                    ("state".to_string(), Value::Str("truncated".to_string())),
+                    ("reason".to_string(), Value::Str(reason.clone())),
+                ]),
+            ));
+        }
+        Value::Object(fields)
     }
 }
 
 impl FromJson for Model {
     fn from_json(v: &Value) -> Result<Model, JsonError> {
+        let completeness = match v.get("completeness") {
+            None => Completeness::Full,
+            Some(c) => match str_field(c, "state")?.as_str() {
+                "truncated" => Completeness::Truncated {
+                    reason: str_field(c, "reason")?,
+                },
+                other => {
+                    return Err(JsonError::msg(format!(
+                        "unknown completeness state '{other}'"
+                    )))
+                }
+            },
+        };
         Ok(Model {
             nf_name: str_field(v, "nf_name")?,
             tables: v
@@ -204,6 +229,7 @@ impl FromJson for Model {
                 .iter()
                 .map(ConfigTable::from_json)
                 .collect::<Result<Vec<_>, _>>()?,
+            completeness,
         })
     }
 }
@@ -259,6 +285,38 @@ mod tests {
             let json = a.to_json().render();
             assert_eq!(FlowAction::from_json(&Value::parse(&json).unwrap()).unwrap(), a);
         }
+    }
+
+    #[test]
+    fn truncated_model_roundtrips_with_reason() {
+        let m = model_of(
+            r#"
+            state hits = 0;
+            fn cb(pkt: packet) { hits = hits + 1; send(pkt); }
+            fn main() { sniff(cb); }
+        "#,
+        )
+        .with_truncation("path budget exhausted (8 paths)");
+        let json = m.to_json().render_pretty();
+        assert!(json.contains("truncated"), "{json}");
+        assert!(json.contains("path budget exhausted"), "{json}");
+        let parsed = Model::from_json(&Value::parse(&json).unwrap()).unwrap();
+        assert_eq!(parsed, m);
+        assert_eq!(
+            parsed.completeness.reason(),
+            Some("path budget exhausted (8 paths)")
+        );
+    }
+
+    #[test]
+    fn full_model_json_has_no_completeness_key() {
+        let m = model_of(
+            r#"
+            fn cb(pkt: packet) { send(pkt); }
+            fn main() { sniff(cb); }
+        "#,
+        );
+        assert!(!m.to_json().render_pretty().contains("completeness"));
     }
 
     #[test]

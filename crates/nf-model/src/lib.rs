@@ -30,6 +30,6 @@ pub mod text;
 
 pub use eval::{ModelState, ModelStep};
 pub use fsm::{ModelFsm, Transition};
-pub use model::{ConfigTable, Entry, FlowAction, Model, StateAction};
+pub use model::{Completeness, ConfigTable, Entry, FlowAction, Model, StateAction};
 pub use render::render_figure6;
 pub use text::{from_text, parse_term, to_text};

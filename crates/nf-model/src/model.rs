@@ -143,6 +143,42 @@ impl ConfigTable {
     }
 }
 
+/// Is the model the *complete* behaviour of the NF, or a partial view
+/// produced under an exhausted [budget](nf_support::budget::Budget)?
+///
+/// A `Truncated` model is still a valid model of every path it does
+/// contain — the paper's Table 2 reports the un-sliced snort exploration
+/// as "> 1000 paths" for exactly this case — but consumers (operators,
+/// verifiers, the §4 applications) must not treat its default-drop as
+/// authoritative.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum Completeness {
+    /// Every execution path of the (sliced) NF is represented.
+    #[default]
+    Full,
+    /// Exploration or slicing was cut short by a budget; some behaviour
+    /// is missing.
+    Truncated {
+        /// Human-readable cause (deadline, path cap, solver-call cap…).
+        reason: String,
+    },
+}
+
+impl Completeness {
+    /// Is this the truncated case?
+    pub fn is_truncated(&self) -> bool {
+        matches!(self, Completeness::Truncated { .. })
+    }
+
+    /// The truncation reason, if any.
+    pub fn reason(&self) -> Option<&str> {
+        match self {
+            Completeness::Full => None,
+            Completeness::Truncated { reason } => Some(reason),
+        }
+    }
+}
+
 /// A synthesized NF forwarding model.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Model {
@@ -150,6 +186,8 @@ pub struct Model {
     pub nf_name: String,
     /// Per-configuration tables.
     pub tables: Vec<ConfigTable>,
+    /// Whether the model covers every path or was budget-truncated.
+    pub completeness: Completeness,
 }
 
 impl Model {
@@ -177,7 +215,16 @@ impl Model {
         Model {
             nf_name: nf_name.to_string(),
             tables,
+            completeness: Completeness::Full,
         }
+    }
+
+    /// Stamp the model as budget-truncated (graceful-degradation path).
+    pub fn with_truncation(mut self, reason: impl Into<String>) -> Model {
+        self.completeness = Completeness::Truncated {
+            reason: reason.into(),
+        };
+        self
     }
 
     /// Total number of entries across tables.

@@ -103,6 +103,9 @@ pub fn render_figure6(model: &Model) -> String {
     let total: usize = widths.iter().sum::<usize>() + 3 * 3;
     let mut out = String::new();
     let _ = writeln!(out, "NFactor model: {}", model.nf_name);
+    if let Some(reason) = model.completeness.reason() {
+        let _ = writeln!(out, "!! PARTIAL MODEL — {reason}");
+    }
     let _ = writeln!(out, "{}", "=".repeat(total));
     let _ = writeln!(
         out,

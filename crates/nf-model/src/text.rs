@@ -24,7 +24,7 @@
 //! Terms use the canonical [`SymVal`] rendering; [`parse_term`] is the
 //! inverse of `Display`.
 
-use crate::model::{ConfigTable, Entry, FlowAction, Model, StateAction};
+use crate::model::{Completeness, ConfigTable, Entry, FlowAction, Model, StateAction};
 use nf_packet::Field;
 use nfl_lang::BinOp;
 use nfl_symex::{MapOp, SymVal};
@@ -357,6 +357,11 @@ pub fn parse_term(src: &str) -> Result<SymVal, ParseError> {
 pub fn to_text(model: &Model) -> String {
     let mut out = String::new();
     out.push_str(&format!("model {}\n", model.nf_name));
+    // Budget-truncated models carry the reason so the operator side can
+    // see the model is partial; full models emit nothing extra.
+    if let Completeness::Truncated { reason } = &model.completeness {
+        out.push_str(&format!("truncated {reason}\n"));
+    }
     for table in &model.tables {
         out.push_str("table\n");
         for c in &table.config {
@@ -409,6 +414,7 @@ fn term_err(line_no: usize, e: ParseError) -> ParseError {
 /// Parse `.nfm` text back into a [`Model`].
 pub fn from_text(src: &str) -> Result<Model, ParseError> {
     let mut name = String::new();
+    let mut completeness = Completeness::Full;
     let mut tables: Vec<ConfigTable> = Vec::new();
     let mut cur_table: Option<ConfigTable> = None;
     let mut cur_entry: Option<Entry> = None;
@@ -428,6 +434,14 @@ pub fn from_text(src: &str) -> Result<Model, ParseError> {
         };
         match kw {
             "model" => name = rest.to_string(),
+            "truncated" => {
+                if rest.is_empty() {
+                    return Err(fail("`truncated` requires a reason"));
+                }
+                completeness = Completeness::Truncated {
+                    reason: rest.to_string(),
+                };
+            }
             "table" => {
                 if let Some(t) = cur_table.take() {
                     tables.push(t);
@@ -570,6 +584,7 @@ pub fn from_text(src: &str) -> Result<Model, ParseError> {
     Ok(Model {
         nf_name: name,
         tables,
+        completeness,
     })
 }
 
@@ -585,6 +600,32 @@ mod tests {
         let pl = normalize(&p).unwrap();
         let stats = SymExec::new(&pl).explore().unwrap();
         Model::from_paths("t", &stats.paths)
+    }
+
+    #[test]
+    fn truncated_stamp_roundtrips() {
+        let m = model_of(
+            r#"
+            fn cb(pkt: packet) { send(pkt); }
+            fn main() { sniff(cb); }
+        "#,
+        )
+        .with_truncation("wall-clock deadline exceeded during symbolic execution");
+        let text = to_text(&m);
+        assert!(
+            text.contains("truncated wall-clock deadline"),
+            "{text}"
+        );
+        let m2 = from_text(&text).unwrap();
+        assert_eq!(m2, m);
+        // And a full model emits no directive.
+        let full = model_of(
+            r#"
+            fn cb(pkt: packet) { send(pkt); }
+            fn main() { sniff(cb); }
+        "#,
+        );
+        assert!(!to_text(&full).contains("truncated"));
     }
 
     #[test]

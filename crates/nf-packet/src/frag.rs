@@ -28,8 +28,9 @@ pub fn fragment(pkt: &Packet, frag_payload: usize) -> Vec<Packet> {
         return vec![pkt.clone()];
     }
     let mut frags = Vec::new();
-    // First fragment: transport header + leading payload.
-    let first_payload_len = unit - transport_len;
+    // First fragment: transport header + leading payload. A unit smaller
+    // than the transport header can't fit any payload alongside it.
+    let first_payload_len = unit.saturating_sub(transport_len);
     let mut first = pkt.clone();
     first.payload = pkt.payload[..first_payload_len.min(pkt.payload.len())].to_vec();
     frags.push(first);
@@ -120,5 +121,19 @@ mod tests {
     #[test]
     fn empty_set_rejected() {
         assert!(reassemble(&[]).is_none());
+    }
+
+    #[test]
+    fn unit_smaller_than_transport_header_does_not_underflow() {
+        // Regression: frag_payload < 8 rounds up to unit = 8, which is
+        // smaller than the 20-byte TCP header — `unit - transport_len`
+        // used to panic on usize underflow.
+        let p = big_packet(100);
+        for fp in 0..=24 {
+            let frags = fragment(&p, fp);
+            assert!(!frags.is_empty(), "frag_payload {fp}");
+            let q = reassemble(&frags).expect("reassembly");
+            assert_eq!(p, q, "frag_payload {fp}");
+        }
     }
 }

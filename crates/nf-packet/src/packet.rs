@@ -553,6 +553,31 @@ mod tests {
     }
 
     #[test]
+    fn from_wire_survives_truncation_at_every_offset() {
+        let bytes = sample().to_wire();
+        for n in 0..bytes.len() {
+            // Every strict prefix must be rejected cleanly, not panic.
+            assert!(Packet::from_wire(&bytes[..n]).is_err(), "prefix {n}");
+        }
+    }
+
+    #[test]
+    fn from_wire_survives_adversarial_mutations() {
+        let bytes = sample().to_wire();
+        let mut rng = nf_support::rng::Rng::new(42);
+        for _ in 0..2000 {
+            let mut b = bytes.clone();
+            // Flip 1–8 random bytes and decode; any Err is fine, a panic
+            // is not.
+            for _ in 0..1 + rng.gen_below(8) {
+                let i = rng.gen_below(b.len() as u64) as usize;
+                b[i] ^= rng.gen_below(256) as u8;
+            }
+            let _ = Packet::from_wire(&b);
+        }
+    }
+
+    #[test]
     fn ip_len_is_derived() {
         let p = sample();
         assert_eq!(

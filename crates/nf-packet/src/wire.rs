@@ -497,6 +497,10 @@ impl TcpHeader {
     /// Compute the TCP checksum over `segment` (header + payload) given the
     /// IPv4 pseudo-header addresses, and patch it into the segment bytes.
     pub fn fill_checksum(segment: &mut [u8], src: u32, dst: u32) {
+        if segment.len() < Self::LEN {
+            // No room for the checksum field — nothing to patch.
+            return;
+        }
         segment[16] = 0;
         segment[17] = 0;
         let csum = tcp_udp_checksum(segment, src, dst, IpProtocol::Tcp);
@@ -785,5 +789,30 @@ mod tests {
     fn tcp_flags_display() {
         assert_eq!(TcpFlags::syn_ack().to_string(), "SA");
         assert_eq!(TcpFlags::default().to_string(), ".");
+    }
+
+    #[test]
+    fn fill_checksum_tolerates_short_segments() {
+        // Regression: used to index [16..18] unconditionally and panic on
+        // segments shorter than a TCP header.
+        for n in 0..TcpHeader::LEN {
+            let mut seg = vec![0u8; n];
+            TcpHeader::fill_checksum(&mut seg, 1, 2);
+            assert_eq!(seg, vec![0u8; n], "short segment must be untouched");
+        }
+    }
+
+    #[test]
+    fn header_parsers_survive_adversarial_bytes() {
+        // Every parser must return Err — never panic — on arbitrary junk.
+        let mut rng = nf_support::rng::Rng::new(0xadbeef);
+        for _ in 0..2000 {
+            let len = rng.gen_below(64) as usize;
+            let buf: Vec<u8> = (0..len).map(|_| rng.gen_below(256) as u8).collect();
+            let _ = EthernetFrame::parse(&buf);
+            let _ = Ipv4Header::parse(&buf);
+            let _ = TcpHeader::parse(&buf);
+            let _ = UdpHeader::parse(&buf);
+        }
     }
 }

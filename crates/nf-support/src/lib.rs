@@ -16,15 +16,19 @@
 //!   hand (replaces the `serde` derives).
 //! * [`bytes`] — big-endian append helpers for `Vec<u8>` wire buffers
 //!   (replaces the `bytes` crate).
+//! * [`budget`] — wall-clock / path / solver-call budgets threaded
+//!   through the pipeline for graceful degradation under a deadline.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod bench;
+pub mod budget;
 pub mod bytes;
 pub mod check;
 pub mod json;
 pub mod rng;
 
+pub use budget::Budget;
 pub use json::{FromJson, JsonError, ToJson, Value};
 pub use rng::Rng;

@@ -58,6 +58,8 @@ pub use ast::{
 pub use builtins::{Builtin, Effect};
 pub use span::{LineIndex, ResolvedSpan, Span};
 
+pub use parser::{parse_all, ParseError};
+
 /// Parse NFL source into a [`Program`]. Convenience over
 /// [`parser::parse_program`].
 pub fn parse(src: &str) -> Result<Program, parser::ParseError> {
@@ -65,9 +67,15 @@ pub fn parse(src: &str) -> Result<Program, parser::ParseError> {
 }
 
 /// Parse and type-check in one step; the common front door for the rest of
-/// the workspace.
+/// the workspace. Parsing runs with error recovery, so the message carries
+/// *every* syntax error (newline-separated), not just the first.
 pub fn parse_and_check(src: &str) -> Result<Program, String> {
-    let p = parse(src).map_err(|e| e.to_string())?;
+    let p = parse_all(src).map_err(|errs| {
+        errs.iter()
+            .map(ParseError::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    })?;
     types::check(&p).map_err(|e| e.to_string())?;
     Ok(p)
 }

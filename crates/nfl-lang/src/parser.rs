@@ -41,6 +41,11 @@ struct Parser {
     tokens: Vec<Token>,
     pos: usize,
     next_id: u32,
+    /// Diagnostics accumulated while recovering. Recovery never invents
+    /// AST nodes: a statement or item that fails to parse is dropped and
+    /// its error recorded, so a program is only returned error-free when
+    /// `errors` is empty.
+    errors: Vec<ParseError>,
 }
 
 type PResult<T> = Result<T, ParseError>;
@@ -111,9 +116,71 @@ impl Parser {
         id
     }
 
+    // ---- error recovery --------------------------------------------------
+
+    /// Skip a balanced `{ … }` block (assumes the next token is `{`).
+    fn skip_balanced_block(&mut self) {
+        let mut depth = 0usize;
+        loop {
+            match self.peek() {
+                TokenKind::Eof => return,
+                TokenKind::LBrace => {
+                    depth += 1;
+                    self.bump();
+                }
+                TokenKind::RBrace => {
+                    self.bump();
+                    depth -= 1;
+                    if depth == 0 {
+                        return;
+                    }
+                }
+                _ => {
+                    self.bump();
+                }
+            }
+        }
+    }
+
+    /// Statement-level synchronisation: skip past the next `;` (consumed)
+    /// or up to the enclosing `}` (left for the block to consume), treating
+    /// nested `{ … }` blocks as opaque.
+    fn sync_stmt(&mut self) {
+        loop {
+            match self.peek() {
+                TokenKind::Eof | TokenKind::RBrace => return,
+                TokenKind::Semi => {
+                    self.bump();
+                    return;
+                }
+                TokenKind::LBrace => self.skip_balanced_block(),
+                _ => {
+                    self.bump();
+                }
+            }
+        }
+    }
+
+    /// Top-level synchronisation: skip to the next item keyword.
+    fn sync_item(&mut self) {
+        loop {
+            match self.peek() {
+                TokenKind::Eof
+                | TokenKind::Const
+                | TokenKind::Config
+                | TokenKind::State
+                | TokenKind::Fn => return,
+                TokenKind::LBrace => self.skip_balanced_block(),
+                _ => {
+                    self.bump();
+                }
+            }
+        }
+    }
+
     // ---- items ----------------------------------------------------------
 
-    fn program(&mut self, source: &str) -> PResult<Program> {
+    fn program(&mut self, source: &str) -> Program {
         let mut p = Program {
             source: source.to_string(),
             ..Program::default()
@@ -123,28 +190,55 @@ impl Parser {
                 TokenKind::Eof => break,
                 TokenKind::Const => {
                     self.bump();
-                    p.consts.push(self.item()?);
+                    match self.item() {
+                        Ok(i) => p.consts.push(i),
+                        Err(e) => {
+                            self.errors.push(e);
+                            self.sync_stmt();
+                        }
+                    }
                 }
                 TokenKind::Config => {
                     self.bump();
-                    p.configs.push(self.item()?);
+                    match self.item() {
+                        Ok(i) => p.configs.push(i),
+                        Err(e) => {
+                            self.errors.push(e);
+                            self.sync_stmt();
+                        }
+                    }
                 }
                 TokenKind::State => {
                     self.bump();
-                    p.states.push(self.item()?);
+                    match self.item() {
+                        Ok(i) => p.states.push(i),
+                        Err(e) => {
+                            self.errors.push(e);
+                            self.sync_stmt();
+                        }
+                    }
                 }
                 TokenKind::Fn => {
                     self.bump();
-                    p.functions.push(self.function()?);
+                    match self.function() {
+                        Ok(f) => p.functions.push(f),
+                        Err(e) => {
+                            self.errors.push(e);
+                            self.sync_item();
+                        }
+                    }
                 }
                 other => {
-                    return Err(self.err(format!(
+                    let e = self.err(format!(
                         "expected `const`, `config`, `state` or `fn`, found `{other}`"
-                    )))
+                    ));
+                    self.errors.push(e);
+                    self.bump();
+                    self.sync_item();
                 }
             }
         }
-        Ok(p)
+        p
     }
 
     fn item(&mut self) -> PResult<Item> {
@@ -189,7 +283,15 @@ impl Parser {
             if self.peek() == &TokenKind::Eof {
                 return Err(self.err("unterminated block"));
             }
-            stmts.push(self.stmt()?);
+            match self.stmt() {
+                Ok(s) => stmts.push(s),
+                Err(e) => {
+                    // Record and resynchronise on `;` / `}` so one bad
+                    // statement doesn't hide the rest of the file's errors.
+                    self.errors.push(e);
+                    self.sync_stmt();
+                }
+            }
         }
         self.expect(TokenKind::RBrace)?;
         Ok(stmts)
@@ -586,15 +688,30 @@ fn bin(op: BinOp, lhs: Expr, rhs: Expr) -> Expr {
     }
 }
 
-/// Parse a complete program.
+/// Parse a complete program, reporting only the first syntax error.
 pub fn parse_program(src: &str) -> Result<Program, ParseError> {
-    let tokens = tokenize(src)?;
+    parse_all(src).map_err(|mut errs| errs.swap_remove(0))
+}
+
+/// Parse a complete program with error recovery: on a bad statement the
+/// parser records the diagnostic, synchronises on `;` / `}` (or the next
+/// top-level item keyword), and keeps going — so a single pass reports
+/// *every* syntax error, not just the first. Returns the program only
+/// when it parsed cleanly.
+pub fn parse_all(src: &str) -> Result<Program, Vec<ParseError>> {
+    let tokens = tokenize(src).map_err(|e| vec![ParseError::from(e)])?;
     let mut parser = Parser {
         tokens,
         pos: 0,
         next_id: 0,
+        errors: Vec::new(),
     };
-    parser.program(src)
+    let p = parser.program(src);
+    if parser.errors.is_empty() {
+        Ok(p)
+    } else {
+        Err(parser.errors)
+    }
 }
 
 /// Parse a single expression — used by tests and the REPL-ish tooling.
@@ -604,6 +721,7 @@ pub fn parse_expr(src: &str) -> Result<Expr, ParseError> {
         tokens,
         pos: 0,
         next_id: 0,
+        errors: Vec::new(),
     };
     let e = parser.expr()?;
     parser.expect(TokenKind::Eof)?;
@@ -838,6 +956,78 @@ mod tests {
         )
         .unwrap();
         assert_eq!(p.stmt_count(), 8);
+    }
+
+    #[test]
+    fn recovery_reports_every_error() {
+        // Three distinct mistakes in three statements; recovery must
+        // surface all of them in one pass (golden diagnostics below).
+        let src = r#"
+            state n = 0;
+            fn cb(pkt: packet) {
+                let a = ;
+                n = n + 1;
+                b = = 2;
+                if pkt.ip.ttl > { send(pkt); }
+                n = n + 2;
+            }
+            fn main() { sniff(cb); }
+        "#;
+        let errs = parse_all(src).unwrap_err();
+        let msgs: Vec<String> = errs.iter().map(|e| e.to_string()).collect();
+        assert_eq!(errs.len(), 3, "{msgs:?}");
+        assert!(msgs[0].contains("expected expression, found `;`"), "{msgs:?}");
+        assert!(msgs[1].contains("expected expression, found `=`"), "{msgs:?}");
+        assert!(msgs[2].contains("expected expression, found `{`"), "{msgs:?}");
+        // Errors come out in source order with correct lines.
+        assert_eq!(errs[0].span.line, 4);
+        assert_eq!(errs[1].span.line, 6);
+        assert_eq!(errs[2].span.line, 7);
+    }
+
+    #[test]
+    fn recovery_spans_top_level_items() {
+        let src = r#"
+            config port = ;
+            state ok = 0;
+            fn broken( { }
+            fn main() { ok = 1; }
+        "#;
+        let errs = parse_all(src).unwrap_err();
+        assert!(errs.len() >= 2, "{errs:?}");
+        // The well-formed items around the bad ones still parse.
+        // (The program is only *returned* on success, so check via a
+        // clean sibling source.)
+        let clean = parse_all("state ok = 0;\nfn main() { ok = 1; }").unwrap();
+        assert_eq!(clean.states.len(), 1);
+        assert_eq!(clean.functions.len(), 1);
+    }
+
+    #[test]
+    fn recovery_skips_nested_blocks_when_syncing() {
+        // The bad statement contains a braced block; sync must treat it
+        // as opaque and not resume parsing in its middle.
+        let src = r#"
+            fn main() {
+                let x = 1;
+                while { let y = 2; } ;
+                x = 3;
+            }
+        "#;
+        let errs = parse_all(src).unwrap_err();
+        assert_eq!(errs.len(), 1, "{errs:?}");
+    }
+
+    #[test]
+    fn parse_program_still_reports_first_error() {
+        let err = parse_program("fn main() { let a = ; let b = ; }").unwrap_err();
+        assert!(err.message.contains("expected expression"));
+    }
+
+    #[test]
+    fn clean_source_roundtrips_through_parse_all() {
+        let p = parse_all("fn main() { let x = 1; send(x); }").unwrap();
+        assert_eq!(p.functions.len(), 1);
     }
 
     #[test]

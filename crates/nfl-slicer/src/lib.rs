@@ -22,4 +22,7 @@ pub mod static_slice;
 
 pub use dynamic::dynamic_slice;
 pub use statealyzer::{statealyzer, VarClasses};
-pub use static_slice::{packet_slice, slice_union, state_slice, SliceResult};
+pub use static_slice::{
+    packet_slice, packet_slice_budgeted, slice_union, state_slice, state_slice_budgeted,
+    SliceResult,
+};

@@ -12,6 +12,7 @@
 //!         stateSlice ∪= BackwardSlice(stmt, Vars(stmt.LHS))
 //! ```
 
+use nf_support::budget::Budget;
 use nfl_analysis::pdg::Pdg;
 use nfl_lang::{builtins, pretty, Program, Stmt, StmtId, StmtKind};
 use std::collections::{BTreeSet, HashSet};
@@ -132,6 +133,93 @@ pub fn packet_slice(pdg: &Pdg, program: &Program, func: &str) -> SliceResult {
         close_over_jumps(program, func, &mut stmts);
     }
     SliceResult { stmts, criteria }
+}
+
+/// [`packet_slice`] under a [`Budget`]: the slice is grown one criterion
+/// at a time with a deadline check between criteria, so an expired
+/// budget yields a *partial* (under-approximate) slice instead of a
+/// stall. Returns the slice plus `Some(reason)` when it stopped early —
+/// the pipeline stamps the resulting model `Completeness::Truncated`.
+///
+/// With no deadline set this is exactly `packet_slice` (reachability
+/// distributes over seed union).
+pub fn packet_slice_budgeted(
+    pdg: &Pdg,
+    program: &Program,
+    func: &str,
+    budget: &Budget,
+) -> (SliceResult, Option<String>) {
+    if budget.deadline.is_none() {
+        return (packet_slice(pdg, program, func), None);
+    }
+    let mut criteria = Vec::new();
+    if let Some(f) = program.function(func) {
+        visit(&f.body, &mut |s| {
+            if calls_pkt_output(s) {
+                criteria.push(s.id);
+            }
+        });
+    }
+    grow_budgeted(pdg, program, func, criteria, budget, "packet slicing")
+}
+
+/// [`state_slice`] under a [`Budget`] — see [`packet_slice_budgeted`].
+pub fn state_slice_budgeted(
+    pdg: &Pdg,
+    program: &Program,
+    func: &str,
+    ois_vars: &BTreeSet<String>,
+    budget: &Budget,
+) -> (SliceResult, Option<String>) {
+    if budget.deadline.is_none() {
+        return (state_slice(pdg, program, func, ois_vars), None);
+    }
+    let mut criteria = Vec::new();
+    if let Some(f) = program.function(func) {
+        visit(&f.body, &mut |s| {
+            let du = nfl_analysis::defuse::def_use(s);
+            if du.defs.iter().any(|(v, _)| ois_vars.contains(v)) {
+                criteria.push(s.id);
+            }
+        });
+    }
+    grow_budgeted(pdg, program, func, criteria, budget, "state slicing")
+}
+
+/// Shared budgeted growth loop: one backward-reachability pass per
+/// criterion, stopping (and reporting why) once the deadline passes.
+fn grow_budgeted(
+    pdg: &Pdg,
+    program: &Program,
+    func: &str,
+    criteria: Vec<StmtId>,
+    budget: &Budget,
+    stage: &str,
+) -> (SliceResult, Option<String>) {
+    let mut stmts: HashSet<StmtId> = HashSet::new();
+    let mut done = Vec::new();
+    let mut stopped = None;
+    for c in criteria {
+        if budget.expired() {
+            stopped = Some(format!("wall-clock deadline exceeded during {stage}"));
+            break;
+        }
+        if let Some(node) = pdg.node_of(c) {
+            let nodes = pdg.backward_reachable([node]);
+            stmts.extend(pdg.stmts_of(&nodes));
+        }
+        done.push(c);
+    }
+    if !stmts.is_empty() {
+        close_over_jumps(program, func, &mut stmts);
+    }
+    (
+        SliceResult {
+            stmts,
+            criteria: done,
+        },
+        stopped,
+    )
 }
 
 /// Algorithm 1 lines 6–9: the state transition slice, grown backwards
@@ -367,5 +455,28 @@ mod tests {
         let ps = packet_slice(&pdg, &p, &func);
         assert!(ps.stmts.is_empty());
         assert!(ps.criteria.is_empty());
+    }
+
+    #[test]
+    fn budgeted_slice_matches_unbudgeted_when_time_remains() {
+        let (p, func, pdg) = setup(NF);
+        let budget = Budget::unlimited().with_timeout_ms(60_000);
+        let (ps, stop) = packet_slice_budgeted(&pdg, &p, &func, &budget);
+        assert_eq!(stop, None);
+        assert_eq!(ps.stmts, packet_slice(&pdg, &p, &func).stmts);
+        let ois: BTreeSet<String> = ["hits".to_string()].into();
+        let (ss, stop) = state_slice_budgeted(&pdg, &p, &func, &ois, &budget);
+        assert_eq!(stop, None);
+        assert_eq!(ss.stmts, state_slice(&pdg, &p, &func, &ois).stmts);
+    }
+
+    #[test]
+    fn expired_budget_yields_partial_slice_with_reason() {
+        let (p, func, pdg) = setup(NF);
+        let budget = Budget::unlimited().with_timeout_ms(0);
+        let (ps, stop) = packet_slice_budgeted(&pdg, &p, &func, &budget);
+        assert!(stop.as_deref().unwrap().contains("packet slicing"));
+        assert!(ps.stmts.len() <= packet_slice(&pdg, &p, &func).stmts.len());
+        assert!(ps.criteria.is_empty(), "no criterion processed at 0ms");
     }
 }

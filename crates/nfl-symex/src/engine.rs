@@ -13,10 +13,12 @@
 
 use crate::solver::{Solver, Verdict};
 use crate::sym::{MapOp, SymPacket, SymVal};
+use nf_support::budget::Budget;
 use nfl_analysis::normalize::PacketLoop;
 use nfl_lang::{BinOp, Expr, ExprKind, ForIter, LValue, Program, Stmt, StmtId, StmtKind, UnOp};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
+use std::time::Instant;
 
 /// Exploration limits (§3.2's loop-bounding and path-budget techniques).
 #[derive(Debug, Clone, Copy)]
@@ -136,6 +138,71 @@ pub struct ExplorationStats {
     pub exhausted: bool,
     /// Solver invocations (for the efficiency benches).
     pub solver_calls: usize,
+    /// Why exploration stopped early (`None` when it ran to completion):
+    /// path cap, wall-clock deadline, or solver-call budget. Set iff
+    /// `exhausted` is false; the pipeline turns it into
+    /// `Completeness::Truncated`.
+    pub stop_reason: Option<String>,
+}
+
+/// Mutable exploration bookkeeping threaded through `run_block` /
+/// `run_stmt` / `push_and_check`: counters plus the effective limits and
+/// the budget's hard stops.
+struct ExploreCtx {
+    limits: PathLimits,
+    solver_calls: usize,
+    exhausted: bool,
+    stop_reason: Option<String>,
+    deadline: Option<Instant>,
+    max_solver_calls: Option<usize>,
+}
+
+impl ExploreCtx {
+    fn new(limits: PathLimits, budget: &Budget) -> ExploreCtx {
+        let mut limits = limits;
+        if let Some(n) = budget.max_paths {
+            limits.max_paths = limits.max_paths.min(n);
+        }
+        if let Some(n) = budget.max_steps {
+            limits.max_steps = limits.max_steps.min(n);
+        }
+        ExploreCtx {
+            limits,
+            solver_calls: 0,
+            exhausted: true,
+            stop_reason: None,
+            deadline: budget.deadline,
+            max_solver_calls: budget.max_solver_calls,
+        }
+    }
+
+    /// Record an early stop; the first reason wins.
+    fn stop(&mut self, reason: String) {
+        self.exhausted = false;
+        if self.stop_reason.is_none() {
+            self.stop_reason = Some(reason);
+        }
+    }
+
+    /// Should exploration halt now? Checked between statements — once
+    /// true, every enclosing `run_block` unwinds, marking in-flight
+    /// states truncated so their partial paths still become entries.
+    fn budget_stop(&mut self) -> bool {
+        if self.stop_reason.is_some() {
+            return true;
+        }
+        if self.deadline.is_some_and(|d| Instant::now() >= d) {
+            self.stop("wall-clock deadline exceeded during symbolic execution".into());
+            return true;
+        }
+        if let Some(cap) = self.max_solver_calls {
+            if self.solver_calls >= cap {
+                self.stop(format!("solver-call budget exhausted ({cap} calls)"));
+                return true;
+            }
+        }
+        false
+    }
 }
 
 /// Environment values.
@@ -229,6 +296,9 @@ pub struct SymExec {
     pkt_param: String,
     /// Exploration limits.
     pub limits: PathLimits,
+    /// Wall-clock / solver-call budget; tightens `limits` and adds the
+    /// hard stops `PathLimits` can't express.
+    pub budget: Budget,
     /// Configs pinned to concrete values (empty = fully symbolic configs,
     /// the model-extraction mode).
     pub pinned_configs: BTreeMap<String, SymVal>,
@@ -243,6 +313,7 @@ impl SymExec {
             func: pl.func.clone(),
             pkt_param: pl.pkt_param.clone(),
             limits: PathLimits::default(),
+            budget: Budget::unlimited(),
             pinned_configs: BTreeMap::new(),
             solver: Solver,
         }
@@ -257,6 +328,13 @@ impl SymExec {
     /// Override limits.
     pub fn with_limits(mut self, limits: PathLimits) -> SymExec {
         self.limits = limits;
+        self
+    }
+
+    /// Attach a budget (deadline / solver-call cap, plus optional
+    /// tightening of the path and step caps).
+    pub fn with_budget(mut self, budget: Budget) -> SymExec {
+        self.budget = budget;
         self
     }
 
@@ -365,9 +443,8 @@ impl SymExec {
             .ok_or_else(|| SymexError::Malformed(format!("no function `{}`", self.func)))?
             .clone();
         let init = self.initial_state()?;
-        let mut solver_calls = 0usize;
-        let mut exhausted = true;
-        let finals = self.run_block(vec![init], &f.body, &mut solver_calls, &mut exhausted)?;
+        let mut cx = ExploreCtx::new(self.limits, &self.budget);
+        let finals = self.run_block(vec![init], &f.body, &mut cx)?;
         let state_names: BTreeSet<String> =
             self.program.states.iter().map(|i| i.name.clone()).collect();
         let paths = finals
@@ -394,8 +471,9 @@ impl SymExec {
             .collect();
         Ok(ExplorationStats {
             paths,
-            exhausted,
-            solver_calls,
+            exhausted: cx.exhausted,
+            solver_calls: cx.solver_calls,
+            stop_reason: cx.stop_reason,
         })
     }
 
@@ -403,21 +481,33 @@ impl SymExec {
         &self,
         states: Vec<ExecState>,
         stmts: &[Stmt],
-        solver_calls: &mut usize,
-        exhausted: &mut bool,
+        cx: &mut ExploreCtx,
     ) -> Result<Vec<ExecState>, SymexError> {
         let mut states = states;
         for s in stmts {
+            if cx.budget_stop() {
+                // Unwind gracefully: in-flight states become truncated
+                // partial paths rather than being discarded.
+                for stt in &mut states {
+                    if stt.flow == Flow::Normal {
+                        stt.truncated = true;
+                    }
+                }
+                return Ok(states);
+            }
             let mut next = Vec::new();
             for st in states {
                 if st.flow != Flow::Normal {
                     next.push(st);
                     continue;
                 }
-                next.extend(self.run_stmt(st, s, solver_calls, exhausted)?);
-                if next.len() > self.limits.max_paths {
-                    *exhausted = false;
-                    next.truncate(self.limits.max_paths);
+                next.extend(self.run_stmt(st, s, cx)?);
+                if next.len() > cx.limits.max_paths {
+                    cx.stop(format!(
+                        "path budget exhausted ({} paths)",
+                        cx.limits.max_paths
+                    ));
+                    next.truncate(cx.limits.max_paths);
                 }
             }
             states = next;
@@ -429,16 +519,15 @@ impl SymExec {
         &self,
         mut st: ExecState,
         s: &Stmt,
-        solver_calls: &mut usize,
-        exhausted: &mut bool,
+        cx: &mut ExploreCtx,
     ) -> Result<Vec<ExecState>, SymexError> {
         st.steps += 1;
-        if st.steps > self.limits.max_steps {
+        if st.steps > cx.limits.max_steps {
             st.truncated = true;
             st.flow = Flow::Returned;
             return Ok(vec![st]);
         }
-        if self.limits.track_executed {
+        if cx.limits.track_executed {
             st.executed.insert(s.id);
         }
         match &s.kind {
@@ -481,8 +570,7 @@ impl SymExec {
                         out.extend(self.run_block(
                             vec![st],
                             then_branch,
-                            solver_calls,
-                            exhausted,
+                            cx,
                         )?);
                     }
                     Some(false) => {
@@ -490,8 +578,7 @@ impl SymExec {
                         out.extend(self.run_block(
                             vec![st],
                             else_branch,
-                            solver_calls,
-                            exhausted,
+                            cx,
                         )?);
                     }
                     None => {
@@ -505,14 +592,13 @@ impl SymExec {
                                 SymVal::negate(c.clone())
                             };
                             forked.decisions.push((s.id, taken));
-                            if !self.push_and_check(&mut forked, lit, solver_calls) {
+                            if !self.push_and_check(&mut forked, lit, cx) {
                                 continue;
                             }
                             out.extend(self.run_block(
                                 vec![forked],
                                 branch,
-                                solver_calls,
-                                exhausted,
+                                cx,
                             )?);
                         }
                     }
@@ -520,7 +606,7 @@ impl SymExec {
                 Ok(out)
             }
             StmtKind::While { cond, body } => {
-                self.run_loop(st, s, cond, body, solver_calls, exhausted)
+                self.run_loop(st, s, cond, body, cx)
             }
             StmtKind::For { var, iter, body } => {
                 match iter {
@@ -531,7 +617,7 @@ impl SymExec {
                             (Some(a), Some(b)) => {
                                 let mut states = vec![st];
                                 let count = (b - a).max(0) as usize;
-                                let bounded = count.min(self.limits.loop_bound);
+                                let bounded = count.min(cx.limits.loop_bound);
                                 for (iter_no, i) in (a..b).take(bounded).enumerate() {
                                     let _ = iter_no;
                                     let mut next = Vec::new();
@@ -547,8 +633,7 @@ impl SymExec {
                                         next.extend(self.run_block(
                                             vec![stt],
                                             body,
-                                            solver_calls,
-                                            exhausted,
+                                            cx,
                                         )?);
                                     }
                                     // Convert Broke/Continued flows.
@@ -605,7 +690,7 @@ impl SymExec {
                             }
                         };
                         let mut states = vec![st];
-                        for item in items.into_iter().take(self.limits.loop_bound) {
+                        for item in items.into_iter().take(cx.limits.loop_bound) {
                             let mut next = Vec::new();
                             for mut stt in states {
                                 if stt.flow != Flow::Normal {
@@ -616,8 +701,7 @@ impl SymExec {
                                 next.extend(self.run_block(
                                     vec![stt],
                                     body,
-                                    solver_calls,
-                                    exhausted,
+                                    cx,
                                 )?);
                             }
                             states = next
@@ -654,12 +738,11 @@ impl SymExec {
         s: &Stmt,
         cond: &Expr,
         body: &[Stmt],
-        solver_calls: &mut usize,
-        exhausted: &mut bool,
+        cx: &mut ExploreCtx,
     ) -> Result<Vec<ExecState>, SymexError> {
         let mut done: Vec<ExecState> = Vec::new();
         let mut active = vec![st];
-        for _round in 0..self.limits.loop_bound {
+        for _round in 0..cx.limits.loop_bound {
             let mut continuing = Vec::new();
             for mut stt in active {
                 if stt.flow != Flow::Normal {
@@ -675,7 +758,7 @@ impl SymExec {
                     Some(true) => {
                         stt.decisions.push((s.id, true));
                         let after =
-                            self.run_block(vec![stt], body, solver_calls, exhausted)?;
+                            self.run_block(vec![stt], body, cx)?;
                         for mut a in after {
                             match a.flow {
                                 Flow::Broke => {
@@ -697,18 +780,17 @@ impl SymExec {
                         if self.push_and_check(
                             &mut exit,
                             SymVal::negate(c.clone()),
-                            solver_calls,
+                            cx,
                         ) {
                             done.push(exit);
                         }
                         let mut enter = stt;
                         enter.decisions.push((s.id, true));
-                        if self.push_and_check(&mut enter, c.clone(), solver_calls) {
+                        if self.push_and_check(&mut enter, c.clone(), cx) {
                             let after = self.run_block(
                                 vec![enter],
                                 body,
-                                solver_calls,
-                                exhausted,
+                                cx,
                             )?;
                             for mut a in after {
                                 match a.flow {
@@ -748,7 +830,7 @@ impl SymExec {
     /// chain) this removes the quadratic re-checking the paper's ">1 hr"
     /// cell suffers from. Map-membership consistency is enforced by the
     /// engine's overlay facts independently of the solver.
-    fn push_and_check(&self, st: &mut ExecState, lit: SymVal, solver_calls: &mut usize) -> bool {
+    fn push_and_check(&self, st: &mut ExecState, lit: SymVal, cx: &mut ExploreCtx) -> bool {
         let lit_vars: Vec<String> = lit.free_vars();
         let disjoint = lit_vars.iter().all(|v| !st.constraint_vars.contains(v));
         self.learn_map_fact(st, &lit);
@@ -756,7 +838,7 @@ impl SymExec {
         for v in lit_vars {
             st.constraint_vars.insert(v);
         }
-        *solver_calls += 1;
+        cx.solver_calls += 1;
         if disjoint {
             self.solver.check(std::slice::from_ref(st.constraints.last().unwrap()))
                 != Verdict::Unsat
@@ -1642,5 +1724,118 @@ mod more_tests {
             "contradictory nested branch must be pruned"
         );
         assert_eq!(stats.paths.len(), 2);
+    }
+}
+
+#[cfg(test)]
+mod budget_tests {
+    use super::*;
+    use nfl_analysis::normalize::normalize;
+    use nfl_lang::parse_and_check;
+
+    fn branchy_nf() -> PacketLoop {
+        // 6 independent bit-tests: 64 satisfiable paths.
+        let mut body = String::new();
+        for i in 0..6 {
+            body.push_str(&format!(
+                "if pkt.tcp.dport & {} != 0 {{ n = n + 1; }}\n",
+                1 << i
+            ));
+        }
+        let src = format!(
+            "state n = 0;\nfn cb(pkt: packet) {{\n{body}send(pkt);\n}}\nfn main() {{ sniff(cb); }}"
+        );
+        let p = parse_and_check(&src).unwrap();
+        normalize(&p).unwrap()
+    }
+
+    #[test]
+    fn unlimited_budget_changes_nothing() {
+        let pl = branchy_nf();
+        let a = SymExec::new(&pl).explore().unwrap();
+        let b = SymExec::new(&pl)
+            .with_budget(Budget::unlimited())
+            .explore()
+            .unwrap();
+        assert_eq!(a.paths.len(), b.paths.len());
+        assert!(a.exhausted && b.exhausted);
+        assert_eq!(a.stop_reason, None);
+        assert_eq!(b.stop_reason, None);
+    }
+
+    #[test]
+    fn expired_deadline_degrades_to_truncated_partial_paths() {
+        let pl = branchy_nf();
+        let stats = SymExec::new(&pl)
+            .with_budget(Budget::unlimited().with_timeout_ms(0))
+            .explore()
+            .unwrap();
+        assert!(!stats.exhausted);
+        assert!(
+            stats.stop_reason.as_deref().unwrap().contains("deadline"),
+            "{:?}",
+            stats.stop_reason
+        );
+        assert!(!stats.paths.is_empty(), "partial paths, not an abort");
+        assert!(stats.paths.iter().all(|p| p.truncated));
+    }
+
+    #[test]
+    fn solver_call_budget_stops_exploration() {
+        let pl = branchy_nf();
+        let full = SymExec::new(&pl).explore().unwrap();
+        let capped = SymExec::new(&pl)
+            .with_budget(Budget::unlimited().with_max_solver_calls(4))
+            .explore()
+            .unwrap();
+        assert!(!capped.exhausted);
+        assert!(
+            capped.stop_reason.as_deref().unwrap().contains("solver-call"),
+            "{:?}",
+            capped.stop_reason
+        );
+        assert!(capped.paths.len() < full.paths.len());
+    }
+
+    #[test]
+    fn budget_max_paths_tightens_limits() {
+        let pl = branchy_nf();
+        let stats = SymExec::new(&pl)
+            .with_budget(Budget::unlimited().with_max_paths(8))
+            .explore()
+            .unwrap();
+        assert!(!stats.exhausted);
+        assert!(stats.paths.len() <= 8);
+        assert!(
+            stats.stop_reason.as_deref().unwrap().contains("path budget"),
+            "{:?}",
+            stats.stop_reason
+        );
+    }
+
+    #[test]
+    fn path_budget_monotone_and_lossless() {
+        // A larger path budget never loses paths: every path set is a
+        // superset (by canonical form) of the smaller budget's set.
+        let pl = branchy_nf();
+        let mut prev: Option<Vec<String>> = None;
+        for cap in [1usize, 2, 8, 32, 128] {
+            let stats = SymExec::new(&pl)
+                .with_budget(Budget::unlimited().with_max_paths(cap))
+                .explore()
+                .unwrap();
+            let mut canon: Vec<String> =
+                stats.paths.iter().map(|p| p.canonical()).collect();
+            canon.sort();
+            if let Some(p) = &prev {
+                assert!(
+                    canon.len() >= p.len(),
+                    "budget {cap} lost paths: {} < {}",
+                    canon.len(),
+                    p.len()
+                );
+            }
+            prev = Some(canon);
+        }
     }
 }

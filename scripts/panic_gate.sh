@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Panic gate: library (non-test) code must not grow new panicking calls.
+#
+# For every .rs file under crates/*/src and src/, strip the test module
+# (everything from the first `#[cfg(test)]` to EOF — test modules sit at
+# the bottom of each file by repo convention), count panicking
+# constructs (`.unwrap()`, `.expect(`, `panic!`, `unreachable!`,
+# `todo!`, `unimplemented!`), and compare against the audited per-file
+# budget in scripts/panic_allowlist.txt. Any file above its budget fails
+# the build; lowering a count is always fine. Regenerate the allowlist
+# after an audited change with:
+#
+#     ./scripts/panic_gate.sh --update
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ALLOWLIST=scripts/panic_allowlist.txt
+
+count_file() {
+    # `grep || true`: zero matches is the happy path, not a pipe failure.
+    awk '/#\[cfg\(test\)\]/{exit} {print}' "$1" |
+        { grep -o -E '\.unwrap\(\)|\.expect\(|panic!|unreachable!|todo!|unimplemented!' || true; } |
+        wc -l
+}
+
+list_files() {
+    { find crates -path '*/src/*' -name '*.rs'; find src -name '*.rs'; } | sort
+}
+
+if [ "${1:-}" = "--update" ]; then
+    {
+        echo "# Audited per-file budget of panicking calls in non-test library code."
+        echo "# Maintained by scripts/panic_gate.sh --update; reviewed on change."
+        list_files | while IFS= read -r f; do
+            n=$(count_file "$f")
+            [ "$n" -gt 0 ] && echo "$f $n" || true
+        done
+    } > "$ALLOWLIST"
+    echo "panic gate: allowlist regenerated ($(grep -c '^[^#]' "$ALLOWLIST") files)"
+    exit 0
+fi
+
+fail=0
+while IFS= read -r f; do
+    n=$(count_file "$f")
+    allowed=$(awk -v f="$f" '$1 == f {print $2}' "$ALLOWLIST")
+    allowed=${allowed:-0}
+    if [ "$n" -gt "$allowed" ]; then
+        echo "panic gate: $f has $n panicking call(s) in non-test code," \
+             "allowlist permits $allowed (see scripts/panic_gate.sh)" >&2
+        fail=1
+    fi
+done < <(list_files)
+
+if [ "$fail" -ne 0 ]; then
+    exit 1
+fi
+echo "panic gate: ok"

@@ -21,4 +21,24 @@ for nf in fig1-lb balance snort nat firewall ratelimiter portknock router; do
     echo "    lint $nf: ok"
 done
 
+echo "==> fuzz smoke: 500 seeded cases, crash + differential oracles"
+# Deterministic (caps-only budgets): same seed, same verdicts. Exits
+# non-zero on any pipeline panic or interpreter/model mismatch.
+./target/release/nfactor fuzz --seed 0 --cases 500
+
+echo "==> graceful degradation: snort under a 10 ms deadline"
+# Must return a *partial* model (exit 0) with the truncation visible,
+# not hang, panic, or error out.
+out=$(./target/release/nfactor synthesize --corpus snort --timeout-ms 10)
+case "$out" in
+    *"PARTIAL MODEL"*) echo "    truncated model rendered: ok" ;;
+    *) echo "    expected a PARTIAL MODEL banner, got:"; echo "$out"; exit 1 ;;
+esac
+./target/release/nfactor synthesize --corpus snort --timeout-ms 10 --json \
+    | grep -q '"state": "truncated"'
+echo "    truncation visible in JSON: ok"
+
+echo "==> panic gate"
+./scripts/panic_gate.sh
+
 echo "==> verify OK"

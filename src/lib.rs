@@ -46,12 +46,14 @@
 //! | [`core`] | `nfactor-core` | the pipeline (Algorithm 1) + §5 accuracy experiments |
 //! | [`corpus`] | `nf-corpus` | the analysed NFs, incl. paper-scale snort/balance generators |
 //! | [`verify`] | `nf-verify` | §4 applications: stateful HSA, chain composition, test generation |
-//! | [`support`] | `nf-support` | zero-dep substrate: JSON, bench harness, property testing |
+//! | [`fuzz`] | `nf-fuzz` | seeded fuzzing harness: grammar/mutation inputs, crash + differential oracles |
+//! | [`support`] | `nf-support` | zero-dep substrate: JSON, bench harness, budgets, property testing |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub use nf_corpus as corpus;
+pub use nf_fuzz as fuzz;
 pub use nf_model as model;
 pub use nf_packet as packet;
 pub use nf_tcp as tcp;

@@ -10,21 +10,68 @@
 //! nfactor metrics    <file.nfl | --corpus name>   # Table-2 row (add --orig for the slow column)
 //! nfactor test       <file.nfl | --corpus name>   # model-guided compliance tests
 //! nfactor lint       <file.nfl | --corpus name>   # NFL0xx diagnostics + sharding verdict (--json for machine output)
+//! nfactor fuzz       [--seed N] [--cases N]       # seeded crash/differential fuzzing of the whole pipeline
 //! nfactor corpus                                  # list bundled corpus NFs
 //! ```
+//!
+//! Synthesis-based commands accept `--timeout-ms N` and `--max-paths N`,
+//! which bound the run with a [`Budget`](nfactor::support::budget::Budget);
+//! on exhaustion the model is returned partial and stamped `Truncated`
+//! rather than hanging. `synthesize --json` prints the model as JSON.
 //!
 //! This is the workflow the paper proposes for NF vendors: run the tool
 //! on proprietary NF code, ship only the resulting model to operators.
 
 use nfactor::core::{synthesize, Options, Synthesis};
+use std::io::Write;
 use std::process::ExitCode;
+
+/// Write `text` (plus `\n` when `nl`) to stdout, exiting quietly if the
+/// reader has gone away (`nfactor ... | head` closes the pipe early —
+/// that is not an error worth unwinding over).
+fn emit(text: &str, nl: bool) {
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    let r = if nl {
+        writeln!(out, "{text}")
+    } else {
+        write!(out, "{text}")
+    };
+    if r.is_err() {
+        std::process::exit(0);
+    }
+}
+
+fn outln(text: impl AsRef<str>) {
+    emit(text.as_ref(), true);
+}
+
+fn out(text: impl AsRef<str>) {
+    emit(text.as_ref(), false);
+}
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: nfactor <synthesize|export|slice|classes|paths|fsm|metrics|test|lint> \
-         <file.nfl | --corpus NAME> [--orig] [--json]\n       nfactor corpus"
+         <file.nfl | --corpus NAME> [--orig] [--json] [--timeout-ms N] [--max-paths N]\n       \
+         nfactor fuzz [--seed N] [--cases N]\n       nfactor corpus"
     );
     ExitCode::from(2)
+}
+
+/// Remove `flag N` from `args`, returning the parsed `N` when present.
+fn take_num_flag(args: &mut Vec<String>, flag: &str) -> Result<Option<u64>, String> {
+    let Some(i) = args.iter().position(|a| a == flag) else {
+        return Ok(None);
+    };
+    if i + 1 >= args.len() {
+        return Err(format!("{flag} requires a value"));
+    }
+    let raw = args.remove(i + 1);
+    args.remove(i);
+    raw.parse::<u64>()
+        .map(Some)
+        .map_err(|_| format!("{flag}: expected a non-negative integer, got `{raw}`"))
 }
 
 fn corpus_source(name: &str) -> Option<String> {
@@ -46,13 +93,29 @@ fn load_source(args: &[String]) -> Result<(String, String), String> {
     }
 }
 
-fn run_synthesis(args: &[String], orig: bool) -> Result<Synthesis, String> {
+fn run_synthesis(args: &[String], opts: &Options) -> Result<Synthesis, String> {
     let (name, src) = load_source(args)?;
-    let opts = Options {
-        measure_original: orig,
-        ..Options::default()
+    synthesize(&name, &src, opts).map_err(|e| e.to_string())
+}
+
+fn run_fuzz(mut args: Vec<String>) -> Result<bool, String> {
+    let seed = take_num_flag(&mut args, "--seed")?.unwrap_or(0);
+    let cases = take_num_flag(&mut args, "--cases")?.unwrap_or(500) as usize;
+    if let Some(extra) = args.first() {
+        return Err(format!("fuzz: unexpected argument `{extra}`"));
+    }
+    let cfg = nfactor::fuzz::FuzzConfig {
+        seed,
+        cases,
+        ..nfactor::fuzz::FuzzConfig::default()
     };
-    synthesize(&name, &src, &opts).map_err(|e| e.to_string())
+    let report = nfactor::fuzz::run(&cfg);
+    outln(report.summary());
+    for f in &report.findings {
+        outln(format!("--- case {} [{}] minimized input ---", f.case, f.kind));
+        outln(&f.input);
+    }
+    Ok(report.clean())
 }
 
 fn main() -> ExitCode {
@@ -62,59 +125,89 @@ fn main() -> ExitCode {
     };
     let orig = argv.iter().any(|a| a == "--orig");
     let json = argv.iter().any(|a| a == "--json");
-    let rest: Vec<String> = argv[1..]
+    let mut rest: Vec<String> = argv[1..]
         .iter()
         .filter(|a| *a != "--orig" && *a != "--json")
         .cloned()
         .collect();
+    let opts = match (|| -> Result<Options, String> {
+        let mut budget = nfactor::support::budget::Budget::unlimited();
+        if let Some(ms) = take_num_flag(&mut rest, "--timeout-ms")? {
+            budget = budget.with_timeout_ms(ms);
+        }
+        if let Some(n) = take_num_flag(&mut rest, "--max-paths")? {
+            budget = budget.with_max_paths(n as usize);
+        }
+        Ok(Options {
+            measure_original: orig,
+            budget,
+            ..Options::default()
+        })
+    })() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("nfactor: {e}");
+            return ExitCode::from(2);
+        }
+    };
     let result: Result<(), String> = match cmd.as_str() {
         "corpus" => {
             for nf in nfactor::corpus::default_corpus() {
                 let loc = nfactor::lang::parse(&nf.source)
                     .map(|p| p.loc())
                     .unwrap_or(0);
-                println!("{:<12} {:>5} LoC", nf.name, loc);
+                outln(format!("{:<12} {:>5} LoC", nf.name, loc));
             }
             Ok(())
         }
-        "synthesize" => run_synthesis(&rest, orig).map(|syn| {
-            println!("{}", syn.render_model());
-        }),
-        "export" => run_synthesis(&rest, orig).map(|syn| {
-            // The vendor workflow: print the machine-readable .nfm model
-            // (redirect to a file and ship it to the operator).
-            print!("{}", nfactor::model::to_text(&syn.model));
-        }),
-        "slice" => run_synthesis(&rest, orig).map(|syn| {
-            println!("{}", syn.render_highlighted_slice());
-        }),
-        "classes" => run_synthesis(&rest, orig).map(|syn| {
-            println!("pktVar : {:?}", syn.classes.pkt_vars);
-            println!("cfgVar : {:?}", syn.classes.cfg_vars);
-            println!("oisVar : {:?}", syn.classes.ois_vars);
-            println!("logVar : {:?}", syn.classes.log_vars);
-        }),
-        "paths" => run_synthesis(&rest, orig).map(|syn| {
-            for (i, p) in syn.exploration.paths.iter().enumerate() {
-                println!("path {i}: {}", p.canonical());
+        "fuzz" => match run_fuzz(rest) {
+            Ok(true) => Ok(()),
+            Ok(false) => return ExitCode::FAILURE,
+            Err(e) => Err(e),
+        },
+        "synthesize" => run_synthesis(&rest, &opts).map(|syn| {
+            if json {
+                use nfactor::support::json::ToJson;
+                outln(syn.model.to_json().render_pretty());
+            } else {
+                outln(syn.render_model());
             }
         }),
-        "fsm" => run_synthesis(&rest, orig).map(|syn| {
-            let fsm = nfactor::model::ModelFsm::from_model(&syn.model);
-            println!("{}", fsm.to_dot());
+        "export" => run_synthesis(&rest, &opts).map(|syn| {
+            // The vendor workflow: print the machine-readable .nfm model
+            // (redirect to a file and ship it to the operator).
+            out(nfactor::model::to_text(&syn.model));
         }),
-        "metrics" => run_synthesis(&rest, orig).map(|syn| {
+        "slice" => run_synthesis(&rest, &opts).map(|syn| {
+            outln(syn.render_highlighted_slice());
+        }),
+        "classes" => run_synthesis(&rest, &opts).map(|syn| {
+            outln(format!("pktVar : {:?}", syn.classes.pkt_vars));
+            outln(format!("cfgVar : {:?}", syn.classes.cfg_vars));
+            outln(format!("oisVar : {:?}", syn.classes.ois_vars));
+            outln(format!("logVar : {:?}", syn.classes.log_vars));
+        }),
+        "paths" => run_synthesis(&rest, &opts).map(|syn| {
+            for (i, p) in syn.exploration.paths.iter().enumerate() {
+                outln(format!("path {i}: {}", p.canonical()));
+            }
+        }),
+        "fsm" => run_synthesis(&rest, &opts).map(|syn| {
+            let fsm = nfactor::model::ModelFsm::from_model(&syn.model);
+            outln(fsm.to_dot());
+        }),
+        "metrics" => run_synthesis(&rest, &opts).map(|syn| {
             let m = &syn.metrics;
-            println!("LoC orig       : {}", m.loc_orig);
-            println!("LoC slice      : {}", m.loc_slice);
-            println!("LoC path (max) : {}", m.loc_path);
-            println!("slicing time   : {:?}", m.slicing_time);
-            println!("EP slice       : {}", m.ep_slice);
-            println!("SE time slice  : {:?}", m.se_time_slice);
-            println!("EP orig        : {}", m.ep_orig_str());
+            outln(format!("LoC orig       : {}", m.loc_orig));
+            outln(format!("LoC slice      : {}", m.loc_slice));
+            outln(format!("LoC path (max) : {}", m.loc_path));
+            outln(format!("slicing time   : {:?}", m.slicing_time));
+            outln(format!("EP slice       : {}", m.ep_slice));
+            outln(format!("SE time slice  : {:?}", m.se_time_slice));
+            outln(format!("EP orig        : {}", m.ep_orig_str()));
             match m.se_time_orig {
-                Some(t) => println!("SE time orig   : {t:?}"),
-                None => println!("SE time orig   : - (pass --orig to measure)"),
+                Some(t) => outln(format!("SE time orig   : {t:?}")),
+                None => outln("SE time orig   : - (pass --orig to measure)"),
             }
         }),
         "lint" => {
@@ -123,9 +216,9 @@ fn main() -> ExitCode {
                 let report = nfactor::lint::lint_source(&name, &src)?;
                 if json {
                     use nfactor::support::json::ToJson;
-                    println!("{}", report.to_json().render_pretty());
+                    outln(report.to_json().render_pretty());
                 } else {
-                    print!("{}", report.render_text());
+                    out(report.render_text());
                 }
                 Ok(report.has_errors())
             })();
@@ -136,18 +229,18 @@ fn main() -> ExitCode {
                 Err(e) => Err(e),
             }
         }
-        "test" => run_synthesis(&rest, orig).and_then(|syn| {
+        "test" => run_synthesis(&rest, &opts).and_then(|syn| {
             let report =
                 nfactor::verify::compliance_test(&syn).map_err(|e| e.to_string())?;
-            println!("{report}");
+            outln(format!("{report}"));
             for (i, t) in report.tests.iter().enumerate() {
-                println!(
+                outln(format!(
                     "  test {i}: entry {:?}, {} setup, probe {}, expect {}",
                     t.target,
                     t.setup.len(),
                     t.probe,
                     if t.expect_forward { "FORWARD" } else { "DROP" }
-                );
+                ));
             }
             if report.compliant() {
                 Ok(())

@@ -1,0 +1,140 @@
+//! Robustness properties: fuzz-run determinism, budget monotonicity,
+//! truncated-model round-trips, and graceful degradation under a
+//! wall-clock deadline on the paper-scale snort NF.
+
+use nfactor::core::{synthesize, Options, Synthesis};
+use nfactor::fuzz::{run, FuzzConfig};
+use nfactor::model::Completeness;
+use nfactor::support::budget::Budget;
+use nfactor::support::check::{check, uint_range, Config};
+use nfactor::support::json::{FromJson, ToJson, Value};
+
+fn corpus_source(name: &str) -> String {
+    nfactor::corpus::default_corpus()
+        .into_iter()
+        .find(|nf| nf.name == name)
+        .unwrap_or_else(|| panic!("corpus NF `{name}` missing"))
+        .source
+}
+
+fn synthesize_with_solver_cap(src: &str, cap: usize) -> Synthesis {
+    let opts = Options {
+        budget: Budget::unlimited().with_max_solver_calls(cap),
+        ..Options::default()
+    };
+    synthesize("nat", src, &opts).expect("capped synthesis must still succeed")
+}
+
+/// A fuzz run is a pure function of its seed: same config, same report —
+/// verdict counts and the (minimized) findings byte-for-byte.
+#[test]
+fn fuzz_runs_are_reproducible() {
+    let cfg = FuzzConfig {
+        seed: 42,
+        cases: 80,
+        diff_trials: 10,
+        minimize: true,
+    };
+    let a = run(&cfg);
+    let b = run(&cfg);
+    assert_eq!(a.cases, b.cases);
+    assert_eq!(a.panics, b.panics);
+    assert_eq!(a.mismatches, b.mismatches);
+    assert_eq!(a.diff_checked, b.diff_checked);
+    assert_eq!(a.diff_skipped, b.diff_skipped);
+    assert_eq!(a.findings.len(), b.findings.len());
+    for (fa, fb) in a.findings.iter().zip(&b.findings) {
+        assert_eq!(fa.case, fb.case);
+        assert_eq!(fa.input, fb.input);
+    }
+}
+
+/// Raising the solver-call budget can only reveal paths, never hide
+/// them: explored-path count is monotone in the cap, and a run that was
+/// already complete stays complete.
+#[test]
+fn budget_monotonicity_never_loses_paths() {
+    let src = corpus_source("nat");
+    let cfg = Config::with_cases(12);
+    let caps = uint_range(1, 60);
+    check("budget_monotone", &cfg, &caps, |&lo| {
+        let hi = lo * 2 + 5;
+        let syn_lo = synthesize_with_solver_cap(&src, lo as usize);
+        let syn_hi = synthesize_with_solver_cap(&src, hi as usize);
+        assert!(
+            syn_lo.exploration.paths.len() <= syn_hi.exploration.paths.len(),
+            "cap {lo} found {} paths but cap {hi} only {}",
+            syn_lo.exploration.paths.len(),
+            syn_hi.exploration.paths.len()
+        );
+        if matches!(syn_lo.model.completeness, Completeness::Full) {
+            assert!(matches!(syn_hi.model.completeness, Completeness::Full));
+        }
+    });
+}
+
+/// A truncated model survives the JSON round trip with its completeness
+/// stamp (state and reason) intact, and `.nfm` text keeps the marker.
+#[test]
+fn truncated_model_round_trips_through_json_and_text() {
+    let src = corpus_source("nat");
+    let syn = synthesize_with_solver_cap(&src, 1);
+    assert!(
+        syn.model.completeness.is_truncated(),
+        "solver cap 1 must truncate the nat exploration"
+    );
+
+    let json = syn.model.to_json().render();
+    let val = Value::parse(&json).expect("model JSON must parse");
+    let back = nfactor::model::Model::from_json(&val).expect("model JSON must decode");
+    assert_eq!(back.completeness, syn.model.completeness);
+    assert_eq!(back.entry_count(), syn.model.entry_count());
+
+    let text = nfactor::model::to_text(&syn.model);
+    assert!(text.contains("truncated"), "{text}");
+    let back = nfactor::model::from_text(&text).expect(".nfm text must decode");
+    assert_eq!(back.completeness, syn.model.completeness);
+}
+
+/// The acceptance scenario: a 10 ms deadline on the paper-scale snort NF
+/// must yield a *partial* model — no hang, no panic, no bare error —
+/// with the truncation reason visible in both renderings.
+#[test]
+fn snort_with_10ms_deadline_returns_truncated_model() {
+    let src = corpus_source("snort");
+    let opts = Options {
+        budget: Budget::unlimited().with_timeout_ms(10),
+        ..Options::default()
+    };
+    let syn = synthesize("snort", &src, &opts).expect("deadline must degrade, not error");
+    let reason = syn
+        .model
+        .completeness
+        .reason()
+        .expect("10 ms is far too little for snort — the model must be truncated");
+    assert!(reason.contains("deadline"), "{reason}");
+
+    let text = syn.render_model();
+    assert!(text.contains("PARTIAL MODEL"), "{text}");
+    assert!(text.contains(reason), "{text}");
+
+    let json = syn.model.to_json().render();
+    assert!(json.contains("\"truncated\""), "{json}");
+    assert!(json.contains(reason), "{json}");
+}
+
+/// An unlimited budget still yields a Full model on every corpus NF —
+/// the budget machinery must be invisible when no cap is set.
+#[test]
+fn unlimited_budget_never_truncates_the_corpus() {
+    for nf in nfactor::corpus::default_corpus() {
+        let syn = synthesize(&nf.name, &nf.source, &Options::default())
+            .unwrap_or_else(|e| panic!("{}: {e}", nf.name));
+        assert!(
+            matches!(syn.model.completeness, Completeness::Full),
+            "{} unexpectedly truncated: {:?}",
+            nf.name,
+            syn.model.completeness
+        );
+    }
+}
