@@ -7,6 +7,7 @@ use nfl_analysis::pdg::{default_boundary, Pdg};
 use nfl_lang::types::TypeInfo;
 use nfl_lang::Program;
 use nf_support::budget::Budget;
+use nf_trace::Tracer;
 use nfl_slicer::statealyzer::StateAlyzerInput;
 use nfl_slicer::static_slice::{
     packet_slice_budgeted, slice_union, state_slice_budgeted, SliceResult,
@@ -14,7 +15,7 @@ use nfl_slicer::static_slice::{
 use nfl_slicer::statealyzer::{statealyzer, VarClasses};
 use nfl_symex::{ExplorationStats, PathLimits, SymExec};
 use std::fmt;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Pipeline errors, tagged with the failing stage.
 #[derive(Debug, Clone)]
@@ -62,6 +63,12 @@ pub struct Options {
     /// [`Completeness::Truncated`](nf_model::Completeness) instead of
     /// hanging or erroring — Table 2's ">1000 paths" made first-class.
     pub budget: Budget,
+    /// Observability handle, threaded alongside the budget (same
+    /// convention: an explicit value, no globals). Every Algorithm-1
+    /// stage becomes a span; the Table 2 timings are read back from
+    /// those spans, so timing is measured once and is mockable. The
+    /// default is a disabled tracer (records nothing).
+    pub tracer: Tracer,
 }
 
 impl Default for Options {
@@ -77,6 +84,7 @@ impl Default for Options {
                 track_executed: false,
             },
             budget: Budget::unlimited(),
+            tracer: Tracer::disabled(),
         }
     }
 }
@@ -170,7 +178,9 @@ pub fn normalize_with_unfold(program: &Program) -> Result<PacketLoop, Error> {
 
 /// Run the pipeline on NFL source text.
 pub fn synthesize(name: &str, src: &str, opts: &Options) -> Result<Synthesis, Error> {
+    let span = opts.tracer.span("pipeline.stage.frontend");
     let program = nfl_lang::parse_and_check(src).map_err(Error::Frontend)?;
+    span.end();
     synthesize_program(name, &program, opts)
 }
 
@@ -180,17 +190,26 @@ pub fn synthesize_program(
     program: &Program,
     opts: &Options,
 ) -> Result<Synthesis, Error> {
+    let tracer = &opts.tracer;
+
     // 1. Structure normalisation (+ socket unfolding).
+    let span = tracer.span("pipeline.stage.structure");
     let nf_loop = normalize_with_unfold(program)?;
     let type_info =
         nfl_lang::types::check(&nf_loop.program).map_err(|e| Error::Frontend(e.to_string()))?;
+    span.end();
 
     // 2–4. Slicing + classification, timed together ("Slicing Time").
-    let t_slice = Instant::now();
+    // The stage span doubles as the Table 2 timer: its duration *is*
+    // `Metrics.slicing_time`, so the number is measured exactly once.
+    let slice_span = tracer.span("pipeline.stage.slice");
     let boundary = default_boundary(&nf_loop.program, &nf_loop.func);
     let pdg = Pdg::build(&nf_loop.program, &nf_loop.func, &boundary);
+    if tracer.is_enabled() {
+        tracer.count("slice.pdg.edges", pdg.edges.len() as u64);
+    }
     let (pkt_slice, pkt_stop) =
-        packet_slice_budgeted(&pdg, &nf_loop.program, &nf_loop.func, &opts.budget);
+        packet_slice_budgeted(&pdg, &nf_loop.program, &nf_loop.func, &opts.budget, tracer);
     let classes = statealyzer(&nf_loop, &pkt_slice.stmts, &type_info, opts.statealyzer_input);
     let (st_slice, st_stop) = state_slice_budgeted(
         &pdg,
@@ -198,40 +217,47 @@ pub fn synthesize_program(
         &nf_loop.func,
         &classes.ois_vars,
         &opts.budget,
+        tracer,
     );
     let slicing_stop = pkt_stop.or(st_stop);
     let union = slice_union(&pkt_slice, &st_slice);
-    let slicing_time = t_slice.elapsed();
+    let slicing_time = slice_span.end();
 
     // 5. Symbolic execution on the slice, under the same budget.
     let sliced_loop = filter_loop(&nf_loop, &union.stmts);
-    let t_se = Instant::now();
+    let se_span = tracer.span("pipeline.stage.symex");
     let exploration = SymExec::new(&sliced_loop)
         .with_limits(opts.limits)
         .with_budget(opts.budget)
+        .with_tracer(tracer.clone())
         .explore()
         .map_err(|e| Error::Symex(e.to_string()))?;
-    let se_time_slice = t_se.elapsed();
+    let se_time_slice = se_span.end();
 
     // Optional: the expensive original-program exploration for Table 2.
+    // Only the stage span is traced — attaching the tracer to this
+    // second executor would double-count the `symex.*` counters.
     let (ep_orig, se_time_orig) = if opts.measure_original {
-        let t = Instant::now();
+        let orig_span = tracer.span("pipeline.stage.orig");
         let stats = SymExec::new(&nf_loop)
             .with_limits(opts.original_limits)
             .explore()
             .map_err(|e| Error::Symex(e.to_string()))?;
-        (
-            Some((stats.paths.len(), stats.exhausted)),
-            Some(t.elapsed()),
-        )
+        let dur = orig_span.end();
+        (Some((stats.paths.len(), stats.exhausted)), Some(dur))
     } else {
         (None, None)
     };
 
     // 6. Refactor paths into the model. A budget stop anywhere in the
     // pipeline stamps the model as a partial one, reason attached.
+    let model_span = tracer.span("pipeline.stage.model");
     let model = Model::from_paths(name, &exploration.paths);
     let truncation = slicing_stop.or_else(|| exploration.stop_reason.clone());
+    if let Some(reason) = &truncation {
+        tracer.count("pipeline.truncated", 1);
+        tracer.label("pipeline.truncated.reason", reason);
+    }
     let model = match truncation {
         Some(reason) => model.with_truncation(reason),
         None => model,
@@ -248,6 +274,10 @@ pub fn synthesize_program(
         })
         .max()
         .unwrap_or(0);
+    model_span.end();
+    if let Some(rem) = opts.budget.remaining() {
+        tracer.gauge("budget.remaining_ms", rem.as_millis() as i64);
+    }
 
     let metrics = Metrics {
         loc_orig: program.loc(),
@@ -475,6 +505,37 @@ mod tests {
             .contains("solver-call budget"));
         // Partial ≤ full path count.
         assert!(syn.metrics.ep_slice <= 5);
+    }
+
+    #[test]
+    fn tracer_records_stage_spans_and_truncation() {
+        let opts = Options {
+            tracer: Tracer::enabled(),
+            budget: Budget::unlimited().with_timeout_ms(0),
+            ..Options::default()
+        };
+        let syn = synthesize("fig1-lb", LB_SRC, &opts).unwrap();
+        assert!(syn.model.completeness.is_truncated());
+        let metrics = opts.tracer.metrics();
+        for stage in ["frontend", "structure", "slice", "symex", "model"] {
+            let key = format!("pipeline.stage.{stage}.ns");
+            assert!(metrics.counters.contains_key(&key), "missing {key}");
+        }
+        assert!(metrics.counters.contains_key("slice.pdg.edges"));
+        assert!(metrics.counters.contains_key("symex.paths.explored"));
+        assert_eq!(metrics.counter("pipeline.truncated"), Some(1));
+        let reason = metrics.labels.get("pipeline.truncated.reason").unwrap();
+        assert!(reason.contains("deadline"), "{reason}");
+        assert!(metrics.gauges.contains_key("budget.remaining_ms"));
+        assert!(opts.tracer.balanced());
+    }
+
+    #[test]
+    fn stage_spans_are_absent_on_a_disabled_tracer() {
+        let opts = Options::default();
+        let _ = synthesize("fig1-lb", LB_SRC, &opts).unwrap();
+        assert!(opts.tracer.metrics().is_empty());
+        assert!(opts.tracer.events().is_empty());
     }
 
     #[test]

@@ -34,6 +34,7 @@ pub use oracle::{check_differential, check_source, check_wire, fuzz_options, Sta
 
 use nf_packet::PacketGen;
 use nf_support::rng::{splitmix64, Rng};
+use nf_trace::Tracer;
 use std::fmt;
 
 /// What kind of input a fuzz case fed the pipeline.
@@ -177,8 +178,17 @@ fn shrink_wire(bytes: &[u8], verdict: &Verdict) -> Vec<u8> {
 /// Execute a fuzz run. Deterministic: the report (cases, verdicts,
 /// findings) is a pure function of `cfg`.
 pub fn run(cfg: &FuzzConfig) -> FuzzReport {
+    run_traced(cfg, &Tracer::disabled())
+}
+
+/// [`run`] with observability: each case's wall-clock latency lands in
+/// the `fuzz.case.ns` histogram and the oracle verdicts are summarised
+/// as `fuzz.*` counters. The verdicts themselves stay a pure function
+/// of `cfg` — only the timings vary run to run.
+pub fn run_traced(cfg: &FuzzConfig, tracer: &Tracer) -> FuzzReport {
     let mut report = FuzzReport::default();
     for case in 0..cfg.cases {
+        let case_start = tracer.is_enabled().then(|| tracer.now());
         // Every case owns an independent generator derived from
         // (seed, case), so a single case can be replayed in isolation.
         let mut st = cfg.seed ^ (case as u64).wrapping_mul(0x9e3779b97f4a7c15);
@@ -249,6 +259,18 @@ pub fn run(cfg: &FuzzConfig) -> FuzzReport {
             }
         }
         report.cases += 1;
+        if let Some(start) = case_start {
+            let ns = tracer.now().saturating_duration_since(start).as_nanos();
+            tracer.observe_ns("fuzz.case.ns", u64::try_from(ns).unwrap_or(u64::MAX));
+        }
+    }
+    if tracer.is_enabled() {
+        tracer.count("fuzz.cases", report.cases as u64);
+        tracer.count("fuzz.verdict.panic", report.panics as u64);
+        tracer.count("fuzz.verdict.mismatch", report.mismatches as u64);
+        tracer.count("fuzz.diff.checked", report.diff_checked as u64);
+        tracer.count("fuzz.diff.skipped", report.diff_skipped as u64);
+        tracer.count("fuzz.findings", report.findings.len() as u64);
     }
     report
 }
@@ -286,6 +308,28 @@ mod tests {
         assert_eq!(a.diff_checked, b.diff_checked);
         assert_eq!(a.diff_skipped, b.diff_skipped);
         assert_eq!(a.findings.len(), b.findings.len());
+    }
+
+    #[test]
+    fn traced_run_records_latency_histogram_and_verdict_counters() {
+        let tracer = Tracer::enabled();
+        let cfg = FuzzConfig {
+            seed: 0,
+            cases: 12,
+            diff_trials: 4,
+            minimize: false,
+        };
+        let report = run_traced(&cfg, &tracer);
+        let metrics = tracer.metrics();
+        assert_eq!(metrics.counter("fuzz.cases"), Some(12));
+        assert_eq!(metrics.counter("fuzz.verdict.panic"), Some(report.panics as u64));
+        assert_eq!(metrics.counter("fuzz.findings"), Some(report.findings.len() as u64));
+        let hist = metrics.histograms.get("fuzz.case.ns").unwrap();
+        assert_eq!(hist.count, 12);
+        // Verdicts must be unaffected by tracing.
+        let untraced = run(&cfg);
+        assert_eq!(untraced.panics, report.panics);
+        assert_eq!(untraced.mismatches, report.mismatches);
     }
 
     #[test]

@@ -212,10 +212,14 @@ impl Harness {
         }
     }
 
-    /// Serialize collected results to the report JSON.
+    /// Serialize collected results to the report JSON. The `meta` block
+    /// stamps every `BENCH_*.json` with the git revision, UTC timestamp
+    /// and cargo profile, so the perf trajectory across PRs is
+    /// attributable to a specific commit and build.
     pub fn report_json(&self) -> Value {
         Value::Object(vec![
             ("bench".into(), Value::Str(self.name.clone())),
+            ("meta".into(), run_meta()),
             (
                 "results".into(),
                 Value::Array(
@@ -258,9 +262,106 @@ impl Harness {
     }
 }
 
+/// Run metadata stamped into every bench report.
+fn run_meta() -> Value {
+    Value::Object(vec![
+        ("git_rev".into(), Value::Str(git_rev())),
+        ("timestamp_utc".into(), Value::Str(utc_now())),
+        (
+            "profile".into(),
+            Value::Str(
+                if cfg!(debug_assertions) { "debug" } else { "release" }.to_string(),
+            ),
+        ),
+    ])
+}
+
+/// Current `HEAD` revision, or `"unknown"` outside a git checkout.
+fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// The current UTC time as ISO-8601 (`2026-08-06T12:34:56Z`), computed
+/// from the Unix epoch with the standard civil-from-days algorithm — no
+/// external time crate.
+fn utc_now() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .unwrap_or(Duration::ZERO)
+        .as_secs() as i64;
+    let days = secs.div_euclid(86_400);
+    let tod = secs.rem_euclid(86_400);
+    let (y, m, d) = civil_from_days(days);
+    format!(
+        "{y:04}-{m:02}-{d:02}T{:02}:{:02}:{:02}Z",
+        tod / 3600,
+        (tod % 3600) / 60,
+        tod % 60
+    )
+}
+
+/// Days since 1970-01-01 → (year, month, day) in the proleptic Gregorian
+/// calendar (Howard Hinnant's `civil_from_days`).
+fn civil_from_days(z: i64) -> (i64, u32, u32) {
+    let z = z + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097); // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365; // [0, 399]
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32; // [1, 31]
+    let m = (if mp < 10 { mp + 3 } else { mp - 9 }) as u32; // [1, 12]
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn civil_from_days_matches_known_dates() {
+        assert_eq!(civil_from_days(0), (1970, 1, 1));
+        assert_eq!(civil_from_days(19_723), (2024, 1, 1)); // leap year start
+        assert_eq!(civil_from_days(19_782), (2024, 2, 29)); // leap day
+        assert_eq!(civil_from_days(-1), (1969, 12, 31));
+    }
+
+    #[test]
+    fn utc_now_is_iso8601_shaped() {
+        let ts = utc_now();
+        // 2026-08-06T12:34:56Z
+        assert_eq!(ts.len(), 20, "{ts}");
+        assert_eq!(&ts[4..5], "-");
+        assert_eq!(&ts[10..11], "T");
+        assert!(ts.ends_with('Z'));
+    }
+
+    #[test]
+    fn report_json_carries_run_meta() {
+        let h = Harness::new("meta-test");
+        let json = h.report_json();
+        let meta = json.get("meta").expect("meta block present");
+        for key in ["git_rev", "timestamp_utc", "profile"] {
+            assert!(
+                matches!(meta.get(key), Some(Value::Str(s)) if !s.is_empty()),
+                "missing/empty meta.{key}"
+            );
+        }
+        let profile = match meta.get("profile") {
+            Some(Value::Str(s)) => s.clone(),
+            _ => unreachable!(),
+        };
+        assert!(profile == "debug" || profile == "release");
+    }
 
     #[test]
     fn measures_and_reports() {

@@ -1,0 +1,52 @@
+//! nf-trace — structured tracing, metrics, and per-stage profiling for
+//! the NFactor pipeline.
+//!
+//! The paper's vendor workflow (§4) runs NFactor unattended over
+//! arbitrary NF sources, and its whole evaluation (Table 2) is
+//! *measurement*: path counts, exploration time, sliced-vs-original
+//! cost. This crate makes that measurement a first-class substrate in
+//! the `nf-support` zero-dependency style:
+//!
+//! * [`clock`] — a mockable [`Clock`] trait behind all timing:
+//!   [`SystemClock`] for production, [`MockClock`] for byte-identical
+//!   metrics in tests.
+//! * [`tracer`] — the explicit [`Tracer`] handle, threaded through the
+//!   pipeline alongside `Budget` (no globals, no thread-locals). It
+//!   records hierarchical wall-clock [`Span`]s, point-in-time events,
+//!   and a metrics registry of counters, gauges, string labels, and
+//!   fixed-bucket histograms under stable dotted names
+//!   (`symex.paths.explored`, `pipeline.stage.slice.ns`, …).
+//! * [`metrics`] — the [`MetricsSnapshot`] with deterministic sorted
+//!   rendering: a name→value table for humans, JSON (via
+//!   `nf_support::json`) for machines.
+//! * [`chrome`] — Chrome trace-event-format JSON emission, loadable in
+//!   `chrome://tracing` / Perfetto.
+//!
+//! A disabled tracer ([`Tracer::disabled`], the `Default`) records
+//! nothing and costs only the clock reads the pipeline already needs
+//! for its Table 2 timings, so instrumentation stays in the code
+//! unconditionally and sinks are opt-in per run.
+//!
+//! ```
+//! use nf_trace::Tracer;
+//!
+//! let tracer = Tracer::enabled();
+//! let span = tracer.span("pipeline.stage.slice");
+//! tracer.count("slice.pdg.edges", 42);
+//! span.end();
+//! assert!(tracer.balanced());
+//! assert_eq!(tracer.metrics().counters.get("slice.pdg.edges"), Some(&42));
+//! assert!(tracer.metrics().counters.contains_key("pipeline.stage.slice.ns"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chrome;
+pub mod clock;
+pub mod metrics;
+pub mod tracer;
+
+pub use clock::{Clock, MockClock, SystemClock};
+pub use metrics::{Histogram, MetricsSnapshot, DEFAULT_NS_BUCKETS};
+pub use tracer::{Span, TraceEvent, Tracer};

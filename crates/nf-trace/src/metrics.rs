@@ -1,0 +1,235 @@
+//! The metrics registry: counters, gauges, labels, and fixed-bucket
+//! histograms under stable dotted names.
+//!
+//! All four families live in `BTreeMap`s, so every rendering — the
+//! human table and the JSON object — is sorted by name and fully
+//! deterministic given deterministic inputs.
+
+use nf_support::json::Value;
+use std::collections::BTreeMap;
+
+/// Default histogram bucket upper bounds, in nanoseconds: a geometric
+/// ladder from 1 µs to 10 s. Observations above the last bound land in
+/// an overflow bucket.
+pub const DEFAULT_NS_BUCKETS: [u64; 8] = [
+    1_000,
+    10_000,
+    100_000,
+    1_000_000,
+    10_000_000,
+    100_000_000,
+    1_000_000_000,
+    10_000_000_000,
+];
+
+/// A fixed-bucket histogram of `u64` observations (typically
+/// nanoseconds).
+///
+/// `counts[i]` is the number of observations `<= bounds[i]`; the final
+/// extra slot of `counts` is the overflow bucket.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    /// Inclusive upper bounds of each bucket, ascending.
+    pub bounds: Vec<u64>,
+    /// Per-bucket observation counts; one longer than `bounds`
+    /// (the last slot counts overflow).
+    pub counts: Vec<u64>,
+    /// Total number of observations.
+    pub count: u64,
+    /// Sum of all observed values (saturating).
+    pub sum: u64,
+}
+
+impl Histogram {
+    /// An empty histogram over the given ascending bucket bounds.
+    pub fn new(bounds: &[u64]) -> Histogram {
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            count: 0,
+            sum: 0,
+        }
+    }
+
+    /// Record one observation.
+    pub fn observe(&mut self, v: u64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.bounds.len());
+        if let Some(slot) = self.counts.get_mut(idx) {
+            *slot += 1;
+        }
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+    }
+
+    /// Mean observed value, or 0 when empty.
+    pub fn mean(&self) -> u64 {
+        if self.count == 0 { 0 } else { self.sum / self.count }
+    }
+
+    fn to_json(&self) -> Value {
+        let buckets = self
+            .bounds
+            .iter()
+            .map(|b| i64::try_from(*b).unwrap_or(i64::MAX))
+            .map(Value::Int)
+            .collect();
+        let counts = self
+            .counts
+            .iter()
+            .map(|c| i64::try_from(*c).unwrap_or(i64::MAX))
+            .map(Value::Int)
+            .collect();
+        Value::Object(vec![
+            ("count".into(), int_json(self.count)),
+            ("sum".into(), int_json(self.sum)),
+            ("bounds".into(), Value::Array(buckets)),
+            ("counts".into(), Value::Array(counts)),
+        ])
+    }
+}
+
+fn int_json(v: u64) -> Value {
+    Value::Int(i64::try_from(v).unwrap_or(i64::MAX))
+}
+
+/// An immutable snapshot of every metric a `Tracer` has recorded.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Monotonic counters (`symex.paths.explored`, `*.ns` span totals, …).
+    pub counters: BTreeMap<String, u64>,
+    /// Last-write-wins signed gauges (`budget.remaining_ms`, …).
+    pub gauges: BTreeMap<String, i64>,
+    /// Last-write-wins string labels (`pipeline.truncated.reason`, …).
+    pub labels: BTreeMap<String, String>,
+    /// Fixed-bucket histograms (`fuzz.case.ns`, …).
+    pub histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsSnapshot {
+    /// True when no metric of any family has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.labels.is_empty()
+            && self.histograms.is_empty()
+    }
+
+    /// Counter value by name, if recorded.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.get(name).copied()
+    }
+
+    /// Render a sorted `name  value` table, one metric per line.
+    ///
+    /// Histograms are flattened to `<name>.count/.sum/.mean` rows so the
+    /// table stays one scalar per line.
+    pub fn render_table(&self) -> String {
+        let mut rows: Vec<(String, String)> = Vec::new();
+        for (k, v) in &self.counters {
+            rows.push((k.clone(), v.to_string()));
+        }
+        for (k, v) in &self.gauges {
+            rows.push((k.clone(), v.to_string()));
+        }
+        for (k, v) in &self.labels {
+            rows.push((k.clone(), v.clone()));
+        }
+        for (k, h) in &self.histograms {
+            rows.push((format!("{k}.count"), h.count.to_string()));
+            rows.push((format!("{k}.sum"), h.sum.to_string()));
+            rows.push((format!("{k}.mean"), h.mean().to_string()));
+        }
+        rows.sort();
+        let width = rows.iter().map(|(k, _)| k.len()).max().unwrap_or(0);
+        let mut out = String::new();
+        for (k, v) in rows {
+            out.push_str(&format!("{k:<width$}  {v}\n"));
+        }
+        out
+    }
+
+    /// Machine-readable JSON: one sorted object per metric family.
+    pub fn to_json(&self) -> Value {
+        let counters = self
+            .counters
+            .iter()
+            .map(|(k, v)| (k.clone(), int_json(*v)))
+            .collect();
+        let gauges = self
+            .gauges
+            .iter()
+            .map(|(k, v)| (k.clone(), Value::Int(*v)))
+            .collect();
+        let labels = self
+            .labels
+            .iter()
+            .map(|(k, v)| (k.clone(), Value::Str(v.clone())))
+            .collect();
+        let histograms = self
+            .histograms
+            .iter()
+            .map(|(k, h)| (k.clone(), h.to_json()))
+            .collect();
+        Value::Object(vec![
+            ("counters".into(), Value::Object(counters)),
+            ("gauges".into(), Value::Object(gauges)),
+            ("labels".into(), Value::Object(labels)),
+            ("histograms".into(), Value::Object(histograms)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_are_inclusive_upper_bounds() {
+        let mut h = Histogram::new(&[10, 100]);
+        h.observe(10); // first bucket (inclusive)
+        h.observe(11); // second bucket
+        h.observe(100); // second bucket (inclusive)
+        h.observe(101); // overflow
+        assert_eq!(h.counts, vec![1, 2, 1]);
+        assert_eq!(h.count, 4);
+        assert_eq!(h.sum, 222);
+        assert_eq!(h.mean(), 55);
+    }
+
+    #[test]
+    fn table_is_sorted_and_aligned() {
+        let mut m = MetricsSnapshot::default();
+        m.counters.insert("b.count".into(), 2);
+        m.counters.insert("a.count".into(), 1);
+        m.gauges.insert("c.gauge".into(), -5);
+        m.labels.insert("d.label".into(), "why".into());
+        let t = m.render_table();
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("a.count"));
+        assert!(lines[1].starts_with("b.count"));
+        assert!(lines[2].contains("-5"));
+        assert!(lines[3].ends_with("why"));
+    }
+
+    #[test]
+    fn json_shape_has_all_four_families() {
+        let mut m = MetricsSnapshot::default();
+        m.counters.insert("x".into(), 7);
+        let mut h = Histogram::new(&DEFAULT_NS_BUCKETS);
+        h.observe(500);
+        m.histograms.insert("lat".into(), h);
+        let rendered = m.to_json().render();
+        let parsed = Value::parse(&rendered).expect("round-trip");
+        let obj = match parsed {
+            Value::Object(kvs) => kvs,
+            other => panic!("expected object, got {other:?}"),
+        };
+        let keys: Vec<&str> = obj.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(keys, vec!["counters", "gauges", "labels", "histograms"]);
+    }
+}

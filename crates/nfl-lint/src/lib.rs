@@ -125,8 +125,21 @@ impl FromJson for LintReport {
 
 /// Lint an already-parsed program with the default passes.
 pub fn lint_program(name: &str, program: &Program) -> Result<LintReport, String> {
+    lint_program_traced(name, program, &nf_trace::Tracer::disabled())
+}
+
+/// [`lint_program`] with per-pass timing recorded into `tracer`
+/// (`lint.ctx.build` for the shared analysis context, then one
+/// `lint.pass.<name>` span per registered pass).
+pub fn lint_program_traced(
+    name: &str,
+    program: &Program,
+    tracer: &nf_trace::Tracer,
+) -> Result<LintReport, String> {
+    let span = tracer.span("lint.ctx.build");
     let ctx = AnalysisCtx::build(program)?;
-    let sink = PassManager::with_default_passes().run(&ctx);
+    span.end();
+    let sink = PassManager::with_default_passes().run_traced(&ctx, tracer);
     Ok(LintReport {
         name: name.to_string(),
         diagnostics: sink.diagnostics,
@@ -137,8 +150,17 @@ pub fn lint_program(name: &str, program: &Program) -> Result<LintReport, String>
 
 /// Parse, check and lint NFL source with the default passes.
 pub fn lint_source(name: &str, src: &str) -> Result<LintReport, String> {
+    lint_source_traced(name, src, &nf_trace::Tracer::disabled())
+}
+
+/// [`lint_source`] with per-pass timing recorded into `tracer`.
+pub fn lint_source_traced(
+    name: &str,
+    src: &str,
+    tracer: &nf_trace::Tracer,
+) -> Result<LintReport, String> {
     let program = nfl_lang::parse_and_check(src)?;
-    lint_program(name, &program)
+    lint_program_traced(name, &program, tracer)
 }
 
 #[cfg(test)]

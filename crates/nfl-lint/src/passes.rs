@@ -10,6 +10,7 @@
 use crate::ctx::AnalysisCtx;
 use crate::diag::{Code, Diagnostic};
 use crate::sharding::{self, ShardingReport};
+use nf_trace::Tracer;
 use nfl_analysis::defuse::def_use;
 use nfl_analysis::liveness;
 use nfl_lang::{BinOp, Expr, ExprKind, LValue, Stmt, StmtKind};
@@ -77,12 +78,24 @@ impl PassManager {
 
     /// Run every pass and return the sorted findings.
     pub fn run(&self, ctx: &AnalysisCtx) -> LintSink {
+        self.run_traced(ctx, &Tracer::disabled())
+    }
+
+    /// [`PassManager::run`] with per-pass timing: each pass runs under a
+    /// `lint.pass.<name>` span, and the diagnostic total lands in the
+    /// `lint.diagnostics` counter.
+    pub fn run_traced(&self, ctx: &AnalysisCtx, tracer: &Tracer) -> LintSink {
         let mut sink = LintSink::default();
         for pass in &self.passes {
+            let span = tracer.span(format!("lint.pass.{}", pass.name()));
             pass.run(ctx, &mut sink);
+            span.end();
         }
         sink.diagnostics.sort_by(|a, b| a.sort_key().cmp(&b.sort_key()));
         sink.diagnostics.dedup();
+        if tracer.is_enabled() {
+            tracer.count("lint.diagnostics", sink.diagnostics.len() as u64);
+        }
         sink
     }
 }

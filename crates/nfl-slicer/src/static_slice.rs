@@ -13,6 +13,7 @@
 //! ```
 
 use nf_support::budget::Budget;
+use nf_trace::Tracer;
 use nfl_analysis::pdg::Pdg;
 use nfl_lang::{builtins, pretty, Program, Stmt, StmtId, StmtKind};
 use std::collections::{BTreeSet, HashSet};
@@ -148,19 +149,28 @@ pub fn packet_slice_budgeted(
     program: &Program,
     func: &str,
     budget: &Budget,
+    tracer: &Tracer,
 ) -> (SliceResult, Option<String>) {
-    if budget.deadline.is_none() {
-        return (packet_slice(pdg, program, func), None);
+    let span = tracer.span("slice.packet");
+    let (result, stopped) = if budget.deadline.is_none() {
+        (packet_slice(pdg, program, func), None)
+    } else {
+        let mut criteria = Vec::new();
+        if let Some(f) = program.function(func) {
+            visit(&f.body, &mut |s| {
+                if calls_pkt_output(s) {
+                    criteria.push(s.id);
+                }
+            });
+        }
+        grow_budgeted(pdg, program, func, criteria, budget, "packet slicing")
+    };
+    span.end();
+    if tracer.is_enabled() {
+        tracer.count("slice.packet.stmts", result.stmts.len() as u64);
+        tracer.count("slice.packet.criteria", result.criteria.len() as u64);
     }
-    let mut criteria = Vec::new();
-    if let Some(f) = program.function(func) {
-        visit(&f.body, &mut |s| {
-            if calls_pkt_output(s) {
-                criteria.push(s.id);
-            }
-        });
-    }
-    grow_budgeted(pdg, program, func, criteria, budget, "packet slicing")
+    (result, stopped)
 }
 
 /// [`state_slice`] under a [`Budget`] — see [`packet_slice_budgeted`].
@@ -170,20 +180,29 @@ pub fn state_slice_budgeted(
     func: &str,
     ois_vars: &BTreeSet<String>,
     budget: &Budget,
+    tracer: &Tracer,
 ) -> (SliceResult, Option<String>) {
-    if budget.deadline.is_none() {
-        return (state_slice(pdg, program, func, ois_vars), None);
+    let span = tracer.span("slice.state");
+    let (result, stopped) = if budget.deadline.is_none() {
+        (state_slice(pdg, program, func, ois_vars), None)
+    } else {
+        let mut criteria = Vec::new();
+        if let Some(f) = program.function(func) {
+            visit(&f.body, &mut |s| {
+                let du = nfl_analysis::defuse::def_use(s);
+                if du.defs.iter().any(|(v, _)| ois_vars.contains(v)) {
+                    criteria.push(s.id);
+                }
+            });
+        }
+        grow_budgeted(pdg, program, func, criteria, budget, "state slicing")
+    };
+    span.end();
+    if tracer.is_enabled() {
+        tracer.count("slice.state.stmts", result.stmts.len() as u64);
+        tracer.count("slice.state.criteria", result.criteria.len() as u64);
     }
-    let mut criteria = Vec::new();
-    if let Some(f) = program.function(func) {
-        visit(&f.body, &mut |s| {
-            let du = nfl_analysis::defuse::def_use(s);
-            if du.defs.iter().any(|(v, _)| ois_vars.contains(v)) {
-                criteria.push(s.id);
-            }
-        });
-    }
-    grow_budgeted(pdg, program, func, criteria, budget, "state slicing")
+    (result, stopped)
 }
 
 /// Shared budgeted growth loop: one backward-reachability pass per
@@ -461,20 +480,28 @@ mod tests {
     fn budgeted_slice_matches_unbudgeted_when_time_remains() {
         let (p, func, pdg) = setup(NF);
         let budget = Budget::unlimited().with_timeout_ms(60_000);
-        let (ps, stop) = packet_slice_budgeted(&pdg, &p, &func, &budget);
+        let tracer = Tracer::enabled();
+        let (ps, stop) = packet_slice_budgeted(&pdg, &p, &func, &budget, &tracer);
         assert_eq!(stop, None);
         assert_eq!(ps.stmts, packet_slice(&pdg, &p, &func).stmts);
         let ois: BTreeSet<String> = ["hits".to_string()].into();
-        let (ss, stop) = state_slice_budgeted(&pdg, &p, &func, &ois, &budget);
+        let (ss, stop) = state_slice_budgeted(&pdg, &p, &func, &ois, &budget, &tracer);
         assert_eq!(stop, None);
         assert_eq!(ss.stmts, state_slice(&pdg, &p, &func, &ois).stmts);
+        // Both slices recorded a span and their size counters.
+        let metrics = tracer.metrics();
+        assert!(metrics.counters.contains_key("slice.packet.ns"));
+        assert!(metrics.counters.contains_key("slice.state.ns"));
+        assert_eq!(metrics.counter("slice.packet.stmts"), Some(ps.stmts.len() as u64));
+        assert_eq!(metrics.counter("slice.state.stmts"), Some(ss.stmts.len() as u64));
+        assert!(tracer.balanced());
     }
 
     #[test]
     fn expired_budget_yields_partial_slice_with_reason() {
         let (p, func, pdg) = setup(NF);
         let budget = Budget::unlimited().with_timeout_ms(0);
-        let (ps, stop) = packet_slice_budgeted(&pdg, &p, &func, &budget);
+        let (ps, stop) = packet_slice_budgeted(&pdg, &p, &func, &budget, &Tracer::disabled());
         assert!(stop.as_deref().unwrap().contains("packet slicing"));
         assert!(ps.stmts.len() <= packet_slice(&pdg, &p, &func).stmts.len());
         assert!(ps.criteria.is_empty(), "no criterion processed at 0ms");

@@ -14,6 +14,7 @@
 use crate::solver::{Solver, Verdict};
 use crate::sym::{MapOp, SymPacket, SymVal};
 use nf_support::budget::Budget;
+use nf_trace::Tracer;
 use nfl_analysis::normalize::PacketLoop;
 use nfl_lang::{BinOp, Expr, ExprKind, ForIter, LValue, Program, Stmt, StmtId, StmtKind, UnOp};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
@@ -138,6 +139,11 @@ pub struct ExplorationStats {
     pub exhausted: bool,
     /// Solver invocations (for the efficiency benches).
     pub solver_calls: usize,
+    /// Branch forks taken on symbolic conditions (`if`/`while` with an
+    /// undecided guard). Each fork spawns up to two feasibility checks.
+    pub forks: usize,
+    /// Forked states discarded because their path condition was UNSAT.
+    pub pruned: usize,
     /// Why exploration stopped early (`None` when it ran to completion):
     /// path cap, wall-clock deadline, or solver-call budget. Set iff
     /// `exhausted` is false; the pipeline turns it into
@@ -151,14 +157,19 @@ pub struct ExplorationStats {
 struct ExploreCtx {
     limits: PathLimits,
     solver_calls: usize,
+    forks: usize,
+    pruned: usize,
     exhausted: bool,
     stop_reason: Option<String>,
     deadline: Option<Instant>,
     max_solver_calls: Option<usize>,
+    /// Deadline checks read this tracer's clock, never `Instant::now()`
+    /// directly, so budget expiry is mockable alongside the timings.
+    tracer: Tracer,
 }
 
 impl ExploreCtx {
-    fn new(limits: PathLimits, budget: &Budget) -> ExploreCtx {
+    fn new(limits: PathLimits, budget: &Budget, tracer: Tracer) -> ExploreCtx {
         let mut limits = limits;
         if let Some(n) = budget.max_paths {
             limits.max_paths = limits.max_paths.min(n);
@@ -169,10 +180,13 @@ impl ExploreCtx {
         ExploreCtx {
             limits,
             solver_calls: 0,
+            forks: 0,
+            pruned: 0,
             exhausted: true,
             stop_reason: None,
             deadline: budget.deadline,
             max_solver_calls: budget.max_solver_calls,
+            tracer,
         }
     }
 
@@ -191,7 +205,7 @@ impl ExploreCtx {
         if self.stop_reason.is_some() {
             return true;
         }
-        if self.deadline.is_some_and(|d| Instant::now() >= d) {
+        if self.deadline.is_some_and(|d| self.tracer.now() >= d) {
             self.stop("wall-clock deadline exceeded during symbolic execution".into());
             return true;
         }
@@ -302,6 +316,9 @@ pub struct SymExec {
     /// Configs pinned to concrete values (empty = fully symbolic configs,
     /// the model-extraction mode).
     pub pinned_configs: BTreeMap<String, SymVal>,
+    /// Observability handle; deadline checks and the `symex.explore`
+    /// span both run off its clock. Disabled by default.
+    pub tracer: Tracer,
     solver: Solver,
 }
 
@@ -315,6 +332,7 @@ impl SymExec {
             limits: PathLimits::default(),
             budget: Budget::unlimited(),
             pinned_configs: BTreeMap::new(),
+            tracer: Tracer::disabled(),
             solver: Solver,
         }
     }
@@ -335,6 +353,13 @@ impl SymExec {
     /// tightening of the path and step caps).
     pub fn with_budget(mut self, budget: Budget) -> SymExec {
         self.budget = budget;
+        self
+    }
+
+    /// Attach a tracer (threaded from the pipeline alongside the
+    /// budget). All exploration timing runs off its clock.
+    pub fn with_tracer(mut self, tracer: Tracer) -> SymExec {
+        self.tracer = tracer;
         self
     }
 
@@ -437,13 +462,14 @@ impl SymExec {
 
     /// Explore all paths of the per-packet function.
     pub fn explore(&self) -> Result<ExplorationStats, SymexError> {
+        let span = self.tracer.span("symex.explore");
         let f = self
             .program
             .function(&self.func)
             .ok_or_else(|| SymexError::Malformed(format!("no function `{}`", self.func)))?
             .clone();
         let init = self.initial_state()?;
-        let mut cx = ExploreCtx::new(self.limits, &self.budget);
+        let mut cx = ExploreCtx::new(self.limits, &self.budget, self.tracer.clone());
         let finals = self.run_block(vec![init], &f.body, &mut cx)?;
         let state_names: BTreeSet<String> =
             self.program.states.iter().map(|i| i.name.clone()).collect();
@@ -468,11 +494,32 @@ impl SymExec {
                     truncated: st.truncated,
                 }
             })
-            .collect();
+            .collect::<Vec<Path>>();
+        span.end();
+        if self.tracer.is_enabled() {
+            self.tracer.count("symex.paths.explored", paths.len() as u64);
+            self.tracer.count("symex.solver.calls", cx.solver_calls as u64);
+            self.tracer.count("symex.forks", cx.forks as u64);
+            self.tracer.count("symex.paths.pruned", cx.pruned as u64);
+            let truncated = paths.iter().filter(|p| p.truncated).count();
+            self.tracer.count("symex.paths.truncated", truncated as u64);
+            for (i, p) in paths.iter().enumerate() {
+                self.tracer.instant_with(
+                    "symex.path",
+                    &[
+                        ("index", i as i64),
+                        ("constraints", p.constraints.len() as i64),
+                        ("outputs", p.outputs.len() as i64),
+                    ],
+                );
+            }
+        }
         Ok(ExplorationStats {
             paths,
             exhausted: cx.exhausted,
             solver_calls: cx.solver_calls,
+            forks: cx.forks,
+            pruned: cx.pruned,
             stop_reason: cx.stop_reason,
         })
     }
@@ -582,6 +629,7 @@ impl SymExec {
                         )?);
                     }
                     None => {
+                        cx.forks += 1;
                         for (taken, branch) in
                             [(true, then_branch), (false, else_branch)]
                         {
@@ -775,6 +823,7 @@ impl SymExec {
                     }
                     None => {
                         // Fork exit and entry.
+                        cx.forks += 1;
                         let mut exit = stt.clone();
                         exit.decisions.push((s.id, false));
                         if self.push_and_check(
@@ -839,12 +888,16 @@ impl SymExec {
             st.constraint_vars.insert(v);
         }
         cx.solver_calls += 1;
-        if disjoint {
+        let feasible = if disjoint {
             self.solver.check(std::slice::from_ref(st.constraints.last().unwrap()))
                 != Verdict::Unsat
         } else {
             self.solver.check(&st.constraints) != Verdict::Unsat
+        };
+        if !feasible {
+            cx.pruned += 1;
         }
+        feasible
     }
 
     /// If a freshly asserted literal is a map-membership fact, record it

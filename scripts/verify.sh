@@ -38,6 +38,24 @@ esac
     | grep -q '"state": "truncated"'
 echo "    truncation visible in JSON: ok"
 
+echo "==> trace smoke: Chrome trace + metrics JSON from a snort run"
+# The observability flags must produce valid, non-empty JSON even when
+# the run degrades under a deadline (that is exactly when the numbers
+# matter). `json-check` uses the in-tree parser, so this also guards
+# the emitter/parser pair against drift.
+tracedir=$(mktemp -d)
+trap 'rm -rf "$tracedir"' EXIT
+./target/release/nfactor synthesize --corpus snort \
+    --trace-json "$tracedir/trace.json" \
+    --metrics-json "$tracedir/metrics.json" > /dev/null
+./target/release/nfactor json-check "$tracedir/trace.json" > /dev/null
+./target/release/nfactor json-check "$tracedir/metrics.json" > /dev/null
+grep -q 'pipeline.stage.symex' "$tracedir/trace.json"
+echo "    trace JSON valid with stage spans: ok"
+grep -q '"symex.paths.explored"' "$tracedir/metrics.json"
+grep -q '"pipeline.stage.slice.ns"' "$tracedir/metrics.json"
+echo "    metrics JSON carries the stable names: ok"
+
 echo "==> panic gate"
 ./scripts/panic_gate.sh
 

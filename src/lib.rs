@@ -48,6 +48,7 @@
 //! | [`verify`] | `nf-verify` | §4 applications: stateful HSA, chain composition, test generation |
 //! | [`fuzz`] | `nf-fuzz` | seeded fuzzing harness: grammar/mutation inputs, crash + differential oracles |
 //! | [`support`] | `nf-support` | zero-dep substrate: JSON, bench harness, budgets, property testing |
+//! | [`trace`] | `nf-trace` | observability: spans, metrics registry, Chrome trace JSON, mockable clock |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -62,6 +63,7 @@ pub use nfactor_core as core;
 pub use nfl_analysis as analysis;
 pub use nfl_interp as interp;
 pub use nf_support as support;
+pub use nf_trace as trace;
 pub use nfl_lang as lang;
 pub use nfl_lint as lint;
 pub use nfl_slicer as slicer;

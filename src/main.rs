@@ -12,12 +12,25 @@
 //! nfactor lint       <file.nfl | --corpus name>   # NFL0xx diagnostics + sharding verdict (--json for machine output)
 //! nfactor fuzz       [--seed N] [--cases N]       # seeded crash/differential fuzzing of the whole pipeline
 //! nfactor corpus                                  # list bundled corpus NFs
+//! nfactor json-check <file.json>                  # validate a JSON file (used by scripts/verify.sh)
 //! ```
 //!
 //! Synthesis-based commands accept `--timeout-ms N` and `--max-paths N`,
 //! which bound the run with a [`Budget`](nfactor::support::budget::Budget);
 //! on exhaustion the model is returned partial and stamped `Truncated`
 //! rather than hanging. `synthesize --json` prints the model as JSON.
+//!
+//! Every command also takes the observability flags, which attach an
+//! [`nf-trace`](nfactor::trace) [`Tracer`](nfactor::trace::Tracer) to
+//! the run:
+//!
+//! * `--trace-json FILE` — write Chrome trace-event JSON (one span per
+//!   Algorithm-1 stage, nested symex/slicer/lint spans; open it in
+//!   `chrome://tracing` or Perfetto);
+//! * `--metrics` — print the sorted name→value metric table to stderr;
+//! * `--metrics-json FILE` — write the metrics registry as JSON,
+//!   including the `pipeline.truncated` counter and budget-exhaustion
+//!   reason label when the model is partial.
 //!
 //! This is the workflow the paper proposes for NF vendors: run the tool
 //! on proprietary NF code, ship only the resulting model to operators.
@@ -54,7 +67,9 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: nfactor <synthesize|export|slice|classes|paths|fsm|metrics|test|lint> \
          <file.nfl | --corpus NAME> [--orig] [--json] [--timeout-ms N] [--max-paths N]\n       \
-         nfactor fuzz [--seed N] [--cases N]\n       nfactor corpus"
+         nfactor fuzz [--seed N] [--cases N]\n       nfactor corpus\n       \
+         nfactor json-check <file.json>\n\
+         observability (any command): [--trace-json FILE] [--metrics] [--metrics-json FILE]"
     );
     ExitCode::from(2)
 }
@@ -72,6 +87,19 @@ fn take_num_flag(args: &mut Vec<String>, flag: &str) -> Result<Option<u64>, Stri
     raw.parse::<u64>()
         .map(Some)
         .map_err(|_| format!("{flag}: expected a non-negative integer, got `{raw}`"))
+}
+
+/// Remove `flag VALUE` from `args`, returning `VALUE` when present.
+fn take_str_flag(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
+    let Some(i) = args.iter().position(|a| a == flag) else {
+        return Ok(None);
+    };
+    if i + 1 >= args.len() {
+        return Err(format!("{flag} requires a value"));
+    }
+    let value = args.remove(i + 1);
+    args.remove(i);
+    Ok(Some(value))
 }
 
 fn corpus_source(name: &str) -> Option<String> {
@@ -98,7 +126,7 @@ fn run_synthesis(args: &[String], opts: &Options) -> Result<Synthesis, String> {
     synthesize(&name, &src, opts).map_err(|e| e.to_string())
 }
 
-fn run_fuzz(mut args: Vec<String>) -> Result<bool, String> {
+fn run_fuzz(mut args: Vec<String>, tracer: &nfactor::trace::Tracer) -> Result<bool, String> {
     let seed = take_num_flag(&mut args, "--seed")?.unwrap_or(0);
     let cases = take_num_flag(&mut args, "--cases")?.unwrap_or(500) as usize;
     if let Some(extra) = args.first() {
@@ -109,13 +137,34 @@ fn run_fuzz(mut args: Vec<String>) -> Result<bool, String> {
         cases,
         ..nfactor::fuzz::FuzzConfig::default()
     };
-    let report = nfactor::fuzz::run(&cfg);
+    let report = nfactor::fuzz::run_traced(&cfg, tracer);
     outln(report.summary());
     for f in &report.findings {
         outln(format!("--- case {} [{}] minimized input ---", f.case, f.kind));
         outln(&f.input);
     }
     Ok(report.clean())
+}
+
+/// Write the requested observability outputs once the command has run.
+fn emit_observability(
+    tracer: &nfactor::trace::Tracer,
+    trace_path: Option<&str>,
+    metrics_path: Option<&str>,
+    show_metrics: bool,
+) -> Result<(), String> {
+    if let Some(path) = trace_path {
+        std::fs::write(path, tracer.trace_json().render_pretty())
+            .map_err(|e| format!("{path}: {e}"))?;
+    }
+    if let Some(path) = metrics_path {
+        std::fs::write(path, tracer.metrics().to_json().render_pretty())
+            .map_err(|e| format!("{path}: {e}"))?;
+    }
+    if show_metrics {
+        eprint!("{}", tracer.metrics().render_table());
+    }
+    Ok(())
 }
 
 fn main() -> ExitCode {
@@ -125,12 +174,18 @@ fn main() -> ExitCode {
     };
     let orig = argv.iter().any(|a| a == "--orig");
     let json = argv.iter().any(|a| a == "--json");
+    let show_metrics = argv.iter().any(|a| a == "--metrics");
     let mut rest: Vec<String> = argv[1..]
         .iter()
-        .filter(|a| *a != "--orig" && *a != "--json")
+        .filter(|a| *a != "--orig" && *a != "--json" && *a != "--metrics")
         .cloned()
         .collect();
-    let opts = match (|| -> Result<Options, String> {
+    let (opts, trace_path, metrics_path) = match (|| -> Result<
+        (Options, Option<String>, Option<String>),
+        String,
+    > {
+        let trace_path = take_str_flag(&mut rest, "--trace-json")?;
+        let metrics_path = take_str_flag(&mut rest, "--metrics-json")?;
         let mut budget = nfactor::support::budget::Budget::unlimited();
         if let Some(ms) = take_num_flag(&mut rest, "--timeout-ms")? {
             budget = budget.with_timeout_ms(ms);
@@ -138,18 +193,31 @@ fn main() -> ExitCode {
         if let Some(n) = take_num_flag(&mut rest, "--max-paths")? {
             budget = budget.with_max_paths(n as usize);
         }
-        Ok(Options {
+        // Only attach a sink when some output was requested; otherwise
+        // the pipeline runs with the (near-free) disabled tracer.
+        let tracer = if trace_path.is_some() || metrics_path.is_some() || show_metrics {
+            nfactor::trace::Tracer::enabled()
+        } else {
+            nfactor::trace::Tracer::disabled()
+        };
+        let opts = Options {
             measure_original: orig,
             budget,
+            tracer,
             ..Options::default()
-        })
+        };
+        Ok((opts, trace_path, metrics_path))
     })() {
-        Ok(o) => o,
+        Ok(parsed) => parsed,
         Err(e) => {
             eprintln!("nfactor: {e}");
             return ExitCode::from(2);
         }
     };
+    let tracer = opts.tracer.clone();
+    // Non-zero exit without an error message (lint errors, fuzz
+    // findings, compliance violations); observability still emits.
+    let mut soft_fail = false;
     let result: Result<(), String> = match cmd.as_str() {
         "corpus" => {
             for nf in nfactor::corpus::default_corpus() {
@@ -160,11 +228,22 @@ fn main() -> ExitCode {
             }
             Ok(())
         }
-        "fuzz" => match run_fuzz(rest) {
-            Ok(true) => Ok(()),
-            Ok(false) => return ExitCode::FAILURE,
+        "fuzz" => match run_fuzz(rest, &tracer) {
+            Ok(clean) => {
+                soft_fail = !clean;
+                Ok(())
+            }
             Err(e) => Err(e),
         },
+        "json-check" => (|| -> Result<(), String> {
+            let path = rest
+                .first()
+                .ok_or_else(|| "json-check: missing file argument".to_string())?;
+            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            nfactor::support::json::Value::parse(&text)
+                .map_err(|e| format!("{path}: {e}"))?;
+            Ok(())
+        })(),
         "synthesize" => run_synthesis(&rest, &opts).map(|syn| {
             if json {
                 use nfactor::support::json::ToJson;
@@ -213,7 +292,7 @@ fn main() -> ExitCode {
         "lint" => {
             let r: Result<bool, String> = (|| {
                 let (name, src) = load_source(&rest)?;
-                let report = nfactor::lint::lint_source(&name, &src)?;
+                let report = nfactor::lint::lint_source_traced(&name, &src, &tracer)?;
                 if json {
                     use nfactor::support::json::ToJson;
                     outln(report.to_json().render_pretty());
@@ -224,8 +303,10 @@ fn main() -> ExitCode {
             })();
             match r {
                 // Exit non-zero iff an error-severity diagnostic fired.
-                Ok(false) => Ok(()),
-                Ok(true) => return ExitCode::FAILURE,
+                Ok(has_errors) => {
+                    soft_fail = has_errors;
+                    Ok(())
+                }
                 Err(e) => Err(e),
             }
         }
@@ -250,7 +331,19 @@ fn main() -> ExitCode {
         }),
         _ => return usage(),
     };
+    // Trace/metrics files are written even when the command failed —
+    // a truncated or failing run is exactly when the numbers matter.
+    if let Err(e) = emit_observability(
+        &tracer,
+        trace_path.as_deref(),
+        metrics_path.as_deref(),
+        show_metrics,
+    ) {
+        eprintln!("nfactor: {e}");
+        return ExitCode::FAILURE;
+    }
     match result {
+        Ok(()) if soft_fail => ExitCode::FAILURE,
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("nfactor: {e}");

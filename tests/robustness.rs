@@ -104,6 +104,7 @@ fn snort_with_10ms_deadline_returns_truncated_model() {
     let src = corpus_source("snort");
     let opts = Options {
         budget: Budget::unlimited().with_timeout_ms(10),
+        tracer: nfactor::trace::Tracer::enabled(),
         ..Options::default()
     };
     let syn = synthesize("snort", &src, &opts).expect("deadline must degrade, not error");
@@ -121,6 +122,21 @@ fn snort_with_10ms_deadline_returns_truncated_model() {
     let json = syn.model.to_json().render();
     assert!(json.contains("\"truncated\""), "{json}");
     assert!(json.contains(reason), "{json}");
+
+    // The degradation is also observable: the tracer reports the
+    // truncation counter and the same reason label, and both survive the
+    // metrics JSON (what `--metrics-json` writes).
+    let metrics = opts.tracer.metrics();
+    assert_eq!(metrics.counter("pipeline.truncated"), Some(1));
+    assert_eq!(
+        metrics.labels.get("pipeline.truncated.reason").map(String::as_str),
+        Some(reason)
+    );
+    let mjson = metrics.to_json().render_pretty();
+    let parsed = Value::parse(&mjson).expect("metrics JSON re-parses");
+    let counters = parsed.get("counters").expect("counters object");
+    assert_eq!(counters.get("pipeline.truncated"), Some(&Value::Int(1)));
+    assert!(mjson.contains(reason), "{mjson}");
 }
 
 /// An unlimited budget still yields a Full model on every corpus NF —
