@@ -13,7 +13,7 @@
 use nf_support::bench::Harness;
 use nf_packet::wire::{parse_ipv4, TcpFlags};
 use nf_packet::Packet;
-use nfactor_core::{synthesize, Options};
+use nfactor_core::Pipeline;
 use nfl_lang::BinOp;
 use nfl_slicer::statealyzer::{statealyzer, StateAlyzerInput};
 use nfl_symex::{PathLimits, Solver, SymExec, SymVal};
@@ -21,7 +21,11 @@ use nfl_symex::{PathLimits, Solver, SymExec, SymVal};
 fn bench_statealyzer_input(h: &mut Harness) {
     let mut g = h.benchmark_group("ablation/statealyzer_input");
     let src = nf_corpus::snort::source(100);
-    let syn = synthesize("snort", &src, &Options::default()).unwrap();
+    let syn = Pipeline::builder()
+        .name("snort")
+        .build()
+        .unwrap()
+        .synthesize(&src).unwrap();
     let info = nfl_lang::types::check(&syn.nf_loop.program).unwrap();
     for (label, input) in [
         ("whole_program", StateAlyzerInput::WholeProgram),
@@ -88,7 +92,11 @@ fn bench_loop_bound(h: &mut Harness) {
 fn bench_slice_kind(h: &mut Harness) {
     let mut g = h.benchmark_group("ablation/slice_kind");
     let src = nf_corpus::fig1_lb::source();
-    let syn = synthesize("lb", &src, &Options::default()).unwrap();
+    let syn = Pipeline::builder()
+        .name("lb")
+        .build()
+        .unwrap()
+        .synthesize(&src).unwrap();
     // Static: PDG + backward reachability.
     g.bench_function("static", |b| {
         b.iter(|| {

@@ -7,7 +7,7 @@ use nf_packet::wire::{parse_ipv4, TcpFlags};
 use nf_packet::{Packet, PacketGen};
 use nf_tcp::{ConnTable, TcpState};
 use nfactor_core::accuracy::initial_model_state;
-use nfactor_core::{synthesize, Options};
+use nfactor_core::Pipeline;
 use nfl_interp::Interp;
 
 fn bench_packet_codec(h: &mut Harness) {
@@ -54,7 +54,11 @@ fn bench_tcp_fsm(h: &mut Harness) {
 
 fn bench_interp_vs_model(h: &mut Harness) {
     let mut g = h.benchmark_group("substrate/per_packet");
-    let syn = synthesize("nat", &nf_corpus::nat::source(), &Options::default()).unwrap();
+    let syn = Pipeline::builder()
+        .name("nat")
+        .build()
+        .unwrap()
+        .synthesize(&nf_corpus::nat::source()).unwrap();
     let pkts = PacketGen::new(11).batch(256);
     g.bench_function("interpreter", |b| {
         b.iter(|| {

@@ -6,7 +6,7 @@
 //! timed samples at sizes that keep `cargo bench` snappy.
 
 use nf_support::bench::Harness;
-use nfactor_core::{synthesize, Options};
+use nfactor_core::Pipeline;
 use nfl_analysis::pdg::{default_boundary, Pdg};
 use nfl_slicer::static_slice::packet_slice;
 use nfl_symex::{PathLimits, SymExec};
@@ -47,7 +47,11 @@ fn bench_symex(h: &mut Harness) {
     let mut g = h.benchmark_group("table2/symex");
     g.sample_size(10);
     let src = nf_corpus::snort::source(25);
-    let syn = synthesize("snort", &src, &Options::default()).unwrap();
+    let syn = Pipeline::builder()
+        .name("snort")
+        .build()
+        .unwrap()
+        .synthesize(&src).unwrap();
     g.bench_function("snort25/slice", |b| {
         b.iter(|| SymExec::new(&syn.sliced_loop).explore().unwrap())
     });
@@ -64,7 +68,11 @@ fn bench_symex(h: &mut Harness) {
         })
     });
     let bsrc = nf_corpus::balance::source(10);
-    let bsyn = synthesize("balance", &bsrc, &Options::default()).unwrap();
+    let bsyn = Pipeline::builder()
+        .name("balance")
+        .build()
+        .unwrap()
+        .synthesize(&bsrc).unwrap();
     g.bench_function("balance10/slice", |b| {
         b.iter(|| SymExec::new(&bsyn.sliced_loop).explore().unwrap())
     });
@@ -94,7 +102,11 @@ fn bench_pipeline(h: &mut Harness) {
         ("balance10", nf_corpus::balance::source(10)),
     ] {
         g.bench_function(name, |b| {
-            b.iter(|| synthesize(name, &src, &Options::default()).unwrap())
+            b.iter(|| Pipeline::builder()
+                .name(name)
+                .build()
+                .unwrap()
+                .synthesize(&src).unwrap())
         });
     }
     g.finish();

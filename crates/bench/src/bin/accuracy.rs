@@ -17,7 +17,7 @@
 //! The paper runs 1000 trials on its 2 NFs; we run 1000 on five.
 
 use nfactor_core::accuracy::{differential_test, path_sets_equal};
-use nfactor_core::{synthesize, Options};
+use nfactor_core::Pipeline;
 
 fn main() {
     let trials = 1000;
@@ -29,7 +29,11 @@ fn main() {
     println!("{}", "-".repeat(48));
     let mut all_ok = true;
     for nf in nf_corpus_small() {
-        let syn = synthesize(nf.0, &nf.1, &Options::default())
+        let syn = Pipeline::builder()
+            .name(nf.0)
+            .build()
+            .unwrap()
+            .synthesize(&nf.1)
             .unwrap_or_else(|e| panic!("{}: {e}", nf.0));
         let paths_eq = path_sets_equal(&syn).expect("path comparison");
         let report = differential_test(&syn, 2016, trials).expect("differential");

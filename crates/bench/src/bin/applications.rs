@@ -15,7 +15,7 @@
 //! * **Testing** — model-guided compliance tests.
 
 use nf_packet::Field;
-use nfactor_core::{synthesize, Options};
+use nfactor_core::Pipeline;
 use nfl_symex::{PathLimits, SymExec};
 use std::time::Instant;
 
@@ -23,7 +23,11 @@ fn main() {
     // ---------- Verification 1: model checking speedup ----------
     println!("=== §4 Verification (1): model checking via the slice ===");
     let src = nf_corpus::snort::source(120);
-    let syn = synthesize("snort", &src, &Options::default()).expect("snort");
+    let syn = Pipeline::builder()
+        .name("snort")
+        .build()
+        .unwrap()
+        .synthesize(&src).expect("snort");
     let t_orig = Instant::now();
     let orig = SymExec::new(&syn.nf_loop)
         .with_limits(PathLimits {
@@ -52,7 +56,11 @@ fn main() {
 
     // ---------- Verification 2: stateful reachability ----------
     println!("\n=== §4 Verification (2): stateful HSA over the FW model ===");
-    let fw = synthesize("fw", &nf_corpus::firewall::source(), &Options::default())
+    let fw = Pipeline::builder()
+        .name("fw")
+        .build()
+        .unwrap()
+        .synthesize(&nf_corpus::firewall::source())
         .expect("fw");
     let mut state = nf_model::ModelState::default()
         .with_config("PROTECTED_NET", nfl_interp::Value::Int(0x0a000000))
@@ -99,9 +107,17 @@ fn main() {
 
     // ---------- Composition ----------
     println!("\n=== §4 Composition: {{FW, IDS}} + {{LB}} ===");
-    let ids = synthesize("ids", &nf_corpus::snort::source(10), &Options::default())
+    let ids = Pipeline::builder()
+        .name("ids")
+        .build()
+        .unwrap()
+        .synthesize(&nf_corpus::snort::source(10))
         .expect("ids");
-    let lb = synthesize("lb", &nf_corpus::fig1_lb::source(), &Options::default())
+    let lb = Pipeline::builder()
+        .name("lb")
+        .build()
+        .unwrap()
+        .synthesize(&nf_corpus::fig1_lb::source())
         .expect("lb");
     let report = nf_verify::recommend_order(&[
         ("FW", &fw.model),

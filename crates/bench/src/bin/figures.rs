@@ -13,7 +13,7 @@
 
 use nf_packet::wire::{parse_ipv4, TcpFlags};
 use nf_packet::Packet;
-use nfactor_core::{synthesize, Options};
+use nfactor_core::Pipeline;
 use nfl_analysis::normalize::{detect_structure, normalize};
 use nfl_interp::Interp;
 use nfl_slicer::dynamic::dynamic_slice_of_output;
@@ -23,7 +23,11 @@ fn main() {
     println!("==================== Figure 1 ====================");
     println!("Load balancer code and a slice (>> = slice lines)\n");
     let lb_src = nf_corpus::fig1_lb::source();
-    let syn = synthesize("fig1-lb", &lb_src, &Options::default()).expect("lb");
+    let syn = Pipeline::builder()
+        .name("fig1-lb")
+        .build()
+        .unwrap()
+        .synthesize(&lb_src).expect("lb");
     println!("{}", syn.render_highlighted_slice());
 
     println!("--- dynamic slice: relaying the FIRST packet of a flow ---");
@@ -71,7 +75,11 @@ fn main() {
     // ---------- Figure 6 ----------
     println!("==================== Figure 6 ====================");
     println!("NFactor output for balance\n");
-    let bsyn = synthesize("balance", &nf_corpus::balance::source(5), &Options::default())
+    let bsyn = Pipeline::builder()
+        .name("balance")
+        .build()
+        .unwrap()
+        .synthesize(&nf_corpus::balance::source(5))
         .expect("balance");
     println!("{}", bsyn.render_model());
 }

@@ -20,7 +20,7 @@
 //! must hold: slice ≪ orig LoC, path ≤ slice, EP collapse, SE collapse,
 //! snort benefiting most.
 
-use nfactor_core::{synthesize, Options, Synthesis};
+use nfactor_core::{Pipeline, Synthesis};
 use std::time::Duration;
 
 fn fmt_dur(d: Duration) -> String {
@@ -58,10 +58,10 @@ fn main() {
             nf_corpus::balance::PAPER_SCALE_EXTRAS,
         )
     };
-    let opts = Options {
-        measure_original: true,
-        ..Options::default()
-    };
+    let pipeline = Pipeline::builder()
+        .measure_original(true)
+        .build()
+        .expect("pipeline");
 
     println!("Table 2: NFactor on Snort and Balance (this reproduction)");
     if quick {
@@ -77,11 +77,15 @@ fn main() {
     println!("{}", "-".repeat(78));
 
     let snort_src = nf_corpus::snort::source(snort_rules);
-    let snort = synthesize("snort", &snort_src, &opts).expect("snort synthesis");
+    let snort = pipeline
+        .synthesize_named("snort", &snort_src)
+        .expect("snort synthesis");
     println!("{}", row("snort", &snort));
 
     let balance_src = nf_corpus::balance::source(balance_extras);
-    let balance = synthesize("balance", &balance_src, &opts).expect("balance synthesis");
+    let balance = pipeline
+        .synthesize_named("balance", &balance_src)
+        .expect("balance synthesis");
     println!("{}", row("balance", &balance));
 
     println!();

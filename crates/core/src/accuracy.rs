@@ -194,7 +194,11 @@ impl Synthesis {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::pipeline::{synthesize, Options};
+    use crate::pipeline::Pipeline;
+
+    fn synth(name: &str, src: &str) -> crate::pipeline::Synthesis {
+        Pipeline::builder().name(name).build().unwrap().synthesize(src).unwrap()
+    }
 
     const NAT_SRC: &str = r#"
         config NAT_PORT = 80;
@@ -218,7 +222,7 @@ mod tests {
 
     #[test]
     fn thousand_packet_differential_nat() {
-        let syn = synthesize("nat", NAT_SRC, &Options::default()).unwrap();
+        let syn = synth("nat", NAT_SRC);
         let report = differential_test(&syn, 2016, 1000).unwrap();
         assert!(
             report.perfect(),
@@ -230,13 +234,13 @@ mod tests {
 
     #[test]
     fn path_sets_match_for_nat() {
-        let syn = synthesize("nat", NAT_SRC, &Options::default()).unwrap();
+        let syn = synth("nat", NAT_SRC);
         assert!(path_sets_equal(&syn).unwrap());
     }
 
     #[test]
     fn differential_is_seed_deterministic() {
-        let syn = synthesize("nat", NAT_SRC, &Options::default()).unwrap();
+        let syn = synth("nat", NAT_SRC);
         let a = differential_test(&syn, 7, 100).unwrap();
         let b = differential_test(&syn, 7, 100).unwrap();
         assert_eq!(a.agreements, b.agreements);
@@ -253,7 +257,7 @@ mod tests {
             }
             fn main() { sniff(cb); }
         "#;
-        let syn = synthesize("ttl", src, &Options::default()).unwrap();
+        let syn = synth("ttl", src);
         let report = differential_test(&syn, 99, 500).unwrap();
         assert!(report.perfect(), "{:?}", report.mismatches);
     }

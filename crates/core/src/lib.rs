@@ -28,4 +28,8 @@ pub mod filter;
 pub mod pipeline;
 
 pub use filter::filter_loop;
-pub use pipeline::{synthesize, synthesize_program, Error, Metrics, Options, Synthesis};
+#[allow(deprecated)]
+pub use pipeline::{synthesize, synthesize_program, Options};
+pub use pipeline::{
+    Error, Metrics, Pipeline, PipelineBuilder, PipelineConfig, Synthesis, MAX_SHARDS,
+};

@@ -20,6 +20,8 @@ use std::time::Duration;
 /// Pipeline errors, tagged with the failing stage.
 #[derive(Debug, Clone)]
 pub enum Error {
+    /// The builder was given an invalid configuration.
+    Config(String),
     /// Parsing or type checking failed.
     Frontend(String),
     /// Structure normalisation failed.
@@ -33,6 +35,7 @@ pub enum Error {
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            Error::Config(m) => write!(f, "config: {m}"),
             Error::Frontend(m) => write!(f, "frontend: {m}"),
             Error::Structure(m) => write!(f, "structure: {m}"),
             Error::Unfold(m) => write!(f, "unfold: {m}"),
@@ -43,9 +46,13 @@ impl fmt::Display for Error {
 
 impl std::error::Error for Error {}
 
-/// Pipeline options.
+/// The validated configuration a [`Pipeline`] runs with.
+///
+/// Construct one through [`Pipeline::builder`]; the fields stay public
+/// for the deprecated [`Options`] struct-literal call sites and will be
+/// privatised when those wrappers are removed.
 #[derive(Debug, Clone)]
-pub struct Options {
+pub struct PipelineConfig {
     /// Limits for the model-extraction symbolic execution (on the slice).
     pub limits: PathLimits,
     /// Which statements feed StateAlyzer (ablation knob; NFactor's
@@ -69,11 +76,17 @@ pub struct Options {
     /// those spans, so timing is measured once and is mockable. The
     /// default is a disabled tracer (records nothing).
     pub tracer: Tracer,
+    /// Worker shards the `nf-shard` runtime should execute the result
+    /// with (`1` = single-threaded). The pipeline itself is unaffected;
+    /// the value rides along so one builder owns the whole run
+    /// (synthesis *and* execution) and `nfactor run --shards N` has a
+    /// single source of truth.
+    pub shards: usize,
 }
 
-impl Default for Options {
+impl Default for PipelineConfig {
     fn default() -> Self {
-        Options {
+        PipelineConfig {
             limits: PathLimits::default(),
             statealyzer_input: StateAlyzerInput::PacketSlice,
             measure_original: false,
@@ -85,7 +98,173 @@ impl Default for Options {
             },
             budget: Budget::unlimited(),
             tracer: Tracer::disabled(),
+            shards: 1,
         }
+    }
+}
+
+/// Deprecated name of [`PipelineConfig`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Pipeline::builder()` (or `PipelineConfig` directly) instead"
+)]
+pub type Options = PipelineConfig;
+
+/// Most shards a pipeline will accept; past this the dispatch hash
+/// spreads flows thinner than any plausible core count and a typo'd
+/// `--shards 10000` would allocate that many rings and threads.
+pub const MAX_SHARDS: usize = 256;
+
+/// Builder for a [`Pipeline`] — the one place every knob of a run
+/// (synthesis limits, budget, tracer, shard count) is set.
+///
+/// ```
+/// use nfactor_core::Pipeline;
+///
+/// let pipeline = Pipeline::builder()
+///     .name("port-filter")
+///     .shards(4)
+///     .build()
+///     .unwrap();
+/// let syn = pipeline
+///     .synthesize(
+///         "config PORT = 80;
+///          fn cb(pkt: packet) { if pkt.tcp.dport == PORT { send(pkt); } }
+///          fn main() { sniff(cb); }",
+///     )
+///     .unwrap();
+/// assert_eq!(syn.name, "port-filter");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct PipelineBuilder {
+    name: Option<String>,
+    config: PipelineConfig,
+}
+
+impl PipelineBuilder {
+    /// Name the NF (used in reports and the model header). Defaults to
+    /// `"nf"`; [`Pipeline::synthesize_named`] overrides it per call.
+    pub fn name(mut self, name: impl Into<String>) -> Self {
+        self.name = Some(name.into());
+        self
+    }
+
+    /// Path limits for the model-extraction symbolic execution.
+    pub fn limits(mut self, limits: PathLimits) -> Self {
+        self.config.limits = limits;
+        self
+    }
+
+    /// Which statements feed StateAlyzer (ablation knob).
+    pub fn statealyzer_input(mut self, input: StateAlyzerInput) -> Self {
+        self.config.statealyzer_input = input;
+        self
+    }
+
+    /// Also explore the unsliced program (Table 2's "orig" columns).
+    pub fn measure_original(mut self, on: bool) -> Self {
+        self.config.measure_original = on;
+        self
+    }
+
+    /// Path limits for that original-program exploration.
+    pub fn original_limits(mut self, limits: PathLimits) -> Self {
+        self.config.original_limits = limits;
+        self
+    }
+
+    /// Resource budget (deadline + path/step/solver caps) for the run.
+    pub fn budget(mut self, budget: Budget) -> Self {
+        self.config.budget = budget;
+        self
+    }
+
+    /// Observability handle; every Algorithm-1 stage becomes a span.
+    pub fn tracer(mut self, tracer: Tracer) -> Self {
+        self.config.tracer = tracer;
+        self
+    }
+
+    /// Worker shards for the `nf-shard` execution runtime.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.config.shards = shards;
+        self
+    }
+
+    /// Validate and produce the [`Pipeline`].
+    pub fn build(self) -> Result<Pipeline, Error> {
+        if self.config.shards == 0 {
+            return Err(Error::Config("shards must be at least 1".into()));
+        }
+        if self.config.shards > MAX_SHARDS {
+            return Err(Error::Config(format!(
+                "shards must be at most {MAX_SHARDS}, got {}",
+                self.config.shards
+            )));
+        }
+        if self.config.limits.max_paths == 0 {
+            return Err(Error::Config("limits.max_paths must be at least 1".into()));
+        }
+        Ok(Pipeline {
+            name: self.name.unwrap_or_else(|| "nf".to_string()),
+            config: self.config,
+        })
+    }
+}
+
+/// A configured synthesis pipeline: build once, synthesize any number
+/// of sources with the same budget/tracer/shard settings.
+#[derive(Debug, Clone)]
+pub struct Pipeline {
+    name: String,
+    config: PipelineConfig,
+}
+
+impl Pipeline {
+    /// Start configuring a pipeline.
+    pub fn builder() -> PipelineBuilder {
+        PipelineBuilder::default()
+    }
+
+    /// The configured NF name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The validated configuration.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
+    /// Worker shards the execution runtime should use.
+    pub fn shards(&self) -> usize {
+        self.config.shards
+    }
+
+    /// The tracer attached to this pipeline.
+    pub fn tracer(&self) -> &Tracer {
+        &self.config.tracer
+    }
+
+    /// The resource budget attached to this pipeline.
+    pub fn budget(&self) -> &Budget {
+        &self.config.budget
+    }
+
+    /// Run Algorithm 1 on NFL source text under the configured name.
+    pub fn synthesize(&self, src: &str) -> Result<Synthesis, Error> {
+        self.synthesize_named(&self.name, src)
+    }
+
+    /// Run Algorithm 1 on NFL source text, overriding the NF name (for
+    /// callers reusing one pipeline across a corpus).
+    pub fn synthesize_named(&self, name: &str, src: &str) -> Result<Synthesis, Error> {
+        run_source(name, src, &self.config)
+    }
+
+    /// Run Algorithm 1 on an already parsed and checked program.
+    pub fn synthesize_program(&self, name: &str, program: &Program) -> Result<Synthesis, Error> {
+        run_program(name, program, &self.config)
     }
 }
 
@@ -177,18 +356,35 @@ pub fn normalize_with_unfold(program: &Program) -> Result<PacketLoop, Error> {
 }
 
 /// Run the pipeline on NFL source text.
-pub fn synthesize(name: &str, src: &str, opts: &Options) -> Result<Synthesis, Error> {
-    let span = opts.tracer.span("pipeline.stage.frontend");
-    let program = nfl_lang::parse_and_check(src).map_err(Error::Frontend)?;
-    span.end();
-    synthesize_program(name, &program, opts)
+#[deprecated(since = "0.2.0", note = "use `Pipeline::builder()....build()?.synthesize(src)`")]
+pub fn synthesize(name: &str, src: &str, opts: &PipelineConfig) -> Result<Synthesis, Error> {
+    run_source(name, src, opts)
 }
 
 /// Run the pipeline on an already-checked program.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Pipeline::builder()....build()?.synthesize_program(name, program)`"
+)]
 pub fn synthesize_program(
     name: &str,
     program: &Program,
-    opts: &Options,
+    opts: &PipelineConfig,
+) -> Result<Synthesis, Error> {
+    run_program(name, program, opts)
+}
+
+fn run_source(name: &str, src: &str, opts: &PipelineConfig) -> Result<Synthesis, Error> {
+    let span = opts.tracer.span("pipeline.stage.frontend");
+    let program = nfl_lang::parse_and_check(src).map_err(Error::Frontend)?;
+    span.end();
+    run_program(name, &program, opts)
+}
+
+fn run_program(
+    name: &str,
+    program: &Program,
+    opts: &PipelineConfig,
 ) -> Result<Synthesis, Error> {
     let tracer = &opts.tracer;
 
@@ -309,6 +505,11 @@ pub fn synthesize_program(
 mod tests {
     use super::*;
 
+    /// One-shot synthesis with default settings, builder-style.
+    fn synth(name: &str, src: &str) -> Result<Synthesis, Error> {
+        Pipeline::builder().name(name).build()?.synthesize(src)
+    }
+
     const LB_SRC: &str = r#"
         const ROUND_ROBIN = 1;
         config mode = 1;
@@ -369,7 +570,7 @@ mod tests {
 
     #[test]
     fn figure1_lb_full_pipeline() {
-        let syn = synthesize("fig1-lb", LB_SRC, &Options::default()).unwrap();
+        let syn = synth("fig1-lb", LB_SRC).unwrap();
         // Table 1 classes.
         assert!(syn.classes.ois_vars.contains("f2b_nat"));
         assert!(syn.classes.ois_vars.contains("rr_idx"));
@@ -402,11 +603,12 @@ mod tests {
 
     #[test]
     fn measure_original_populates_table2_columns() {
-        let opts = Options {
-            measure_original: true,
-            ..Options::default()
-        };
-        let syn = synthesize("fig1-lb", LB_SRC, &opts).unwrap();
+        let syn = Pipeline::builder()
+            .measure_original(true)
+            .build()
+            .unwrap()
+            .synthesize_named("fig1-lb", LB_SRC)
+            .unwrap();
         let (ep, _) = syn.metrics.ep_orig.unwrap();
         assert!(ep >= syn.metrics.ep_slice, "orig ≥ slice paths");
         assert!(syn.metrics.se_time_orig.is_some());
@@ -440,7 +642,7 @@ mod tests {
                 }
             }
         "#;
-        let syn = synthesize("balance", balance, &Options::default()).unwrap();
+        let syn = synth("balance", balance).unwrap();
         // The hidden TCP state is visible in the model.
         let maps = syn.model.state_maps();
         assert!(maps.iter().any(|m| m == "__tcp"), "{maps:?}");
@@ -454,11 +656,12 @@ mod tests {
     fn expired_deadline_degrades_to_truncated_model() {
         // A pre-expired deadline must not hang, panic, or error out: the
         // pipeline returns a partial model that says why it is partial.
-        let opts = Options {
-            budget: Budget::unlimited().with_timeout_ms(0),
-            ..Options::default()
-        };
-        let syn = synthesize("fig1-lb", LB_SRC, &opts).unwrap();
+        let syn = Pipeline::builder()
+            .budget(Budget::unlimited().with_timeout_ms(0))
+            .build()
+            .unwrap()
+            .synthesize_named("fig1-lb", LB_SRC)
+            .unwrap();
         assert!(
             syn.model.completeness.is_truncated(),
             "{:?}",
@@ -478,24 +681,28 @@ mod tests {
 
     #[test]
     fn generous_budget_leaves_model_complete() {
-        let opts = Options {
-            budget: Budget::unlimited()
-                .with_timeout_ms(120_000)
-                .with_max_solver_calls(1_000_000),
-            ..Options::default()
-        };
-        let syn = synthesize("fig1-lb", LB_SRC, &opts).unwrap();
+        let syn = Pipeline::builder()
+            .budget(
+                Budget::unlimited()
+                    .with_timeout_ms(120_000)
+                    .with_max_solver_calls(1_000_000),
+            )
+            .build()
+            .unwrap()
+            .synthesize_named("fig1-lb", LB_SRC)
+            .unwrap();
         assert!(!syn.model.completeness.is_truncated());
         assert_eq!(syn.metrics.ep_slice, 5);
     }
 
     #[test]
     fn solver_budget_truncates_with_reason() {
-        let opts = Options {
-            budget: Budget::unlimited().with_max_solver_calls(1),
-            ..Options::default()
-        };
-        let syn = synthesize("fig1-lb", LB_SRC, &opts).unwrap();
+        let syn = Pipeline::builder()
+            .budget(Budget::unlimited().with_max_solver_calls(1))
+            .build()
+            .unwrap()
+            .synthesize_named("fig1-lb", LB_SRC)
+            .unwrap();
         assert!(syn.model.completeness.is_truncated());
         assert!(syn
             .model
@@ -509,14 +716,16 @@ mod tests {
 
     #[test]
     fn tracer_records_stage_spans_and_truncation() {
-        let opts = Options {
-            tracer: Tracer::enabled(),
-            budget: Budget::unlimited().with_timeout_ms(0),
-            ..Options::default()
-        };
-        let syn = synthesize("fig1-lb", LB_SRC, &opts).unwrap();
+        let tracer = Tracer::enabled();
+        let syn = Pipeline::builder()
+            .tracer(tracer.clone())
+            .budget(Budget::unlimited().with_timeout_ms(0))
+            .build()
+            .unwrap()
+            .synthesize_named("fig1-lb", LB_SRC)
+            .unwrap();
         assert!(syn.model.completeness.is_truncated());
-        let metrics = opts.tracer.metrics();
+        let metrics = tracer.metrics();
         for stage in ["frontend", "structure", "slice", "symex", "model"] {
             let key = format!("pipeline.stage.{stage}.ns");
             assert!(metrics.counters.contains_key(&key), "missing {key}");
@@ -527,25 +736,62 @@ mod tests {
         let reason = metrics.labels.get("pipeline.truncated.reason").unwrap();
         assert!(reason.contains("deadline"), "{reason}");
         assert!(metrics.gauges.contains_key("budget.remaining_ms"));
-        assert!(opts.tracer.balanced());
+        assert!(tracer.balanced());
     }
 
     #[test]
     fn stage_spans_are_absent_on_a_disabled_tracer() {
-        let opts = Options::default();
-        let _ = synthesize("fig1-lb", LB_SRC, &opts).unwrap();
-        assert!(opts.tracer.metrics().is_empty());
-        assert!(opts.tracer.events().is_empty());
+        let pipeline = Pipeline::builder().build().unwrap();
+        let _ = pipeline.synthesize_named("fig1-lb", LB_SRC).unwrap();
+        assert!(pipeline.tracer().metrics().is_empty());
+        assert!(pipeline.tracer().events().is_empty());
+    }
+
+    #[test]
+    fn builder_rejects_bad_shard_counts() {
+        assert!(matches!(
+            Pipeline::builder().shards(0).build(),
+            Err(Error::Config(_))
+        ));
+        assert!(matches!(
+            Pipeline::builder().shards(MAX_SHARDS + 1).build(),
+            Err(Error::Config(_))
+        ));
+        assert_eq!(
+            Pipeline::builder().shards(MAX_SHARDS).build().unwrap().shards(),
+            MAX_SHARDS
+        );
+    }
+
+    #[test]
+    fn builder_defaults_match_config_defaults() {
+        let p = Pipeline::builder().build().unwrap();
+        assert_eq!(p.name(), "nf");
+        assert_eq!(p.shards(), 1);
+        assert!(!p.config().measure_original);
+        assert!(!p.tracer().is_enabled());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_still_work() {
+        // One release of back-compat: the positional functions and the
+        // `Options` alias keep working while callers migrate.
+        let syn = synthesize("fig1-lb", LB_SRC, &Options::default()).unwrap();
+        assert_eq!(syn.metrics.ep_slice, 5);
+        let program = nfl_lang::parse_and_check(LB_SRC).unwrap();
+        let syn2 = synthesize_program("fig1-lb", &program, &Options::default()).unwrap();
+        assert_eq!(syn2.metrics.ep_slice, 5);
     }
 
     #[test]
     fn frontend_errors_surface() {
         assert!(matches!(
-            synthesize("bad", "fn main( {", &Options::default()),
+            synth("bad", "fn main( {"),
             Err(Error::Frontend(_))
         ));
         assert!(matches!(
-            synthesize("bad", "fn main() { x = 1; }", &Options::default()),
+            synth("bad", "fn main() { x = 1; }"),
             Err(Error::Frontend(_))
         ));
     }
@@ -553,14 +799,14 @@ mod tests {
     #[test]
     fn unrecognised_structure_errors() {
         assert!(matches!(
-            synthesize("odd", "fn main() { let x = 1; }", &Options::default()),
+            synth("odd", "fn main() { let x = 1; }"),
             Err(Error::Structure(_))
         ));
     }
 
     #[test]
     fn highlighted_slice_renders() {
-        let syn = synthesize("fig1-lb", LB_SRC, &Options::default()).unwrap();
+        let syn = synth("fig1-lb", LB_SRC).unwrap();
         let hl = syn.render_highlighted_slice();
         assert!(hl.lines().any(|l| l.starts_with(">> ")), "{hl}");
         assert!(hl.lines().any(|l| l.starts_with("   ")), "{hl}");

@@ -110,11 +110,11 @@ mod tests {
 
     #[test]
     fn pipeline_synthesizes_model_with_hidden_state() {
-        let syn = nfactor_core::synthesize(
-            "balance",
-            &source(5),
-            &nfactor_core::Options::default(),
-        )
+        let syn = nfactor_core::Pipeline::builder()
+            .name("balance")
+            .build()
+            .unwrap()
+            .synthesize(&source(5))
         .unwrap();
         // The hidden TCP state shows up as model state.
         assert!(syn.model.state_maps().iter().any(|m| m == "__tcp"));
@@ -131,15 +131,13 @@ mod tests {
 
     #[test]
     fn slice_paths_match_paper_scale() {
-        let syn = nfactor_core::synthesize(
-            "balance",
-            &source(5),
-            &nfactor_core::Options {
-                measure_original: true,
-                ..Default::default()
-            },
-        )
-        .unwrap();
+        let syn = nfactor_core::Pipeline::builder()
+            .name("balance")
+            .measure_original(true)
+            .build()
+            .unwrap()
+            .synthesize(&source(5))
+            .unwrap();
         // Table 2 shape: slice paths ≈ 10, orig ≈ 20, orig > slice.
         let (ep_orig, _) = syn.metrics.ep_orig.unwrap();
         assert!(

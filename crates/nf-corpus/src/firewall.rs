@@ -113,11 +113,11 @@ mod tests {
 
     #[test]
     fn model_matches_program_on_random_traffic() {
-        let syn = nfactor_core::synthesize(
-            "firewall",
-            &source(),
-            &nfactor_core::Options::default(),
-        )
+        let syn = nfactor_core::Pipeline::builder()
+            .name("firewall")
+            .build()
+            .unwrap()
+            .synthesize(&source())
         .unwrap();
         let report = nfactor_core::accuracy::differential_test(&syn, 7, 300).unwrap();
         assert!(report.perfect(), "{:?}", report.mismatches);

@@ -147,11 +147,11 @@ mod tests {
 
     #[test]
     fn model_agrees_with_program_on_random_traffic() {
-        let syn = nfactor_core::synthesize(
-            "nat",
-            &source(),
-            &nfactor_core::Options::default(),
-        )
+        let syn = nfactor_core::Pipeline::builder()
+            .name("nat")
+            .build()
+            .unwrap()
+            .synthesize(&source())
         .unwrap();
         let report = nfactor_core::accuracy::differential_test(&syn, 42, 300).unwrap();
         assert!(report.perfect(), "{:?}", report.mismatches);

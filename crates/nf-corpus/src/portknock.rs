@@ -110,11 +110,11 @@ mod tests {
 
     #[test]
     fn model_captures_the_three_stage_fsm() {
-        let syn = nfactor_core::synthesize(
-            "portknock",
-            &source(),
-            &nfactor_core::Options::default(),
-        )
+        let syn = nfactor_core::Pipeline::builder()
+            .name("portknock")
+            .build()
+            .unwrap()
+            .synthesize(&source())
         .unwrap();
         let fsm = nfactor_core::Synthesis::render_model(&syn);
         // The stage predicates appear as state matches.
@@ -129,11 +129,11 @@ mod tests {
 
     #[test]
     fn model_agrees_with_program_on_random_traffic() {
-        let syn = nfactor_core::synthesize(
-            "portknock",
-            &source(),
-            &nfactor_core::Options::default(),
-        )
+        let syn = nfactor_core::Pipeline::builder()
+            .name("portknock")
+            .build()
+            .unwrap()
+            .synthesize(&source())
         .unwrap();
         let report = nfactor_core::accuracy::differential_test(&syn, 11, 600).unwrap();
         assert!(report.perfect(), "{:?}", report.mismatches);
@@ -143,11 +143,11 @@ mod tests {
     fn model_agrees_on_the_exact_knock_sequence() {
         // Random traffic rarely knocks correctly; drive the exact
         // sequence through both sides.
-        let syn = nfactor_core::synthesize(
-            "portknock",
-            &source(),
-            &nfactor_core::Options::default(),
-        )
+        let syn = nfactor_core::Pipeline::builder()
+            .name("portknock")
+            .build()
+            .unwrap()
+            .synthesize(&source())
         .unwrap();
         let mut interp = Interp::new(&syn.nf_loop).unwrap();
         let mut model =

@@ -91,11 +91,11 @@ mod tests {
 
     #[test]
     fn model_state_match_includes_token_predicate() {
-        let syn = nfactor_core::synthesize(
-            "ratelimit",
-            &source(),
-            &nfactor_core::Options::default(),
-        )
+        let syn = nfactor_core::Pipeline::builder()
+            .name("ratelimit")
+            .build()
+            .unwrap()
+            .synthesize(&source())
         .unwrap();
         // The forwarding entry is guarded by `buckets[src] > 0` — a value
         // predicate over state, not mere membership.
@@ -109,11 +109,11 @@ mod tests {
 
     #[test]
     fn model_agrees_with_program() {
-        let syn = nfactor_core::synthesize(
-            "ratelimit",
-            &source(),
-            &nfactor_core::Options::default(),
-        )
+        let syn = nfactor_core::Pipeline::builder()
+            .name("ratelimit")
+            .build()
+            .unwrap()
+            .synthesize(&source())
         .unwrap();
         let report = nfactor_core::accuracy::differential_test(&syn, 3, 600).unwrap();
         assert!(report.perfect(), "{:?}", report.mismatches);

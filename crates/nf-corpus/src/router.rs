@@ -96,11 +96,11 @@ mod tests {
 
     #[test]
     fn model_is_stateless() {
-        let syn = nfactor_core::synthesize(
-            "router",
-            &source(),
-            &nfactor_core::Options::default(),
-        )
+        let syn = nfactor_core::Pipeline::builder()
+            .name("router")
+            .build()
+            .unwrap()
+            .synthesize(&source())
         .unwrap();
         assert!(syn.classes.ois_vars.is_empty(), "{:?}", syn.classes);
         assert!(syn.model.state_maps().is_empty());
@@ -113,11 +113,11 @@ mod tests {
 
     #[test]
     fn model_agrees_with_program() {
-        let syn = nfactor_core::synthesize(
-            "router",
-            &source(),
-            &nfactor_core::Options::default(),
-        )
+        let syn = nfactor_core::Pipeline::builder()
+            .name("router")
+            .build()
+            .unwrap()
+            .synthesize(&source())
         .unwrap();
         let report = nfactor_core::accuracy::differential_test(&syn, 21, 600).unwrap();
         assert!(report.perfect(), "{:?}", report.mismatches);
@@ -126,11 +126,11 @@ mod tests {
     #[test]
     fn hsa_sees_the_prefix_split() {
         use nf_verify::hsa::{HeaderSpace, StatefulNf};
-        let syn = nfactor_core::synthesize(
-            "router",
-            &source(),
-            &nfactor_core::Options::default(),
-        )
+        let syn = nfactor_core::Pipeline::builder()
+            .name("router")
+            .build()
+            .unwrap()
+            .synthesize(&source())
         .unwrap();
         let interp = Interp::new(&syn.nf_loop).unwrap();
         let state = nfactor_core::accuracy::initial_model_state(&syn, &interp);

@@ -198,11 +198,11 @@ mod tests {
     #[test]
     fn slice_has_exactly_three_paths() {
         // The headline Table 2 number: EP(slice) = 3 for snort.
-        let syn = nfactor_core::synthesize(
-            "snort",
-            &source(25),
-            &nfactor_core::Options::default(),
-        )
+        let syn = nfactor_core::Pipeline::builder()
+            .name("snort")
+            .build()
+            .unwrap()
+            .synthesize(&source(25))
         .unwrap();
         assert_eq!(syn.metrics.ep_slice, 3, "block1 / block2 / forward");
         // And the slice prunes every alert counter.

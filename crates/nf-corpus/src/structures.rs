@@ -166,7 +166,11 @@ mod tests {
             ("4d", nested_loop()),
         ] {
             let syn =
-                nfactor_core::synthesize(name, &src, &nfactor_core::Options::default())
+                nfactor_core::Pipeline::builder()
+                    .name(name)
+                    .build()
+                    .unwrap()
+                    .synthesize(&src)
                     .unwrap_or_else(|e| panic!("{name}: {e}"));
             assert!(syn.model.entry_count() > 0, "{name} produced no entries");
         }

@@ -30,7 +30,7 @@ pub mod oracle;
 pub use grammar::{gen_program, GenProgram, GrammarConfig};
 pub use minimize::{minimize_text, minimize_wire};
 pub use mutate::{mutate_text, mutate_wire, random_bytes};
-pub use oracle::{check_differential, check_source, check_wire, fuzz_options, Stage, Verdict};
+pub use oracle::{check_differential, check_source, check_wire, fuzz_pipeline, Stage, Verdict};
 
 use nf_packet::PacketGen;
 use nf_support::rng::{splitmix64, Rng};

@@ -12,7 +12,7 @@
 
 use nf_support::budget::Budget;
 use nfactor_core::accuracy::differential_test;
-use nfactor_core::{synthesize, Options};
+use nfactor_core::Pipeline;
 use nfl_symex::PathLimits;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
@@ -89,20 +89,25 @@ fn guarded<T>(stage: Stage, f: impl FnOnce() -> T) -> Result<T, Verdict> {
     })
 }
 
-/// Options used for every oracle synthesis: deterministic caps only.
+/// Path limits used for every oracle synthesis.
+fn fuzz_limits() -> PathLimits {
+    PathLimits {
+        max_paths: 128,
+        max_steps: 20_000,
+        ..PathLimits::default()
+    }
+}
+
+/// Pipeline used for every oracle synthesis: deterministic caps only.
 /// A wall-clock deadline would make verdicts depend on machine speed and
 /// break the same-seed-same-report guarantee, so the budget here is
 /// paths/steps/solver-calls exclusively.
-pub fn fuzz_options() -> Options {
-    Options {
-        limits: PathLimits {
-            max_paths: 128,
-            max_steps: 20_000,
-            ..PathLimits::default()
-        },
-        budget: Budget::unlimited().with_max_solver_calls(10_000),
-        ..Options::default()
-    }
+pub fn fuzz_pipeline(name: &str) -> Result<Pipeline, nfactor_core::Error> {
+    Pipeline::builder()
+        .name(name)
+        .limits(fuzz_limits())
+        .budget(Budget::unlimited().with_max_solver_calls(10_000))
+        .build()
 }
 
 /// Crash oracle over NFL source text: parse, and when that succeeds,
@@ -119,7 +124,7 @@ pub fn check_source(name: &str, src: &str) -> Verdict {
         return v;
     }
     match guarded(Stage::Synthesize, || {
-        synthesize(name, src, &fuzz_options())
+        fuzz_pipeline(name).and_then(|p| p.synthesize(src))
     }) {
         Ok(_) => Verdict::Pass,
         Err(v) => v,
@@ -145,7 +150,7 @@ pub fn check_wire(bytes: &[u8]) -> Verdict {
 /// seeded stream and demand identical outputs.
 pub fn check_differential(name: &str, src: &str, seed: u64, trials: usize) -> Verdict {
     let syn = match guarded(Stage::Synthesize, || {
-        synthesize(name, src, &fuzz_options())
+        fuzz_pipeline(name).and_then(|p| p.synthesize(src))
     }) {
         Ok(Ok(syn)) => syn,
         Ok(Err(e)) => return Verdict::Skipped(format!("synthesis error: {e}")),
@@ -231,9 +236,14 @@ mod tests {
             }
             fn main() { sniff(cb); }
         "#;
-        let mut opts = fuzz_options();
-        opts.budget = Budget::unlimited().with_max_solver_calls(1);
-        let syn = synthesize("t", src, &opts).unwrap();
+        let syn = Pipeline::builder()
+            .name("t")
+            .limits(fuzz_limits())
+            .budget(Budget::unlimited().with_max_solver_calls(1))
+            .build()
+            .unwrap()
+            .synthesize(src)
+            .unwrap();
         assert!(syn.model.completeness.is_truncated());
         // check_differential uses its own options, so exercise the skip
         // path through the public surface with a solver-capped variant:

@@ -1,0 +1,919 @@
+//! The sharded execution engine.
+//!
+//! A [`ShardEngine`] runs one NF — either its NFL interpreter or its
+//! synthesized model ([`Backend`]) — across `n` worker shards, placing
+//! state as the [`ShardPlan`] dictates:
+//!
+//! * **Partitioned** plans steer each packet to the shard its dispatch
+//!   hash picks; every shard owns an independent copy of the program
+//!   state, and per-flow maps partition because all packets of a flow
+//!   (and, for symmetric keys, its reply direction) land on one shard.
+//!   There is deliberately **no work stealing**: stealing a packet
+//!   would move it away from the shard that owns its flow state, which
+//!   is exactly the locality the dispatch hash exists to preserve.
+//! * **Global-lock** plans (shared state) run one program instance
+//!   behind a ticket lock: workers take packets round-robin but process
+//!   them in global arrival order, so the result is bit-identical to a
+//!   single-threaded run — correct, serialised, and measured as such.
+//!
+//! After a run, per-shard states are merged back into one view
+//! ([`ShardRun::merged`]): partitioned maps union (their key sets are
+//! disjoint by construction — a collision is reported as an engine
+//! bug), log-only counters sum their per-shard deltas, and replicated
+//! state is checked untouched.
+//!
+//! Three run modes support the differential oracle and the bench:
+//! [`ShardEngine::run`] (real `std::thread` workers over SPSC rings),
+//! [`ShardEngine::run_sequential`] (same dispatch, executed on one
+//! thread with per-shard busy-time accounting — deterministic
+//! makespan measurement for single-core hosts), and
+//! [`ShardEngine::run_single`] (the one-shard reference).
+
+use crate::dispatch::shard_of;
+use crate::plan::{RunMode, ShardPlan};
+use nf_model::{Model, ModelState};
+use nf_packet::Packet;
+use nf_trace::Tracer;
+use nfactor_core::{Pipeline, Synthesis};
+use nfl_interp::{Interp, Value};
+use nfl_lint::{ShardingReport, StateShard};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Ring capacity per worker; deep enough to absorb dispatch bursts,
+/// shallow enough to bound memory.
+const RING_CAP: usize = 1024;
+
+/// Sentinel error a global-lock worker returns when it bailed out
+/// because *another* shard poisoned the ticket; filtered at join time
+/// in favour of the root cause.
+const ABORTED: &str = "aborted: another shard failed";
+
+/// Poisons the ticket counter unless disarmed — so a worker that exits
+/// abnormally (error return or panic) can never leave its peers
+/// spinning on a ticket that will not come.
+struct PoisonTicket {
+    turn: Arc<AtomicU64>,
+    armed: bool,
+}
+
+impl Drop for PoisonTicket {
+    fn drop(&mut self) {
+        if self.armed {
+            self.turn.store(u64::MAX, Ordering::Release);
+        }
+    }
+}
+
+/// What executes on each shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// The NFL interpreter over the normalised program.
+    Interp,
+    /// The synthesized model evaluator.
+    Model,
+}
+
+/// Errors from building or running a shard engine.
+#[derive(Debug)]
+pub enum ShardError {
+    /// Lint or parse failure while building.
+    Build(String),
+    /// A shard hit a runtime error processing a packet.
+    Runtime(String),
+    /// Thread spawn/join failure.
+    Thread(String),
+    /// State merge detected an invariant violation (a partitioning or
+    /// replication bug).
+    Merge(String),
+}
+
+impl std::fmt::Display for ShardError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardError::Build(m) => write!(f, "build: {m}"),
+            ShardError::Runtime(m) => write!(f, "runtime: {m}"),
+            ShardError::Thread(m) => write!(f, "thread: {m}"),
+            ShardError::Merge(m) => write!(f, "merge: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ShardError {}
+
+/// Per-shard program state: an interpreter or a model-state instance.
+#[derive(Debug, Clone)]
+enum BackendState {
+    Interp(Interp),
+    Model(ModelState),
+}
+
+impl BackendState {
+    /// Process one packet, returning `(outputs, dropped)`.
+    fn step(&mut self, model: Option<&Model>, pkt: &Packet) -> Result<(Vec<Packet>, bool), String> {
+        match self {
+            BackendState::Interp(i) => i
+                .process(pkt)
+                .map(|r| (r.outputs, r.dropped))
+                .map_err(|e| e.to_string()),
+            BackendState::Model(ms) => {
+                let Some(m) = model else {
+                    return Err("model backend without a model".into());
+                };
+                ms.step(m, pkt)
+                    .map(|s| {
+                        let dropped = s.output.is_none();
+                        (s.output.into_iter().collect(), dropped)
+                    })
+                    .map_err(|e| e.to_string())
+            }
+        }
+    }
+
+    /// A by-name snapshot of all persistent state.
+    fn snapshot(&self) -> BTreeMap<String, Value> {
+        match self {
+            BackendState::Interp(i) => i
+                .globals
+                .iter()
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect(),
+            BackendState::Model(ms) => {
+                let mut out = BTreeMap::new();
+                for (k, v) in &ms.configs {
+                    out.insert(k.clone(), v.clone());
+                }
+                for (k, v) in &ms.scalars {
+                    out.insert(k.clone(), v.clone());
+                }
+                for (k, m) in &ms.maps {
+                    out.insert(k.clone(), Value::Map(m.clone()));
+                }
+                out
+            }
+        }
+    }
+}
+
+/// The observable result of processing one packet, tagged with its
+/// global arrival sequence number.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeqOutput {
+    /// Global arrival index of the input packet.
+    pub seq: u64,
+    /// The shard that processed it.
+    pub shard: usize,
+    /// Packets emitted by `send`, in order.
+    pub outputs: Vec<Packet>,
+    /// Whether the packet was dropped.
+    pub dropped: bool,
+}
+
+/// The merged result of a sharded run.
+#[derive(Debug, Clone)]
+pub struct ShardRun {
+    /// Per-packet results, sorted by arrival sequence.
+    pub outputs: Vec<SeqOutput>,
+    /// Merged state: per-flow maps unioned, log counters delta-summed,
+    /// replicated state verified, keyed by variable name.
+    pub merged: BTreeMap<String, Value>,
+    /// Packets processed by each shard.
+    pub per_shard_pkts: Vec<u64>,
+    /// Busy (processing) nanoseconds per shard.
+    pub busy_ns: Vec<u64>,
+    /// Whether shards ran without cross-shard locking.
+    pub partitioned: bool,
+}
+
+impl ShardRun {
+    /// Total packets processed.
+    pub fn total_pkts(&self) -> u64 {
+        self.per_shard_pkts.iter().sum()
+    }
+
+    /// The run's critical path: with partitioned shards the slowest
+    /// shard bounds completion; under the global lock the work is
+    /// serialised, so the critical path is the sum.
+    pub fn makespan_ns(&self) -> u64 {
+        if self.partitioned {
+            self.busy_ns.iter().copied().max().unwrap_or(0)
+        } else {
+            self.busy_ns.iter().sum()
+        }
+    }
+
+    /// The externally observable behaviour, shard assignment erased —
+    /// what a differential oracle compares across shard counts.
+    pub fn output_signature(&self) -> Vec<(u64, Vec<Packet>, bool)> {
+        self.outputs
+            .iter()
+            .map(|o| (o.seq, o.outputs.clone(), o.dropped))
+            .collect()
+    }
+}
+
+/// What one worker hands back at join time.
+struct WorkerOut {
+    outputs: Vec<SeqOutput>,
+    snapshot: BTreeMap<String, Value>,
+    pkts: u64,
+    busy_ns: u64,
+}
+
+/// A sharded runtime instance for one NF.
+pub struct ShardEngine {
+    name: String,
+    shards: usize,
+    plan: ShardPlan,
+    report: ShardingReport,
+    tracer: Tracer,
+    proto: BackendState,
+    model: Option<Arc<Model>>,
+}
+
+impl ShardEngine {
+    /// Build an engine from NFL source: lints the program for the
+    /// placement plan, then instantiates the selected backend. Shard
+    /// count and tracer come from the [`Pipeline`].
+    pub fn from_source(
+        pipeline: &Pipeline,
+        src: &str,
+        backend: Backend,
+    ) -> Result<ShardEngine, ShardError> {
+        match backend {
+            Backend::Interp => {
+                let lint = nfl_lint::lint_source(pipeline.name(), src)
+                    .map_err(ShardError::Build)?;
+                // The lint analyses the (possibly socket-unfolded)
+                // program; run the same text so state names line up.
+                let program =
+                    nfl_lang::parse_and_check(&lint.source).map_err(ShardError::Build)?;
+                let nf_loop =
+                    nfl_analysis::normalize(&program).map_err(|e| ShardError::Build(e.to_string()))?;
+                let interp =
+                    Interp::new(&nf_loop).map_err(|e| ShardError::Build(e.to_string()))?;
+                Ok(ShardEngine {
+                    name: pipeline.name().to_string(),
+                    shards: pipeline.shards(),
+                    plan: ShardPlan::from_report(&lint.sharding),
+                    report: lint.sharding,
+                    tracer: pipeline.tracer().clone(),
+                    proto: BackendState::Interp(interp),
+                    model: None,
+                })
+            }
+            Backend::Model => {
+                let syn = pipeline
+                    .synthesize(src)
+                    .map_err(|e| ShardError::Build(e.to_string()))?;
+                ShardEngine::from_synthesis(pipeline, &syn)
+            }
+        }
+    }
+
+    /// Build a model-backend engine from an existing [`Synthesis`]
+    /// (avoids re-running the pipeline when the caller already has
+    /// one).
+    pub fn from_synthesis(
+        pipeline: &Pipeline,
+        syn: &Synthesis,
+    ) -> Result<ShardEngine, ShardError> {
+        let lint = nfl_lint::lint_program(&syn.name, &syn.nf_loop.program)
+            .map_err(ShardError::Build)?;
+        let interp =
+            Interp::new(&syn.nf_loop).map_err(|e| ShardError::Build(e.to_string()))?;
+        let proto = nfactor_core::accuracy::initial_model_state(syn, &interp);
+        Ok(ShardEngine {
+            name: syn.name.clone(),
+            shards: pipeline.shards(),
+            plan: ShardPlan::from_report(&lint.sharding),
+            report: lint.sharding,
+            tracer: pipeline.tracer().clone(),
+            proto: BackendState::Model(proto),
+            model: Some(Arc::new(syn.model.clone())),
+        })
+    }
+
+    /// The NF name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of shards this engine fans out to.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The placement plan in force.
+    pub fn plan(&self) -> &ShardPlan {
+        &self.plan
+    }
+
+    /// The lint report the plan was derived from.
+    pub fn report(&self) -> &ShardingReport {
+        &self.report
+    }
+
+    /// Run threaded: one `std::thread` worker per shard, fed over SPSC
+    /// rings, packets steered by the plan.
+    pub fn run(&self, packets: &[Packet]) -> Result<ShardRun, ShardError> {
+        match self.plan.mode().clone() {
+            RunMode::Partitioned(key) => self.run_partitioned_threaded(&key, packets),
+            RunMode::GlobalLock => self.run_global_threaded(packets),
+        }
+    }
+
+    /// Run the same dispatch on one thread, accounting busy time per
+    /// shard — the deterministic way to measure partitioned speedup on
+    /// a host without `shards` free cores.
+    pub fn run_sequential(&self, packets: &[Packet]) -> Result<ShardRun, ShardError> {
+        match self.plan.mode().clone() {
+            RunMode::Partitioned(key) => self.run_sequential_n(self.shards, |p| {
+                shard_of(&key, p, self.shards)
+            }, true, packets),
+            RunMode::GlobalLock => {
+                // One state instance; round-robin accounting, serialised
+                // critical path.
+                self.run_global_sequential(packets)
+            }
+        }
+    }
+
+    /// The single-threaded reference run every sharded run must match.
+    pub fn run_single(&self, packets: &[Packet]) -> Result<ShardRun, ShardError> {
+        self.run_sequential_n(1, |_| 0, true, packets)
+    }
+
+    fn run_partitioned_threaded(
+        &self,
+        key: &nfl_lint::DispatchKey,
+        packets: &[Packet],
+    ) -> Result<ShardRun, ShardError> {
+        let n = self.shards;
+        let outs = std::thread::scope(|scope| -> Result<Vec<WorkerOut>, ShardError> {
+            let mut producers = Vec::with_capacity(n);
+            let mut handles = Vec::with_capacity(n);
+            for w in 0..n {
+                let (tx, rx) = nf_support::spsc::ring::<(u64, Packet)>(RING_CAP);
+                producers.push(tx);
+                let mut state = self.proto.clone();
+                let model = self.model.clone();
+                let tracer = self.tracer.clone();
+                let handle = std::thread::Builder::new()
+                    .name(format!("nf-shard-{w}"))
+                    .spawn_scoped(scope, move || -> Result<WorkerOut, String> {
+                        let mut outputs = Vec::new();
+                        let (mut pkts, mut busy_ns) = (0u64, 0u64);
+                        loop {
+                            let wait = Instant::now();
+                            let Some((seq, pkt)) = rx.recv() else { break };
+                            tracer.observe_ns(
+                                &format!("shard.{w}.ring.wait.ns"),
+                                wait.elapsed().as_nanos() as u64,
+                            );
+                            let t0 = Instant::now();
+                            let (outs, dropped) = state.step(model.as_deref(), &pkt)?;
+                            busy_ns += t0.elapsed().as_nanos() as u64;
+                            pkts += 1;
+                            outputs.push(SeqOutput {
+                                seq,
+                                shard: w,
+                                outputs: outs,
+                                dropped,
+                            });
+                        }
+                        tracer.count(&format!("shard.{w}.pkts"), pkts);
+                        Ok(WorkerOut {
+                            outputs,
+                            snapshot: state.snapshot(),
+                            pkts,
+                            busy_ns,
+                        })
+                    })
+                    .map_err(|e| ShardError::Thread(e.to_string()))?;
+                handles.push(handle);
+            }
+            for (i, pkt) in packets.iter().enumerate() {
+                let w = shard_of(key, pkt, n);
+                if producers[w].send((i as u64, pkt.clone())).is_err() {
+                    // The worker exited early (runtime error); its join
+                    // below reports why.
+                    break;
+                }
+            }
+            drop(producers);
+            let mut outs = Vec::with_capacity(n);
+            for handle in handles {
+                match handle.join() {
+                    Ok(Ok(out)) => outs.push(out),
+                    Ok(Err(e)) => return Err(ShardError::Runtime(e)),
+                    Err(_) => return Err(ShardError::Thread("worker panicked".into())),
+                }
+            }
+            Ok(outs)
+        })?;
+        self.assemble(outs, true)
+    }
+
+    fn run_global_threaded(&self, packets: &[Packet]) -> Result<ShardRun, ShardError> {
+        let n = self.shards;
+        let shared = Arc::new(Mutex::new(self.proto.clone()));
+        let turn = Arc::new(AtomicU64::new(0));
+        let outs = std::thread::scope(|scope| -> Result<Vec<WorkerOut>, ShardError> {
+            let mut producers = Vec::with_capacity(n);
+            let mut handles = Vec::with_capacity(n);
+            for w in 0..n {
+                let (tx, rx) = nf_support::spsc::ring::<(u64, Packet)>(RING_CAP);
+                producers.push(tx);
+                let shared = Arc::clone(&shared);
+                let turn = Arc::clone(&turn);
+                let model = self.model.clone();
+                let tracer = self.tracer.clone();
+                let handle = std::thread::Builder::new()
+                    .name(format!("nf-shard-{w}"))
+                    .spawn_scoped(scope, move || -> Result<WorkerOut, String> {
+                        let mut poison = PoisonTicket {
+                            turn: Arc::clone(&turn),
+                            armed: true,
+                        };
+                        let mut outputs = Vec::new();
+                        let (mut pkts, mut busy_ns) = (0u64, 0u64);
+                        while let Some((seq, pkt)) = rx.recv() {
+                            // Ticket lock: process strictly in arrival
+                            // order so the run is bit-identical to the
+                            // single-threaded reference. `u64::MAX` is
+                            // the poison ticket a failing shard leaves
+                            // behind so nobody spins forever.
+                            let wait = Instant::now();
+                            let mut spins = 0u32;
+                            loop {
+                                match turn.load(Ordering::Acquire) {
+                                    t if t == seq => break,
+                                    u64::MAX => {
+                                        return Err(ABORTED.into());
+                                    }
+                                    _ => {
+                                        spins += 1;
+                                        if spins > 64 {
+                                            std::thread::yield_now();
+                                        } else {
+                                            std::hint::spin_loop();
+                                        }
+                                    }
+                                }
+                            }
+                            let mut guard =
+                                shared.lock().unwrap_or_else(|e| e.into_inner());
+                            tracer.observe_ns(
+                                "lock.wait.ns",
+                                wait.elapsed().as_nanos() as u64,
+                            );
+                            let t0 = Instant::now();
+                            let step = guard.step(model.as_deref(), &pkt);
+                            drop(guard);
+                            match &step {
+                                Ok(_) => turn.store(seq + 1, Ordering::Release),
+                                Err(_) => turn.store(u64::MAX, Ordering::Release),
+                            }
+                            let (outs, dropped) = step?;
+                            busy_ns += t0.elapsed().as_nanos() as u64;
+                            pkts += 1;
+                            outputs.push(SeqOutput {
+                                seq,
+                                shard: w,
+                                outputs: outs,
+                                dropped,
+                            });
+                        }
+                        poison.armed = false;
+                        tracer.count(&format!("shard.{w}.pkts"), pkts);
+                        Ok(WorkerOut {
+                            outputs,
+                            snapshot: BTreeMap::new(),
+                            pkts,
+                            busy_ns,
+                        })
+                    })
+                    .map_err(|e| ShardError::Thread(e.to_string()))?;
+                handles.push(handle);
+            }
+            for (i, pkt) in packets.iter().enumerate() {
+                // Round-robin: the ticket serialises processing anyway.
+                if producers[i % n].send((i as u64, pkt.clone())).is_err() {
+                    break;
+                }
+            }
+            drop(producers);
+            // Join everything, then report the root cause rather than a
+            // bystander's abort.
+            let mut outs = Vec::with_capacity(n);
+            let mut aborted = false;
+            let mut failure: Option<ShardError> = None;
+            for handle in handles {
+                match handle.join() {
+                    Ok(Ok(out)) => outs.push(out),
+                    Ok(Err(e)) if e == ABORTED => aborted = true,
+                    Ok(Err(e)) => failure = failure.or(Some(ShardError::Runtime(e))),
+                    Err(_) => {
+                        turn.store(u64::MAX, Ordering::Release);
+                        failure =
+                            failure.or(Some(ShardError::Thread("worker panicked".into())));
+                    }
+                }
+            }
+            if let Some(err) = failure {
+                return Err(err);
+            }
+            if aborted {
+                return Err(ShardError::Thread("worker aborted without a cause".into()));
+            }
+            Ok(outs)
+        })?;
+        let mut outputs: Vec<SeqOutput> = outs.iter().flat_map(|o| o.outputs.clone()).collect();
+        outputs.sort_by_key(|o| o.seq);
+        let merged = shared.lock().unwrap_or_else(|e| e.into_inner()).snapshot();
+        Ok(ShardRun {
+            outputs,
+            merged,
+            per_shard_pkts: outs.iter().map(|o| o.pkts).collect(),
+            busy_ns: outs.iter().map(|o| o.busy_ns).collect(),
+            partitioned: false,
+        })
+    }
+
+    fn run_sequential_n(
+        &self,
+        n: usize,
+        mut pick: impl FnMut(&Packet) -> usize,
+        partitioned: bool,
+        packets: &[Packet],
+    ) -> Result<ShardRun, ShardError> {
+        let mut states: Vec<BackendState> = (0..n).map(|_| self.proto.clone()).collect();
+        let mut outputs = Vec::with_capacity(packets.len());
+        let mut pkts = vec![0u64; n];
+        let mut busy = vec![0u64; n];
+        for (i, pkt) in packets.iter().enumerate() {
+            let w = pick(pkt).min(n - 1);
+            let t0 = Instant::now();
+            let (outs, dropped) = states[w]
+                .step(self.model.as_deref(), pkt)
+                .map_err(ShardError::Runtime)?;
+            busy[w] += t0.elapsed().as_nanos() as u64;
+            pkts[w] += 1;
+            outputs.push(SeqOutput {
+                seq: i as u64,
+                shard: w,
+                outputs: outs,
+                dropped,
+            });
+        }
+        for (w, count) in pkts.iter().enumerate() {
+            self.tracer.count(&format!("shard.{w}.pkts"), *count);
+        }
+        let outs: Vec<WorkerOut> = states
+            .into_iter()
+            .zip(pkts)
+            .zip(busy)
+            .map(|((state, pkts), busy_ns)| WorkerOut {
+                outputs: Vec::new(),
+                snapshot: state.snapshot(),
+                pkts,
+                busy_ns,
+            })
+            .collect();
+        let mut run = self.assemble(outs, partitioned)?;
+        run.outputs = outputs;
+        Ok(run)
+    }
+
+    fn run_global_sequential(&self, packets: &[Packet]) -> Result<ShardRun, ShardError> {
+        let n = self.shards;
+        let mut state = self.proto.clone();
+        let mut outputs = Vec::with_capacity(packets.len());
+        let mut pkts = vec![0u64; n];
+        let mut busy = vec![0u64; n];
+        for (i, pkt) in packets.iter().enumerate() {
+            let w = i % n;
+            let t0 = Instant::now();
+            let (outs, dropped) = state
+                .step(self.model.as_deref(), pkt)
+                .map_err(ShardError::Runtime)?;
+            busy[w] += t0.elapsed().as_nanos() as u64;
+            pkts[w] += 1;
+            outputs.push(SeqOutput {
+                seq: i as u64,
+                shard: w,
+                outputs: outs,
+                dropped,
+            });
+        }
+        for (w, count) in pkts.iter().enumerate() {
+            self.tracer.count(&format!("shard.{w}.pkts"), *count);
+        }
+        Ok(ShardRun {
+            outputs,
+            merged: state.snapshot(),
+            per_shard_pkts: pkts,
+            busy_ns: busy,
+            partitioned: false,
+        })
+    }
+
+    /// Sort outputs and merge per-shard snapshots.
+    fn assemble(&self, outs: Vec<WorkerOut>, partitioned: bool) -> Result<ShardRun, ShardError> {
+        let mut outputs: Vec<SeqOutput> = outs.iter().flat_map(|o| o.outputs.clone()).collect();
+        outputs.sort_by_key(|o| o.seq);
+        let initial = self.proto.snapshot();
+        let snapshots: Vec<&BTreeMap<String, Value>> =
+            outs.iter().map(|o| &o.snapshot).collect();
+        let merged = merge_states(&self.report, &initial, &snapshots)?;
+        Ok(ShardRun {
+            outputs,
+            merged,
+            per_shard_pkts: outs.iter().map(|o| o.pkts).collect(),
+            busy_ns: outs.iter().map(|o| o.busy_ns).collect(),
+            partitioned,
+        })
+    }
+}
+
+/// Merge per-shard state snapshots into one view, per the report's
+/// verdicts.
+fn merge_states(
+    report: &ShardingReport,
+    initial: &BTreeMap<String, Value>,
+    shards: &[&BTreeMap<String, Value>],
+) -> Result<BTreeMap<String, Value>, ShardError> {
+    let mut merged = BTreeMap::new();
+    for (name, init) in initial {
+        let verdict = report.get(name).map(|s| s.verdict());
+        let values: Vec<&Value> = shards.iter().filter_map(|s| s.get(name)).collect();
+        let Some(first) = values.first() else {
+            merged.insert(name.clone(), init.clone());
+            continue;
+        };
+        let out = match verdict {
+            Some(StateShard::PerFlow) => merge_partitioned_map(name, init, &values)?,
+            Some(StateShard::LogOnly) => merge_log(name, init, &values)?,
+            Some(StateShard::Shared) => (*first).clone(),
+            // Read-only state and configs/consts (no verdict) must be
+            // identical everywhere — drift means a placement bug.
+            Some(StateShard::ReadOnly) | None => {
+                if let Some(bad) = values.iter().find(|v| **v != *first) {
+                    return Err(ShardError::Merge(format!(
+                        "replicated `{name}` diverged across shards: {first:?} vs {bad:?}"
+                    )));
+                }
+                (*first).clone()
+            }
+        };
+        merged.insert(name.clone(), out);
+    }
+    Ok(merged)
+}
+
+/// Union a partitioned map's per-shard copies. Entries that changed
+/// from their initial value must come from exactly one shard.
+fn merge_partitioned_map(
+    name: &str,
+    init: &Value,
+    values: &[&Value],
+) -> Result<Value, ShardError> {
+    let Value::Map(init_map) = init else {
+        // A per-flow verdict on a non-map is unexpected; keep the first
+        // copy rather than invent semantics.
+        return Ok((*values[0]).clone());
+    };
+    let mut union = init_map.clone();
+    for v in values {
+        let Value::Map(m) = v else {
+            return Err(ShardError::Merge(format!(
+                "partitioned `{name}` is not a map on some shard"
+            )));
+        };
+        for (k, val) in m {
+            if init_map.get(k) == Some(val) {
+                continue; // unchanged initial entry, owned by no one
+            }
+            match union.get(k) {
+                Some(existing) if existing != val && init_map.get(k) != Some(existing) => {
+                    return Err(ShardError::Merge(format!(
+                        "partitioned `{name}` key {k:?} written by multiple shards"
+                    )));
+                }
+                _ => {
+                    union.insert(k.clone(), val.clone());
+                }
+            }
+        }
+    }
+    // Entries deleted (map_remove) on their owning shard must not
+    // survive via another shard's untouched initial copy.
+    let mut removed: Vec<nfl_interp::ValueKey> = Vec::new();
+    for k in init_map.keys() {
+        if values.iter().any(|v| match v {
+            Value::Map(m) => !m.contains_key(k),
+            _ => false,
+        }) {
+            removed.push(k.clone());
+        }
+    }
+    for k in removed {
+        union.remove(&k);
+    }
+    Ok(Value::Map(union))
+}
+
+/// Merge log-only state by summing per-shard deltas over the initial
+/// value (integers; integer-valued map entries likewise).
+fn merge_log(name: &str, init: &Value, values: &[&Value]) -> Result<Value, ShardError> {
+    match init {
+        Value::Int(base) => {
+            let mut total = *base;
+            for v in values {
+                let Value::Int(x) = v else {
+                    return Err(ShardError::Merge(format!(
+                        "log-only `{name}` is not an integer on some shard"
+                    )));
+                };
+                total += x - base;
+            }
+            Ok(Value::Int(total))
+        }
+        Value::Map(init_map) => {
+            let mut out = init_map.clone();
+            for v in values {
+                let Value::Map(m) = v else {
+                    return Err(ShardError::Merge(format!(
+                        "log-only `{name}` is not a map on some shard"
+                    )));
+                };
+                for (k, val) in m {
+                    let base = init_map.get(k).and_then(|b| b.as_int()).unwrap_or(0);
+                    let Some(x) = val.as_int() else {
+                        return Err(ShardError::Merge(format!(
+                            "log-only `{name}` entry {k:?} is not an integer"
+                        )));
+                    };
+                    let cur = out.get(k).and_then(|c| c.as_int()).unwrap_or(base);
+                    out.insert(k.clone(), Value::Int(cur + (x - base)));
+                }
+            }
+            Ok(Value::Map(out))
+        }
+        other => {
+            // Non-numeric log state: all shards must agree or the merge
+            // has no meaning.
+            if let Some(bad) = values.iter().find(|v| **v != other) {
+                return Err(ShardError::Merge(format!(
+                    "log-only `{name}` has non-mergeable type and diverged: {bad:?}"
+                )));
+            }
+            Ok(other.clone())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nf_packet::PacketGen;
+
+    fn pipeline(name: &str, shards: usize) -> Pipeline {
+        match Pipeline::builder().name(name).shards(shards).build() {
+            Ok(p) => p,
+            Err(e) => unreachable!("builder: {e}"),
+        }
+    }
+
+    const RATELIMITER_ISH: &str = r#"
+        config MAX = 3;
+        state buckets = map();
+        state passed = 0;
+        fn cb(pkt: packet) {
+            let src = pkt.ip.src;
+            if src not in buckets { buckets[src] = MAX; }
+            if buckets[src] > 0 {
+                buckets[src] = buckets[src] - 1;
+                passed = passed + 1;
+                send(pkt);
+            } else {
+                drop(pkt);
+            }
+        }
+        fn main() { sniff(cb); }
+    "#;
+
+    #[test]
+    fn threaded_matches_single_on_per_flow_nf() {
+        let engine =
+            ShardEngine::from_source(&pipeline("rl", 4), RATELIMITER_ISH, Backend::Interp)
+                .unwrap();
+        assert!(engine.plan().partitioned());
+        let packets = PacketGen::new(42).batch(300);
+        let sharded = engine.run(&packets).unwrap();
+        let single = engine.run_single(&packets).unwrap();
+        assert_eq!(sharded.output_signature(), single.output_signature());
+        assert_eq!(sharded.merged, single.merged);
+        assert_eq!(sharded.total_pkts(), 300);
+        assert_eq!(sharded.per_shard_pkts.len(), 4);
+    }
+
+    #[test]
+    fn sequential_matches_threaded() {
+        let engine =
+            ShardEngine::from_source(&pipeline("rl", 4), RATELIMITER_ISH, Backend::Interp)
+                .unwrap();
+        let packets = PacketGen::new(7).batch(200);
+        let seq = engine.run_sequential(&packets).unwrap();
+        let thr = engine.run(&packets).unwrap();
+        assert_eq!(seq.output_signature(), thr.output_signature());
+        assert_eq!(seq.merged, thr.merged);
+        assert!(seq.partitioned);
+    }
+
+    #[test]
+    fn global_lock_matches_single_on_shared_nf() {
+        let src = r#"
+            state next = 0;
+            state m = map();
+            fn cb(pkt: packet) {
+                if pkt.ip.src in m { send(pkt); } else {
+                    m[pkt.ip.src] = next;
+                    next = next + 1;
+                    drop(pkt);
+                }
+            }
+            fn main() { sniff(cb); }
+        "#;
+        let engine = ShardEngine::from_source(&pipeline("alloc", 4), src, Backend::Interp).unwrap();
+        assert!(!engine.plan().partitioned());
+        let packets = PacketGen::new(3).batch(250);
+        let sharded = engine.run(&packets).unwrap();
+        let single = engine.run_single(&packets).unwrap();
+        assert_eq!(sharded.output_signature(), single.output_signature());
+        assert_eq!(sharded.merged, single.merged);
+        assert!(!sharded.partitioned);
+    }
+
+    #[test]
+    fn log_counters_delta_sum_across_shards() {
+        let engine =
+            ShardEngine::from_source(&pipeline("rl", 4), RATELIMITER_ISH, Backend::Interp)
+                .unwrap();
+        let packets = PacketGen::new(9).batch(120);
+        let sharded = engine.run(&packets).unwrap();
+        let single = engine.run_single(&packets).unwrap();
+        // `passed` is log-only: per-shard copies must sum to the
+        // single-threaded count.
+        assert_eq!(sharded.merged.get("passed"), single.merged.get("passed"));
+        let sent = sharded.outputs.iter().filter(|o| !o.dropped).count() as i64;
+        assert_eq!(sharded.merged.get("passed"), Some(&Value::Int(sent)));
+    }
+
+    #[test]
+    fn map_remove_does_not_resurrect_across_shards() {
+        // Every packet toggles its flow's entry: insert on first sight,
+        // remove on second. With entries created and removed on the
+        // owning shard, the merged map must equal the single-threaded
+        // result (no resurrection from other shards' initial copies).
+        let src = r#"
+            state m = map();
+            fn cb(pkt: packet) {
+                let k = pkt.ip.src;
+                if k in m { map_remove(m, k); drop(pkt); } else { m[k] = 1; send(pkt); }
+            }
+            fn main() { sniff(cb); }
+        "#;
+        let engine = ShardEngine::from_source(&pipeline("toggle", 4), src, Backend::Interp).unwrap();
+        let packets = PacketGen::new(5).batch(300);
+        let sharded = engine.run(&packets).unwrap();
+        let single = engine.run_single(&packets).unwrap();
+        assert_eq!(sharded.merged, single.merged);
+        assert_eq!(sharded.output_signature(), single.output_signature());
+    }
+
+    #[test]
+    fn tracer_records_per_shard_metrics() {
+        let tracer = Tracer::enabled();
+        let p = match Pipeline::builder()
+            .name("rl")
+            .shards(2)
+            .tracer(tracer.clone())
+            .build()
+        {
+            Ok(p) => p,
+            Err(e) => unreachable!("builder: {e}"),
+        };
+        let engine = ShardEngine::from_source(&p, RATELIMITER_ISH, Backend::Interp).unwrap();
+        let packets = PacketGen::new(1).batch(50);
+        engine.run(&packets).unwrap();
+        let metrics = tracer.metrics();
+        let total: u64 = (0..2)
+            .filter_map(|w| metrics.counter(&format!("shard.{w}.pkts")))
+            .sum();
+        assert_eq!(total, 50);
+    }
+}

@@ -1,0 +1,46 @@
+//! # nf-shard — sharded packet-processing runtime
+//!
+//! Executes a synthesized NF model or the NFL interpreter across `N`
+//! worker shards, with state placed according to `nfl-lint`'s
+//! [`ShardingReport`](nfl_lint::ShardingReport):
+//!
+//! * **per-flow** maps are partitioned — the lint-derived
+//!   [`DispatchKey`](nfl_lint::DispatchKey) hashes exactly the packet
+//!   fields that key the map (bare `ip.src` for a rate limiter, a
+//!   direction-canonicalised 4-tuple for a firewall's pinholes), so
+//!   every access to an entry happens on the shard that owns it;
+//! * **read-only** state replicates to every shard at startup;
+//! * **log-only** counters keep independent per-shard copies that are
+//!   delta-summed after the run;
+//! * **shared** state (or a per-flow map whose key shape could not be
+//!   resolved) drops the NF to a single instance behind a ticket-
+//!   ordered global lock — slower, but bit-identical to the
+//!   single-threaded run.
+//!
+//! Workers are `std::thread`s fed over the `nf_support::spsc` rings;
+//! per-shard metrics (`shard.N.pkts` counters, `shard.N.ring.wait.ns`
+//! and `lock.wait.ns` histograms) flow into the session's `nf-trace`
+//! tracer. There is no work stealing by design: moving a packet off
+//! its hash-assigned shard would abandon the flow-state locality the
+//! dispatch exists to provide.
+//!
+//! ```no_run
+//! use nfactor_core::Pipeline;
+//! use nf_shard::{Backend, ShardEngine};
+//!
+//! let pipeline = Pipeline::builder().name("rl").shards(4).build()?;
+//! let engine = ShardEngine::from_source(&pipeline, "...nfl source...", Backend::Interp)?;
+//! let run = engine.run(&nf_packet::PacketGen::new(1).batch(1000))?;
+//! assert_eq!(run.total_pkts(), 1000);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub mod dispatch;
+pub mod engine;
+pub mod plan;
+
+pub use dispatch::{dispatch_values, shard_of};
+pub use engine::{Backend, SeqOutput, ShardEngine, ShardError, ShardRun};
+pub use plan::{Placement, RunMode, ShardPlan};

@@ -18,6 +18,8 @@
 //!   (replaces the `bytes` crate).
 //! * [`budget`] — wall-clock / path / solver-call budgets threaded
 //!   through the pipeline for graceful degradation under a deadline.
+//! * [`spsc`] — a bounded single-producer/single-consumer ring buffer
+//!   (the `nf-shard` dispatcher→worker queues).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -28,6 +30,7 @@ pub mod bytes;
 pub mod check;
 pub mod json;
 pub mod rng;
+pub mod spsc;
 
 pub use budget::Budget;
 pub use json::{FromJson, JsonError, ToJson, Value};

@@ -168,10 +168,14 @@ pub fn recommend_order(nfs: &[(&str, &Model)]) -> ChainReport {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use nfactor_core::{synthesize, Options};
+    use nfactor_core::Pipeline;
 
     fn model_of(name: &str, src: &str) -> Model {
-        synthesize(name, src, &Options::default()).unwrap().model
+        Pipeline::builder()
+            .name(name)
+            .build()
+            .unwrap()
+            .synthesize(src).unwrap().model
     }
 
     #[test]

@@ -602,11 +602,15 @@ pub fn chain_reachable(chain: &[StatefulNf], input: &HeaderSpace) -> Vec<HeaderS
 #[cfg(test)]
 mod tests {
     use super::*;
-    use nfactor_core::{synthesize, Options};
+    use nfactor_core::Pipeline;
     use nfl_interp::Value;
 
     fn fw_nf(pinholes: Vec<(u32, u16, u32, u16)>) -> StatefulNf {
-        let syn = synthesize("fw", &nf_corpus::firewall::source(), &Options::default())
+        let syn = Pipeline::builder()
+            .name("fw")
+            .build()
+            .unwrap()
+            .synthesize(&nf_corpus::firewall::source())
             .unwrap();
         let mut state = ModelState::default()
             .with_config("PROTECTED_NET", Value::Int(0x0a000000))

@@ -346,15 +346,15 @@ pub fn compliance_test(syn: &Synthesis) -> Result<ComplianceReport, String> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use nfactor_core::{synthesize, Options};
+    use nfactor_core::Pipeline;
 
     #[test]
     fn firewall_compliance_holds() {
-        let syn = synthesize(
-            "fw",
-            &nf_corpus::firewall::source(),
-            &Options::default(),
-        )
+        let syn = Pipeline::builder()
+            .name("fw")
+            .build()
+            .unwrap()
+            .synthesize(&nf_corpus::firewall::source())
         .unwrap();
         let report = compliance_test(&syn).unwrap();
         assert!(!report.tests.is_empty());
@@ -363,7 +363,11 @@ mod tests {
 
     #[test]
     fn nat_compliance_holds_with_setup() {
-        let syn = synthesize("nat", &nf_corpus::nat::source(), &Options::default())
+        let syn = Pipeline::builder()
+            .name("nat")
+            .build()
+            .unwrap()
+            .synthesize(&nf_corpus::nat::source())
             .unwrap();
         let report = compliance_test(&syn).unwrap();
         assert!(report.compliant(), "{report}: {:?}", report.violations);
@@ -376,11 +380,11 @@ mod tests {
 
     #[test]
     fn snort_compliance_covers_block_and_forward() {
-        let syn = synthesize(
-            "snort",
-            &nf_corpus::snort::source(8),
-            &Options::default(),
-        )
+        let syn = Pipeline::builder()
+            .name("snort")
+            .build()
+            .unwrap()
+            .synthesize(&nf_corpus::snort::source(8))
         .unwrap();
         let report = compliance_test(&syn).unwrap();
         assert!(report.compliant(), "{report}: {:?}", report.violations);
@@ -391,11 +395,11 @@ mod tests {
 
     #[test]
     fn generated_probe_satisfies_match() {
-        let syn = synthesize(
-            "fw",
-            &nf_corpus::firewall::source(),
-            &Options::default(),
-        )
+        let syn = Pipeline::builder()
+            .name("fw")
+            .build()
+            .unwrap()
+            .synthesize(&nf_corpus::firewall::source())
         .unwrap();
         let report = compliance_test(&syn).unwrap();
         // Spot-check: every probe targeting a forward entry is actually
@@ -411,15 +415,19 @@ mod tests {
         // Synthesize the model from one NF but replay against a *broken*
         // variant — compliance must fail (this is the point of §4's
         // compliance testing).
-        let good = synthesize(
-            "fw",
-            &nf_corpus::firewall::source(),
-            &Options::default(),
-        )
+        let good = Pipeline::builder()
+            .name("fw")
+            .build()
+            .unwrap()
+            .synthesize(&nf_corpus::firewall::source())
         .unwrap();
         let broken_src = nf_corpus::firewall::source()
             .replace("if pkt.tcp.dport == ALLOW_PORT {", "if pkt.tcp.dport == 81 {");
-        let broken = synthesize("fw-broken", &broken_src, &Options::default()).unwrap();
+        let broken = Pipeline::builder()
+            .name("fw-broken")
+            .build()
+            .unwrap()
+            .synthesize(&broken_src).unwrap();
         // Replay good-model tests on the broken implementation.
         let interp_ok = Interp::new(&broken.nf_loop).unwrap();
         let model_state = initial_model_state(&good, &interp_ok);

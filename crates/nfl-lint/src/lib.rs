@@ -53,7 +53,7 @@ pub mod sharding;
 pub use ctx::AnalysisCtx;
 pub use diag::{Code, Diagnostic, Severity};
 pub use passes::{LintPass, LintSink, PassManager};
-pub use sharding::{ShardingReport, StateShard, StateVerdict};
+pub use sharding::{mirror_field, DispatchKey, ShardingReport, StateShard, StateVerdict};
 
 use nf_support::json::{FromJson, JsonError, ToJson, Value};
 use nfl_lang::Program;

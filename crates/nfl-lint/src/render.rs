@@ -54,24 +54,38 @@ pub fn render_sharding(name: &str, report: &ShardingReport) -> String {
         "sharding verdict for {name}: {}",
         report.nf_verdict().as_str()
     );
-    if report.states.is_empty() {
+    if report.is_empty() {
         let _ = writeln!(out, "  (no state declarations)");
         return out;
     }
     let width = report
-        .states
+        .states()
         .iter()
-        .map(|s| s.var.len())
+        .map(|s| s.var().len())
         .max()
         .unwrap_or(0);
-    for s in &report.states {
-        let _ = writeln!(
-            out,
-            "  {:<width$}  {:<9}  {}",
-            s.var,
-            s.verdict.as_str(),
-            s.reason,
-        );
+    for s in report.states() {
+        match s.dispatch() {
+            Some(d) => {
+                let _ = writeln!(
+                    out,
+                    "  {:<width$}  {:<9}  {} [dispatch: {}]",
+                    s.var(),
+                    s.verdict().as_str(),
+                    s.reason(),
+                    d.render(),
+                );
+            }
+            None => {
+                let _ = writeln!(
+                    out,
+                    "  {:<width$}  {:<9}  {}",
+                    s.var(),
+                    s.verdict().as_str(),
+                    s.reason(),
+                );
+            }
+        }
     }
     out
 }

@@ -45,6 +45,108 @@ pub fn is_flow_field(f: Field) -> bool {
     )
 }
 
+/// The direction-reversed counterpart of a flow field: swapping source
+/// and destination maps a packet onto its reply direction. `ip.proto`
+/// is its own mirror.
+pub fn mirror_field(f: Field) -> Field {
+    match f {
+        Field::IpSrc => Field::IpDst,
+        Field::IpDst => Field::IpSrc,
+        Field::TcpSport => Field::TcpDport,
+        Field::TcpDport => Field::TcpSport,
+        other => other,
+    }
+}
+
+/// One positional component of a resolved key *shape*.
+///
+/// A shape is the exact structure of a map key as a tuple of packet
+/// fields and constants — strictly finer information than [`Origin`],
+/// which only says *whether* the key is flow-derived. The shape is what
+/// a sharded runtime needs to pick a dispatch hash that keeps every
+/// access to one map entry on one shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ShapeElem {
+    /// A bare flow-tuple packet field.
+    Flow(Field),
+    /// A value constant across packets (literal, `config`, `const`).
+    /// The value itself is not recorded: constants never vary between
+    /// packets, so they contribute nothing to dispatch — but their
+    /// *position* matters when matching shapes across sites.
+    Const,
+}
+
+/// Elementwise direction-mirror of a shape.
+fn mirror_shape(shape: &[ShapeElem]) -> Vec<ShapeElem> {
+    shape
+        .iter()
+        .map(|e| match e {
+            ShapeElem::Flow(f) => ShapeElem::Flow(mirror_field(*f)),
+            ShapeElem::Const => ShapeElem::Const,
+        })
+        .collect()
+}
+
+/// The packet-field hash a sharded runtime must dispatch on so that a
+/// per-flow map partitions cleanly — every access to one map entry
+/// lands on the shard that owns it.
+///
+/// Part of the stable `nfl-lint` API. Two flavours:
+///
+/// * **Plain** (`symmetric() == false`): hash the listed fields'
+///   values. Sound because every key site uses the *same* shape, so
+///   the shard is a function of the entry key itself.
+/// * **Symmetric** (`symmetric() == true`): the map is keyed by a
+///   direction-reversed pair of shapes (e.g. a firewall pinhole
+///   written with `(dst, dport, src, sport)` and probed with
+///   `(src, sport, dst, dport)`). Hash the lexicographic minimum of
+///   the listed fields' values and their [`mirror_field`] values, so a
+///   flow and its reply direction land on one shard.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DispatchKey {
+    fields: Vec<Field>,
+    symmetric: bool,
+}
+
+impl DispatchKey {
+    /// Assemble a dispatch key (used by [`analyze`] and JSON decoding).
+    pub fn new(fields: Vec<Field>, symmetric: bool) -> DispatchKey {
+        DispatchKey { fields, symmetric }
+    }
+
+    /// The packet fields to hash, in key-shape order.
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// Whether dispatch must canonicalise direction (hash the minimum
+    /// of the field values and their mirrored values).
+    pub fn symmetric(&self) -> bool {
+        self.symmetric
+    }
+
+    /// The mirrored field list the symmetric hash compares against.
+    pub fn mirror_fields(&self) -> Vec<Field> {
+        self.fields.iter().map(|f| mirror_field(*f)).collect()
+    }
+
+    /// Compact rendering, e.g. `ip.src` or
+    /// `sym(ip.src, tcp.sport, ip.dst, tcp.dport)`.
+    pub fn render(&self) -> String {
+        let list = self
+            .fields
+            .iter()
+            .map(|f| f.path())
+            .collect::<Vec<_>>()
+            .join(", ");
+        if self.symmetric {
+            format!("sym({list})")
+        } else {
+            list
+        }
+    }
+}
+
 /// Builtins whose result is a pure function of their arguments, so a key
 /// through them inherits the arguments' origin.
 fn is_pure_builtin(name: &str) -> bool {
@@ -111,6 +213,10 @@ pub struct KeySite {
     pub span: Span,
     /// Traced origin of the key.
     pub origin: Origin,
+    /// The key's resolved shape, when it is an exact tuple of flow
+    /// fields and constants; `None` when the key is derived (hashed,
+    /// arithmetic) or joins differing definitions.
+    pub shape: Option<Vec<ShapeElem>>,
 }
 
 /// The sharding verdict for one `state` variable.
@@ -151,28 +257,140 @@ impl StateShard {
 }
 
 /// Verdict plus evidence for one state variable.
+///
+/// Part of the stable `nfl-lint` API: construct with
+/// [`StateVerdict::new`], read through the accessors. The fields are
+/// private so the evidence set can grow without breaking `nf-shard` or
+/// external consumers.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StateVerdict {
-    /// The state variable.
-    pub var: String,
-    /// Its verdict.
-    pub verdict: StateShard,
-    /// Why, in one sentence.
-    pub reason: String,
-    /// Span of the declaration.
-    pub span: Span,
-    /// Number of keyed accesses analysed (0 for scalars).
-    pub key_sites: usize,
+    var: String,
+    verdict: StateShard,
+    reason: String,
+    span: Span,
+    key_sites: usize,
+    dispatch: Option<DispatchKey>,
 }
 
-/// The per-NF sharding report.
+impl StateVerdict {
+    /// Assemble a verdict (used by [`analyze`] and JSON decoding).
+    pub fn new(
+        var: impl Into<String>,
+        verdict: StateShard,
+        reason: impl Into<String>,
+        span: Span,
+        key_sites: usize,
+    ) -> StateVerdict {
+        StateVerdict {
+            var: var.into(),
+            verdict,
+            reason: reason.into(),
+            span,
+            key_sites,
+            dispatch: None,
+        }
+    }
+
+    /// Attach the dispatch key a sharded runtime must use to partition
+    /// this map (meaningful only for [`StateShard::PerFlow`] maps).
+    pub fn with_dispatch(mut self, dispatch: Option<DispatchKey>) -> StateVerdict {
+        self.dispatch = dispatch;
+        self
+    }
+
+    /// The state variable's name.
+    pub fn var(&self) -> &str {
+        &self.var
+    }
+
+    /// The placement verdict.
+    pub fn verdict(&self) -> StateShard {
+        self.verdict
+    }
+
+    /// Why, in one sentence.
+    pub fn reason(&self) -> &str {
+        &self.reason
+    }
+
+    /// Span of the `state` declaration.
+    pub fn span(&self) -> Span {
+        self.span
+    }
+
+    /// Number of keyed accesses analysed (0 for scalars).
+    pub fn key_sites(&self) -> usize {
+        self.key_sites
+    }
+
+    /// The dispatch hash that partitions this map, when one exists.
+    ///
+    /// `Some` only for [`StateShard::PerFlow`] maps whose key shapes
+    /// resolved to a single shape or a direction-mirrored pair. A
+    /// per-flow map with `None` here is *colocatable in principle* but
+    /// the analysis could not derive a packet-field hash for it (e.g.
+    /// the key is `hash(...) % N`), so a runtime must fall back to a
+    /// global shard for the whole NF.
+    pub fn dispatch(&self) -> Option<&DispatchKey> {
+        self.dispatch.as_ref()
+    }
+}
+
+/// The per-NF sharding report — the contract between the lint analysis
+/// and everything that places state (the `nf-shard` runtime, external
+/// deployment tooling).
+///
+/// This type and its JSON encoding are **stable**. The JSON shape is:
+///
+/// ```json
+/// {
+///   "verdict": "per-flow" | "shared",
+///   "states": [
+///     {"var": "...", "verdict": "per-flow" | "shared" | "read-only" | "log-only",
+///      "reason": "...", "line": 1, "start": 0, "end": 0, "key_sites": 0,
+///      "dispatch_fields": ["ip.src", ...], "dispatch_symmetric": false}
+///   ]
+/// }
+/// ```
+///
+/// `dispatch_fields`/`dispatch_symmetric` appear only when the state is
+/// a per-flow map with a resolved [`DispatchKey`]; consumers must
+/// tolerate their absence.
+///
+/// encoded and parsed by the in-tree `nf_support::json` (serde-free);
+/// new object keys may be added, existing ones are never renamed or
+/// retyped.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct ShardingReport {
-    /// One verdict per `state` declaration, in declaration order.
-    pub states: Vec<StateVerdict>,
+    states: Vec<StateVerdict>,
 }
 
 impl ShardingReport {
+    /// Assemble a report from per-state verdicts (declaration order).
+    pub fn from_states(states: Vec<StateVerdict>) -> ShardingReport {
+        ShardingReport { states }
+    }
+
+    /// The verdicts, one per `state` declaration, in declaration order.
+    pub fn states(&self) -> &[StateVerdict] {
+        &self.states
+    }
+
+    /// Look up the verdict for one state variable.
+    pub fn get(&self, var: &str) -> Option<&StateVerdict> {
+        self.states.iter().find(|s| s.var == var)
+    }
+
+    /// Number of state declarations analysed.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Whether the NF declares no state at all.
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
     /// The NF-level verdict: `per-flow` iff no state needs a global
     /// shard.
     pub fn nf_verdict(&self) -> StateShard {
@@ -202,7 +420,7 @@ impl ToJson for ShardingReport {
                     self.states
                         .iter()
                         .map(|s| {
-                            Value::Object(vec![
+                            let mut obj = vec![
                                 ("var".into(), Value::Str(s.var.clone())),
                                 ("verdict".into(), Value::Str(s.verdict.as_str().into())),
                                 ("reason".into(), Value::Str(s.reason.clone())),
@@ -210,7 +428,23 @@ impl ToJson for ShardingReport {
                                 ("start".into(), Value::Int(s.span.start as i64)),
                                 ("end".into(), Value::Int(s.span.end as i64)),
                                 ("key_sites".into(), Value::Int(s.key_sites as i64)),
-                            ])
+                            ];
+                            if let Some(d) = &s.dispatch {
+                                obj.push((
+                                    "dispatch_fields".into(),
+                                    Value::Array(
+                                        d.fields()
+                                            .iter()
+                                            .map(|f| Value::Str(f.path().into()))
+                                            .collect(),
+                                    ),
+                                ));
+                                obj.push((
+                                    "dispatch_symmetric".into(),
+                                    Value::Bool(d.symmetric()),
+                                ));
+                            }
+                            Value::Object(obj)
                         })
                         .collect(),
                 ),
@@ -239,21 +473,47 @@ impl FromJson for ShardingReport {
                         .ok_or_else(|| JsonError::msg(format!("{k} must be an integer")))
                 };
                 let verdict_str = str_field("verdict")?;
-                Ok(StateVerdict {
-                    var: str_field("var")?,
-                    verdict: StateShard::from_str(&verdict_str)
+                // Dispatch keys are an additive extension: absent in
+                // older reports, so decode them tolerantly.
+                let dispatch = match s.get("dispatch_fields") {
+                    None => None,
+                    Some(fv) => {
+                        let fields = fv
+                            .as_array()
+                            .ok_or_else(|| JsonError::msg("dispatch_fields must be an array"))?
+                            .iter()
+                            .map(|f| {
+                                let path = f.as_str().ok_or_else(|| {
+                                    JsonError::msg("dispatch field must be a string")
+                                })?;
+                                Field::from_path(path).ok_or_else(|| {
+                                    JsonError::msg(format!("unknown dispatch field {path}"))
+                                })
+                            })
+                            .collect::<Result<Vec<_>, _>>()?;
+                        let symmetric = s
+                            .get("dispatch_symmetric")
+                            .and_then(Value::as_bool)
+                            .unwrap_or(false);
+                        Some(DispatchKey::new(fields, symmetric))
+                    }
+                };
+                Ok(StateVerdict::new(
+                    str_field("var")?,
+                    StateShard::from_str(&verdict_str)
                         .ok_or_else(|| JsonError::msg(format!("unknown verdict {verdict_str}")))?,
-                    reason: str_field("reason")?,
-                    span: Span::new(
+                    str_field("reason")?,
+                    Span::new(
                         int("start")? as usize,
                         int("end")? as usize,
                         int("line")? as u32,
                     ),
-                    key_sites: int("key_sites")? as usize,
-                })
+                    int("key_sites")? as usize,
+                )
+                .with_dispatch(dispatch))
             })
             .collect::<Result<Vec<_>, _>>()?;
-        Ok(ShardingReport { states })
+        Ok(ShardingReport::from_states(states))
     }
 }
 
@@ -419,6 +679,169 @@ impl<'a> Tracer<'a> {
             _ => Origin::NonFlow(format!("opaque definition of `{v}`")),
         }
     }
+
+    /// The exact shape of `expr` as a key, or `None` when the value is
+    /// derived (arithmetic, hashing, container reads) rather than a
+    /// plain tuple of flow fields and constants.
+    ///
+    /// Deliberately stricter than [`Tracer::classify_expr`]: a key can
+    /// be flow-*derived* (`hash(pkt.ip.src) % 64`) without having a
+    /// shape a dispatcher could hash the raw fields of.
+    fn shape_of_expr(
+        &self,
+        node: NodeId,
+        expr: &Expr,
+        visiting: &mut HashSet<(String, NodeId)>,
+    ) -> Option<Vec<ShapeElem>> {
+        match &expr.kind {
+            ExprKind::Int(_) | ExprKind::Bool(_) | ExprKind::Str(_) => {
+                Some(vec![ShapeElem::Const])
+            }
+            ExprKind::Field(_, f) if is_flow_field(*f) => Some(vec![ShapeElem::Flow(*f)]),
+            ExprKind::Var(v) => self.shape_of_var(node, v, visiting),
+            ExprKind::Tuple(es) => {
+                let mut shape = Vec::new();
+                for e in es {
+                    shape.extend(self.shape_of_expr(node, e, visiting)?);
+                }
+                Some(shape)
+            }
+            _ => None,
+        }
+    }
+
+    /// Shape of variable `v` as read at `node`: every reaching
+    /// definition must be strong and resolve to the same shape.
+    fn shape_of_var(
+        &self,
+        node: NodeId,
+        v: &str,
+        visiting: &mut HashSet<(String, NodeId)>,
+    ) -> Option<Vec<ShapeElem>> {
+        if self.configs.contains(v) {
+            return Some(vec![ShapeElem::Const]);
+        }
+        if self.states.contains(v) || self.ctx.info.var_ty(self.ctx.func(), v) == Some(Ty::Packet)
+        {
+            return None;
+        }
+        if !visiting.insert((v.to_string(), node)) {
+            // A dependence cycle cannot have an exact shape.
+            return None;
+        }
+        let mut shape: Option<Vec<ShapeElem>> = None;
+        let mut exact = true;
+        for (dv, def_node) in self.ctx.pdg.reaching.reaching_in(node) {
+            if dv != v {
+                continue;
+            }
+            match self.shape_of_def(*def_node, v, visiting) {
+                None => {
+                    exact = false;
+                    break;
+                }
+                Some(s) => match &shape {
+                    None => shape = Some(s),
+                    Some(prev) if *prev == s => {}
+                    Some(_) => {
+                        // Differently-shaped definitions join here; the
+                        // access has no single shape.
+                        exact = false;
+                        break;
+                    }
+                },
+            }
+        }
+        visiting.remove(&(v.to_string(), node));
+        if exact {
+            shape
+        } else {
+            None
+        }
+    }
+
+    /// Shape contributed by the definition of `v` at `def_node`.
+    fn shape_of_def(
+        &self,
+        def_node: NodeId,
+        v: &str,
+        visiting: &mut HashSet<(String, NodeId)>,
+    ) -> Option<Vec<ShapeElem>> {
+        if def_node == self.ctx.pdg.cfg.entry {
+            return None;
+        }
+        let sid = self.ctx.pdg.cfg.nodes[def_node].stmt?;
+        let stmt = self.stmts.get(&sid)?;
+        let du = nfl_analysis::defuse::def_use(stmt);
+        let strong = du
+            .defs
+            .iter()
+            .any(|(d, k)| d == v && *k == DefKind::Strong);
+        if !strong {
+            return None;
+        }
+        match &stmt.kind {
+            StmtKind::Let { value, .. }
+            | StmtKind::Assign {
+                target: LValue::Var(_),
+                value,
+            } => self.shape_of_expr(def_node, value, visiting),
+            _ => None,
+        }
+    }
+}
+
+/// Derive the dispatch key for one per-flow map from its key sites:
+/// all sites share one shape → plain hash of its flow fields; the
+/// sites split into a shape and its direction-mirror → symmetric hash;
+/// anything else (unresolved shapes, three or more shapes) → `None`.
+fn resolve_dispatch(sites: &[&KeySite]) -> Option<DispatchKey> {
+    let mut shapes: Vec<&Vec<ShapeElem>> = Vec::new();
+    for site in sites {
+        let shape = site.shape.as_ref()?;
+        if !shapes.contains(&shape) {
+            shapes.push(shape);
+        }
+    }
+    let flow_fields = |shape: &[ShapeElem]| -> Vec<Field> {
+        shape
+            .iter()
+            .filter_map(|e| match e {
+                ShapeElem::Flow(f) => Some(*f),
+                ShapeElem::Const => None,
+            })
+            .collect()
+    };
+    match shapes.len() {
+        1 => {
+            let fields = flow_fields(shapes[0]);
+            if fields.is_empty() {
+                None
+            } else {
+                Some(DispatchKey::new(fields, false))
+            }
+        }
+        2 => {
+            // Exactly a shape and its mirror (a direction-symmetric
+            // map, e.g. firewall pinholes). Orient deterministically on
+            // the smaller shape so reports do not depend on site order.
+            if mirror_shape(shapes[0]) != *shapes[1] {
+                return None;
+            }
+            let canon = if shapes[0] <= shapes[1] {
+                shapes[0]
+            } else {
+                shapes[1]
+            };
+            let fields = flow_fields(canon);
+            if fields.is_empty() {
+                None
+            } else {
+                Some(DispatchKey::new(fields, true))
+            }
+        }
+        _ => None,
+    }
 }
 
 /// Collect every keyed access to `states` in the per-packet function.
@@ -450,6 +873,7 @@ fn collect_key_sites<'a>(
                             kind: AccessKind::Read,
                             span: key.span,
                             origin: t.classify_expr(node, key, &mut visiting),
+                            shape: t.shape_of_expr(node, key, &mut HashSet::new()),
                         });
                     }
                 }
@@ -466,6 +890,7 @@ fn collect_key_sites<'a>(
                                 kind: AccessKind::Membership,
                                 span: a.span,
                                 origin: t.classify_expr(node, a, &mut visiting),
+                                shape: t.shape_of_expr(node, a, &mut HashSet::new()),
                             });
                         }
                     }
@@ -485,6 +910,7 @@ fn collect_key_sites<'a>(
                                 kind: AccessKind::Remove,
                                 span: key.span,
                                 origin: t.classify_expr(node, key, &mut visiting),
+                                shape: t.shape_of_expr(node, key, &mut HashSet::new()),
                             });
                         }
                     }
@@ -527,6 +953,7 @@ fn collect_key_sites<'a>(
                                 kind: AccessKind::Write,
                                 span: key.span,
                                 origin: t.classify_expr(node, key, &mut visiting),
+                                shape: t.shape_of_expr(node, key, &mut HashSet::new()),
                             });
                             scan_expr(t, states, node, key, out);
                         }
@@ -590,7 +1017,7 @@ pub fn analyze(ctx: &AnalysisCtx) -> (ShardingReport, Vec<Diagnostic>) {
         }
     }
 
-    let mut report = ShardingReport::default();
+    let mut verdicts = Vec::new();
     let mut diags = Vec::new();
     for item in &ctx.program().states {
         let name = &item.name;
@@ -674,15 +1101,17 @@ pub fn analyze(ctx: &AnalysisCtx) -> (ShardingReport, Vec<Diagnostic>) {
                 format!("state `{name}` cannot be sharded per-flow: {reason}"),
             ));
         }
-        report.states.push(StateVerdict {
-            var: name.clone(),
-            verdict,
-            reason,
-            span: item.span,
-            key_sites: my_sites.len(),
-        });
+        let dispatch = if verdict == StateShard::PerFlow && !my_sites.is_empty() {
+            resolve_dispatch(&my_sites)
+        } else {
+            None
+        };
+        verdicts.push(
+            StateVerdict::new(name.clone(), verdict, reason, item.span, my_sites.len())
+                .with_dispatch(dispatch),
+        );
     }
-    (report, diags)
+    (ShardingReport::from_states(verdicts), diags)
 }
 
 #[cfg(test)]
@@ -696,7 +1125,7 @@ mod tests {
     }
 
     fn verdict_of<'r>(r: &'r ShardingReport, var: &str) -> &'r StateVerdict {
-        r.states.iter().find(|s| s.var == var).unwrap()
+        r.get(var).unwrap()
     }
 
     #[test]
@@ -897,6 +1326,135 @@ mod tests {
         let v = verdict_of(&r, "m");
         assert_eq!(v.verdict, StateShard::PerFlow, "{v:?}");
         assert_eq!(v.key_sites, 3);
+    }
+
+    #[test]
+    fn src_keyed_map_dispatches_on_src_alone() {
+        // Portknock-shaped: the map is keyed by source IP only. A
+        // five-tuple dispatch would scatter one client's knocks (they
+        // differ in dport) across shards; the resolved key must be the
+        // bare `ip.src`.
+        let r = run(r#"
+            state progress = map();
+            fn cb(pkt: packet) {
+                let src = pkt.ip.src;
+                if src not in progress { progress[src] = 0; }
+                if progress[src] > 1 { send(pkt); } else { progress[src] = progress[src] + 1; drop(pkt); }
+            }
+            fn main() { sniff(cb); }
+        "#);
+        let d = verdict_of(&r, "progress").dispatch().expect("dispatch");
+        assert_eq!(d.fields(), &[Field::IpSrc]);
+        assert!(!d.symmetric());
+        assert_eq!(d.render(), "ip.src");
+    }
+
+    #[test]
+    fn mirrored_shapes_resolve_symmetric_dispatch() {
+        // Firewall-shaped: written with the reversed 4-tuple, probed
+        // with the forward one. Plain hashing of either shape would put
+        // the two directions on different shards; the verdict must ask
+        // for a symmetric (direction-canonicalising) hash.
+        let r = run(r#"
+            state pinholes = map();
+            fn cb(pkt: packet) {
+                if pkt.ip.src == 1 {
+                    pinholes[(pkt.ip.dst, pkt.tcp.dport, pkt.ip.src, pkt.tcp.sport)] = 1;
+                    send(pkt);
+                } else {
+                    if (pkt.ip.src, pkt.tcp.sport, pkt.ip.dst, pkt.tcp.dport) in pinholes {
+                        send(pkt);
+                    } else {
+                        drop(pkt);
+                    }
+                }
+            }
+            fn main() { sniff(cb); }
+        "#);
+        let d = verdict_of(&r, "pinholes").dispatch().expect("dispatch");
+        assert!(d.symmetric());
+        // Oriented on the lexicographically smaller shape; both
+        // orientations hash identically at runtime.
+        assert_eq!(
+            d.fields(),
+            &[Field::IpSrc, Field::TcpSport, Field::IpDst, Field::TcpDport]
+        );
+        assert_eq!(
+            d.mirror_fields(),
+            vec![Field::IpDst, Field::TcpDport, Field::IpSrc, Field::TcpSport]
+        );
+    }
+
+    #[test]
+    fn derived_key_has_no_dispatch() {
+        // Flow-derived but not a bare field tuple: per-flow verdict,
+        // yet no dispatch hash can be synthesised from raw fields.
+        let r = run(r#"
+            state m = map();
+            fn cb(pkt: packet) {
+                let k = hash(pkt.ip.src) % 64;
+                m[k] = 1;
+                send(pkt);
+            }
+            fn main() { sniff(cb); }
+        "#);
+        let v = verdict_of(&r, "m");
+        assert_eq!(v.verdict, StateShard::PerFlow);
+        assert!(v.dispatch().is_none());
+    }
+
+    #[test]
+    fn unrelated_shapes_have_no_dispatch() {
+        // Two shapes that are not mirrors of each other: both keys are
+        // flow-pure, but no single hash colocates both access paths.
+        let r = run(r#"
+            state m = map();
+            fn cb(pkt: packet) {
+                if pkt.ip.src == 1 {
+                    m[pkt.ip.src] = 1;
+                } else {
+                    m[pkt.tcp.sport] = 1;
+                }
+                send(pkt);
+            }
+            fn main() { sniff(cb); }
+        "#);
+        let v = verdict_of(&r, "m");
+        assert_eq!(v.verdict, StateShard::PerFlow);
+        assert!(v.dispatch().is_none());
+    }
+
+    #[test]
+    fn constants_align_but_do_not_dispatch() {
+        // A config component is positionally part of the shape but
+        // contributes no hash input.
+        let r = run(r#"
+            config PORT = 80;
+            state m = map();
+            fn cb(pkt: packet) {
+                m[(pkt.ip.src, PORT)] = 1;
+                send(pkt);
+            }
+            fn main() { sniff(cb); }
+        "#);
+        let d = verdict_of(&r, "m").dispatch().expect("dispatch");
+        assert_eq!(d.fields(), &[Field::IpSrc]);
+        assert!(!d.symmetric());
+    }
+
+    #[test]
+    fn dispatch_survives_json_roundtrip() {
+        let r = run(r#"
+            state m = map();
+            fn cb(pkt: packet) {
+                let k = (pkt.ip.src, pkt.tcp.sport);
+                if k in m { drop(pkt); } else { m[k] = 1; send(pkt); }
+            }
+            fn main() { sniff(cb); }
+        "#);
+        assert!(verdict_of(&r, "m").dispatch().is_some());
+        let v = nf_support::json::Value::parse(&r.to_json().render()).unwrap();
+        assert_eq!(ShardingReport::from_json(&v).unwrap(), r);
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! run Algorithm 1, and print the Figure 6 table.
 
 use nfactor::analysis::normalize::{detect_structure, Structure};
-use nfactor::core::{synthesize, Options};
+use nfactor::core::Pipeline;
 use nfactor::corpus::balance;
 use nfactor::tcp::unfold_sockets;
 
@@ -42,7 +42,12 @@ fn main() {
     );
 
     // The full pipeline does the unfolding automatically.
-    let syn = synthesize("balance", &src, &Options::default()).expect("synthesis");
+    let syn = Pipeline::builder()
+        .name("balance")
+        .build()
+        .expect("pipeline")
+        .synthesize(&src)
+        .expect("synthesis");
 
     println!("\n--- Figure 6: NFactor output for balance ---");
     println!("{}", syn.render_model());

@@ -10,8 +10,17 @@
 //! observed behaviour matches the model — then demonstrates the point of
 //! compliance testing by catching a deliberately broken firewall.
 
-use nfactor::core::{synthesize, Options};
+use nfactor::core::Pipeline;
 use nfactor::verify::compliance_test;
+
+fn synth(name: &str, src: &str) -> nfactor::core::Synthesis {
+    Pipeline::builder()
+        .name(name)
+        .build()
+        .expect("pipeline")
+        .synthesize(src)
+        .unwrap_or_else(|e| panic!("{name}: {e}"))
+}
 
 fn main() {
     println!("=== Model-guided compliance testing (BUZZ style) ===\n");
@@ -21,7 +30,7 @@ fn main() {
         ("firewall", nfactor::corpus::firewall::source()),
         ("snort", nfactor::corpus::snort::source(8)),
     ] {
-        let syn = synthesize(name, &src, &Options::default()).expect("synthesis");
+        let syn = synth(name, &src);
         let report = compliance_test(&syn).expect("compliance run");
         println!("{name}: {report}");
         for (i, t) in report.tests.iter().enumerate() {
@@ -39,15 +48,10 @@ fn main() {
     // The negative control: a firewall whose allow-port was fat-fingered
     // from 80 to 81. Tests generated from the *intended* model catch it.
     println!("\n--- negative control: broken firewall vs. intended model ---");
-    let intended = synthesize(
-        "fw",
-        &nfactor::corpus::firewall::source(),
-        &Options::default(),
-    )
-    .expect("intended");
+    let intended = synth("fw", &nfactor::corpus::firewall::source());
     let broken_src = nfactor::corpus::firewall::source()
         .replace("if pkt.tcp.dport == ALLOW_PORT {", "if pkt.tcp.dport == 81 {");
-    let broken = synthesize("fw-broken", &broken_src, &Options::default()).expect("broken");
+    let broken = synth("fw-broken", &broken_src);
 
     // Replay the intended model's tests on the broken implementation.
     let report = compliance_test(&intended).expect("baseline");

@@ -12,17 +12,17 @@
 //! (Joseph–Stoica style) and let the behavioural diff expose the gap.
 
 use nfactor::core::accuracy::initial_model_state;
-use nfactor::core::{synthesize, Options};
+use nfactor::core::Pipeline;
 use nfactor::interp::{Interp, Value};
 use nfactor::verify::{behavioural_diff, manual_lb_model};
 
 fn main() {
-    let syn = synthesize(
-        "fig1-lb",
-        &nfactor::corpus::fig1_lb::source(),
-        &Options::default(),
-    )
-    .expect("synthesis");
+    let syn = Pipeline::builder()
+        .name("fig1-lb")
+        .build()
+        .expect("pipeline")
+        .synthesize(&nfactor::corpus::fig1_lb::source())
+        .expect("synthesis");
     let manual = manual_lb_model();
     let interp = Interp::new(&syn.nf_loop).expect("interp");
     let base_state = initial_model_state(&syn, &interp);

@@ -9,14 +9,15 @@
 //! highlighted slice, the Table 2 metrics for this NF, the Figure 2c
 //! execution paths, and the synthesized Figure 2d/6 model.
 
-use nfactor::core::{synthesize, Options};
+use nfactor::core::Pipeline;
 use nfactor::corpus::fig1_lb;
 
 fn main() {
     let src = fig1_lb::source();
     println!("=== NFactor quickstart: the Figure 1 load balancer ===\n");
 
-    let syn = synthesize("fig1-lb", &src, &Options::default()).expect("synthesis");
+    let pipeline = Pipeline::builder().name("fig1-lb").build().expect("pipeline");
+    let syn = pipeline.synthesize(&src).expect("synthesis");
 
     // Table 1: variable classification.
     println!("--- StateAlyzer variable classes (Table 1) ---");

@@ -9,29 +9,23 @@
 //! {FW, LB, IDS}?"* — answered mechanically from the synthesized models'
 //! input/output space footprints, PGA style.
 
-use nfactor::core::{synthesize, Options};
+use nfactor::core::Pipeline;
 use nfactor::verify::chain::{footprint, recommend_order};
+
+fn synth(name: &str, src: &str) -> nfactor::core::Synthesis {
+    Pipeline::builder()
+        .name(name)
+        .build()
+        .expect("pipeline")
+        .synthesize(src)
+        .unwrap_or_else(|e| panic!("{name}: {e}"))
+}
 
 fn main() {
     println!("=== Service chain composition from synthesized models ===\n");
-    let fw = synthesize(
-        "FW",
-        &nfactor::corpus::firewall::source(),
-        &Options::default(),
-    )
-    .expect("firewall");
-    let ids = synthesize(
-        "IDS",
-        &nfactor::corpus::snort::source(10),
-        &Options::default(),
-    )
-    .expect("ids");
-    let lb = synthesize(
-        "LB",
-        &nfactor::corpus::fig1_lb::source(),
-        &Options::default(),
-    )
-    .expect("lb");
+    let fw = synth("FW", &nfactor::corpus::firewall::source());
+    let ids = synth("IDS", &nfactor::corpus::snort::source(10));
+    let lb = synth("LB", &nfactor::corpus::fig1_lb::source());
 
     for (name, syn) in [("FW", &fw), ("IDS", &ids), ("LB", &lb)] {
         let fp = footprint(&syn.model);

@@ -9,19 +9,19 @@
 //! state* — the paper's extension of HSA that stateless data-plane
 //! verification cannot express.
 
-use nfactor::core::{synthesize, Options};
+use nfactor::core::Pipeline;
 use nfactor::interp::{Value, ValueKey};
 use nfactor::model::ModelState;
 use nfactor::packet::Field;
 use nfactor::verify::hsa::{chain_reachable, HeaderSpace, IntervalSet, StatefulNf};
 
 fn fw_with_pinholes(pinholes: &[(u32, u16, u32, u16)]) -> StatefulNf {
-    let syn = synthesize(
-        "fw",
-        &nfactor::corpus::firewall::source(),
-        &Options::default(),
-    )
-    .expect("synthesis");
+    let syn = Pipeline::builder()
+        .name("fw")
+        .build()
+        .expect("pipeline")
+        .synthesize(&nfactor::corpus::firewall::source())
+        .expect("synthesis");
     let mut state = ModelState::default()
         .with_config("PROTECTED_NET", Value::Int(0x0a000000))
         .with_config("PROTECTED_MASK", Value::Int(0xff000000))

@@ -26,6 +26,29 @@ echo "==> fuzz smoke: 500 seeded cases, crash + differential oracles"
 # non-zero on any pipeline panic or interpreter/model mismatch.
 ./target/release/nfactor fuzz --seed 0 --cases 500
 
+echo "==> shard smoke: fig1-lb across 4 shards, merged log aggregation"
+# fig1-lb shares b2f_nat across flows, so the runtime must fall back to
+# the global lock — and the per-shard pass/drop log counters must still
+# delta-merge to exactly the packet count.
+out=$(./target/release/nfactor run --corpus fig1-lb --shards 4)
+case "$out" in
+    *"global-lock"*) echo "    shared-state fallback engaged: ok" ;;
+    *) echo "    expected the global-lock fallback for fig1-lb, got:"; echo "$out"; exit 1 ;;
+esac
+pkts=$(printf '%s\n' "$out" | awk '/^packets/ {print $3}')
+passed=$(printf '%s\n' "$out" | awk '/^pass_stat/ {print $3}')
+dropped=$(printf '%s\n' "$out" | awk '/^drop_stat/ {print $3}')
+if [ -z "$pkts" ] || [ "$((passed + dropped))" -ne "$pkts" ]; then
+    echo "    pass_stat ($passed) + drop_stat ($dropped) != packets ($pkts)"; exit 1
+fi
+echo "    pass_stat ($passed) + drop_stat ($dropped) == $pkts packets: ok"
+
+echo "==> shard differential: every corpus NF, 4 shards vs single-threaded"
+# The sweep also runs as part of the workspace suite above; the explicit
+# invocation keeps the oracle from silently falling out of the suite.
+cargo test -q --offline --test shard_differential > /dev/null
+echo "    threaded == sequential == single for all corpus NFs: ok"
+
 echo "==> graceful degradation: snort under a 10 ms deadline"
 # Must return a *partial* model (exit 0) with the truncation visible,
 # not hang, panic, or error out.

@@ -12,7 +12,7 @@
 //! ## Quick start
 //!
 //! ```
-//! use nfactor::core::{synthesize, Options};
+//! use nfactor::core::Pipeline;
 //!
 //! let src = r#"
 //!     config PORT = 80;
@@ -25,9 +25,19 @@
 //!     }
 //!     fn main() { sniff(cb); }
 //! "#;
-//! let synthesis = synthesize("port-filter", src, &Options::default()).unwrap();
+//! let pipeline = Pipeline::builder().name("port-filter").build().unwrap();
+//! let synthesis = pipeline.synthesize(src).unwrap();
 //! println!("{}", synthesis.render_model());
 //! assert_eq!(synthesis.model.entry_count(), 2); // forward + default drop
+//!
+//! // The same pipeline drives the sharded execution runtime:
+//! use nfactor::packet::PacketGen;
+//! use nfactor::shard::{Backend, ShardEngine};
+//!
+//! let pipeline = Pipeline::builder().name("port-filter").shards(4).build().unwrap();
+//! let engine = ShardEngine::from_source(&pipeline, src, Backend::Interp).unwrap();
+//! let run = engine.run(&PacketGen::new(7).batch(100)).unwrap();
+//! assert_eq!(run.total_pkts(), 100);
 //! ```
 //!
 //! ## Crate map
@@ -57,6 +67,7 @@ pub use nf_corpus as corpus;
 pub use nf_fuzz as fuzz;
 pub use nf_model as model;
 pub use nf_packet as packet;
+pub use nf_shard as shard;
 pub use nf_tcp as tcp;
 pub use nf_verify as verify;
 pub use nfactor_core as core;

@@ -3,6 +3,7 @@
 //! ```text
 //! nfactor synthesize <file.nfl | --corpus name>   # synthesize & print the model
 //! nfactor export     <file.nfl | --corpus name>   # machine-readable .nfm model
+//! nfactor run        <file.nfl | --corpus name>   # execute across worker shards (--shards N)
 //! nfactor slice      <file.nfl | --corpus name>   # Figure-1-style highlighted slice
 //! nfactor classes    <file.nfl | --corpus name>   # Table-1 variable classification
 //! nfactor paths      <file.nfl | --corpus name>   # execution paths of the slice
@@ -13,7 +14,18 @@
 //! nfactor fuzz       [--seed N] [--cases N]       # seeded crash/differential fuzzing of the whole pipeline
 //! nfactor corpus                                  # list bundled corpus NFs
 //! nfactor json-check <file.json>                  # validate a JSON file (used by scripts/verify.sh)
+//! nfactor help                                    # the full flag reference
 //! ```
+//!
+//! `run` feeds a packet workload through the [`nf-shard`](nfactor::shard)
+//! runtime: the cross-flow lint report decides state placement, flows are
+//! hash-dispatched to `--shards N` workers, and the merged state plus
+//! per-shard counters are printed afterwards. `--workload FILE` supplies
+//! the traffic as JSON (`{"seed": S, "packets": N}` for generated
+//! streams, or `{"trace": [{"ip.src": A, "tcp.dport": 80, ...}, ...]}`
+//! for explicit packets); without it a default seeded stream is used.
+//! `--backend model` runs the synthesized model instead of the NFL
+//! interpreter.
 //!
 //! Synthesis-based commands accept `--timeout-ms N` and `--max-paths N`,
 //! which bound the run with a [`Budget`](nfactor::support::budget::Budget);
@@ -35,7 +47,10 @@
 //! This is the workflow the paper proposes for NF vendors: run the tool
 //! on proprietary NF code, ship only the resulting model to operators.
 
-use nfactor::core::{synthesize, Options, Synthesis};
+use nfactor::core::{Pipeline, Synthesis};
+use nfactor::packet::{Field, Packet, PacketGen, TcpFlags};
+use nfactor::shard::{Backend, ShardEngine};
+use nfactor::support::json::Value;
 use std::io::Write;
 use std::process::ExitCode;
 
@@ -63,14 +78,55 @@ fn out(text: impl AsRef<str>) {
     emit(text.as_ref(), false);
 }
 
+/// The unified `--help` layout: one USAGE line, commands grouped by
+/// purpose, then the flag groups shared across commands. Mirrored in
+/// the README's CLI section.
+const HELP: &str = "\
+nfactor — synthesize and run NF forwarding models (HotNets'16 reproduction)
+
+USAGE
+  nfactor <COMMAND> <file.nfl | --corpus NAME> [OPTIONS]
+
+SYNTHESIS COMMANDS
+  synthesize   synthesize and print the model (--json for machine output)
+  export       machine-readable .nfm model (ship to operators)
+  slice        Figure-1-style highlighted program slice
+  classes      Table-1 variable classification
+  paths        execution paths of the slice
+  fsm          Graphviz dot of the model FSM
+  metrics      Table-2 row (--orig adds the slow unsliced columns)
+
+EXECUTION COMMANDS
+  run          execute the NF on a packet workload across worker shards
+  test         model-guided compliance tests against the NF itself
+  lint         NFL0xx diagnostics + cross-flow sharding report (--json)
+  fuzz         seeded crash/differential fuzzing [--seed N] [--cases N]
+
+UTILITY COMMANDS
+  corpus       list the bundled corpus NFs
+  json-check   validate a JSON file
+  help         this reference
+
+RUN OPTIONS
+  --shards N        worker shards (default 1, max 256)
+  --backend B       execution backend: interp (default) or model
+  --workload FILE   JSON workload: {\"seed\": S, \"packets\": N} for a
+                    generated stream, or {\"trace\": [{\"ip.src\": A,
+                    \"tcp.dport\": 80, ...}, ...]} for explicit packets
+
+BUDGET OPTIONS
+  --timeout-ms N    wall-clock deadline; on exhaustion the model is
+                    returned PARTIAL (stamped Truncated), never an error
+  --max-paths N     cap on explored symbolic paths
+
+OBSERVABILITY OPTIONS (any command)
+  --trace-json FILE    write Chrome trace-event JSON (one span per stage)
+  --metrics            print the name→value metric table to stderr
+  --metrics-json FILE  write the metrics registry as JSON
+";
+
 fn usage() -> ExitCode {
-    eprintln!(
-        "usage: nfactor <synthesize|export|slice|classes|paths|fsm|metrics|test|lint> \
-         <file.nfl | --corpus NAME> [--orig] [--json] [--timeout-ms N] [--max-paths N]\n       \
-         nfactor fuzz [--seed N] [--cases N]\n       nfactor corpus\n       \
-         nfactor json-check <file.json>\n\
-         observability (any command): [--trace-json FILE] [--metrics] [--metrics-json FILE]"
-    );
+    eprint!("{HELP}");
     ExitCode::from(2)
 }
 
@@ -121,9 +177,114 @@ fn load_source(args: &[String]) -> Result<(String, String), String> {
     }
 }
 
-fn run_synthesis(args: &[String], opts: &Options) -> Result<Synthesis, String> {
+fn run_synthesis(args: &[String], pipeline: &Pipeline) -> Result<Synthesis, String> {
     let (name, src) = load_source(args)?;
-    synthesize(&name, &src, opts).map_err(|e| e.to_string())
+    pipeline
+        .synthesize_named(&name, &src)
+        .map_err(|e| e.to_string())
+}
+
+/// Load the `run` workload: a seeded generated stream by default, an
+/// explicit JSON trace or generator config when `--workload` is given.
+fn load_workload(path: Option<&str>) -> Result<Vec<Packet>, String> {
+    let Some(path) = path else {
+        return Ok(PacketGen::new(0).batch(1000));
+    };
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let v = Value::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    let int_key = |key: &str| match v.get(key) {
+        Some(Value::Int(n)) if *n >= 0 => Ok(Some(*n as u64)),
+        Some(_) => Err(format!("{path}: `{key}` must be a non-negative integer")),
+        None => Ok(None),
+    };
+    if let Some(trace) = v.get("trace") {
+        let Value::Array(items) = trace else {
+            return Err(format!("{path}: `trace` must be an array of packet objects"));
+        };
+        let mut pkts = Vec::with_capacity(items.len());
+        for (i, item) in items.iter().enumerate() {
+            let Value::Object(fields) = item else {
+                return Err(format!("{path}: trace[{i}] must be an object"));
+            };
+            let mut pkt = Packet::tcp(0, 0, 0, 0, TcpFlags(0));
+            for (key, fv) in fields {
+                let field = Field::from_path(key)
+                    .ok_or_else(|| format!("{path}: trace[{i}]: unknown field `{key}`"))?;
+                let Value::Int(n) = fv else {
+                    return Err(format!("{path}: trace[{i}].{key} must be an integer"));
+                };
+                pkt.set(field, *n as u64)
+                    .map_err(|e| format!("{path}: trace[{i}].{key}: {e}"))?;
+            }
+            pkts.push(pkt);
+        }
+        return Ok(pkts);
+    }
+    let seed = int_key("seed")?.unwrap_or(0);
+    let count = int_key("packets")?.unwrap_or(1000) as usize;
+    Ok(PacketGen::new(seed).batch(count))
+}
+
+/// The `run` command: build a [`ShardEngine`] from the lint report's
+/// placement plan, feed it the workload, print plan + merged results.
+fn run_shards(
+    args: &[String],
+    base: &Pipeline,
+    backend: Backend,
+    workload: Option<&str>,
+) -> Result<(), String> {
+    let (name, src) = load_source(args)?;
+    let pipeline = Pipeline::builder()
+        .name(&name)
+        .shards(base.shards())
+        .budget(base.budget().clone())
+        .tracer(base.tracer().clone())
+        .build()
+        .map_err(|e| e.to_string())?;
+    let engine =
+        ShardEngine::from_source(&pipeline, &src, backend).map_err(|e| e.to_string())?;
+    let packets = load_workload(workload)?;
+    let run = engine.run(&packets).map_err(|e| e.to_string())?;
+
+    let backend_name = match backend {
+        Backend::Interp => "interp",
+        Backend::Model => "model",
+    };
+    outln(format!(
+        "== {name}: {} shard(s), {backend_name} backend ==",
+        engine.shards()
+    ));
+    out(engine.plan().render_table());
+    let total = run.total_pkts();
+    let forwarded = run.outputs.iter().filter(|o| !o.dropped).count();
+    outln("");
+    outln(format!("packets        : {total}"));
+    outln(format!("forwarded      : {forwarded}"));
+    outln(format!("dropped        : {}", total as usize - forwarded));
+    outln(format!("per-shard pkts : {:?}", run.per_shard_pkts));
+    let makespan = run.makespan_ns();
+    outln(format!(
+        "makespan       : {:.3} ms{}",
+        makespan as f64 / 1e6,
+        if run.partitioned { "" } else { " (global lock: serialised)" }
+    ));
+    if makespan > 0 {
+        outln(format!(
+            "throughput     : {:.0} kpkt/s",
+            total as f64 / (makespan as f64 / 1e9) / 1e3
+        ));
+    }
+    outln("");
+    outln("== merged state ==");
+    for (var, value) in &run.merged {
+        match value {
+            nfactor::interp::Value::Map(m) => {
+                outln(format!("{var} = map({} entries)", m.len()));
+            }
+            other => outln(format!("{var} = {other}")),
+        }
+    }
+    Ok(())
 }
 
 fn run_fuzz(mut args: Vec<String>, tracer: &nfactor::trace::Tracer) -> Result<bool, String> {
@@ -169,6 +330,10 @@ fn emit_observability(
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.iter().any(|a| a == "--help" || a == "-h") || argv.first().map(String::as_str) == Some("help") {
+        out(HELP);
+        return ExitCode::SUCCESS;
+    }
     let Some(cmd) = argv.first() else {
         return usage();
     };
@@ -180,12 +345,21 @@ fn main() -> ExitCode {
         .filter(|a| *a != "--orig" && *a != "--json" && *a != "--metrics")
         .cloned()
         .collect();
-    let (opts, trace_path, metrics_path) = match (|| -> Result<
-        (Options, Option<String>, Option<String>),
+    let (pipeline, backend, workload, trace_path, metrics_path) = match (|| -> Result<
+        (Pipeline, Backend, Option<String>, Option<String>, Option<String>),
         String,
     > {
         let trace_path = take_str_flag(&mut rest, "--trace-json")?;
         let metrics_path = take_str_flag(&mut rest, "--metrics-json")?;
+        let workload = take_str_flag(&mut rest, "--workload")?;
+        let shards = take_num_flag(&mut rest, "--shards")?.unwrap_or(1) as usize;
+        let backend = match take_str_flag(&mut rest, "--backend")?.as_deref() {
+            None | Some("interp") => Backend::Interp,
+            Some("model") => Backend::Model,
+            Some(other) => {
+                return Err(format!("--backend: expected `interp` or `model`, got `{other}`"))
+            }
+        };
         let mut budget = nfactor::support::budget::Budget::unlimited();
         if let Some(ms) = take_num_flag(&mut rest, "--timeout-ms")? {
             budget = budget.with_timeout_ms(ms);
@@ -200,13 +374,14 @@ fn main() -> ExitCode {
         } else {
             nfactor::trace::Tracer::disabled()
         };
-        let opts = Options {
-            measure_original: orig,
-            budget,
-            tracer,
-            ..Options::default()
-        };
-        Ok((opts, trace_path, metrics_path))
+        let pipeline = Pipeline::builder()
+            .measure_original(orig)
+            .budget(budget)
+            .tracer(tracer)
+            .shards(shards)
+            .build()
+            .map_err(|e| e.to_string())?;
+        Ok((pipeline, backend, workload, trace_path, metrics_path))
     })() {
         Ok(parsed) => parsed,
         Err(e) => {
@@ -214,7 +389,7 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let tracer = opts.tracer.clone();
+    let tracer = pipeline.tracer().clone();
     // Non-zero exit without an error message (lint errors, fuzz
     // findings, compliance violations); observability still emits.
     let mut soft_fail = false;
@@ -244,7 +419,8 @@ fn main() -> ExitCode {
                 .map_err(|e| format!("{path}: {e}"))?;
             Ok(())
         })(),
-        "synthesize" => run_synthesis(&rest, &opts).map(|syn| {
+        "run" => run_shards(&rest, &pipeline, backend, workload.as_deref()),
+        "synthesize" => run_synthesis(&rest, &pipeline).map(|syn| {
             if json {
                 use nfactor::support::json::ToJson;
                 outln(syn.model.to_json().render_pretty());
@@ -252,30 +428,30 @@ fn main() -> ExitCode {
                 outln(syn.render_model());
             }
         }),
-        "export" => run_synthesis(&rest, &opts).map(|syn| {
+        "export" => run_synthesis(&rest, &pipeline).map(|syn| {
             // The vendor workflow: print the machine-readable .nfm model
             // (redirect to a file and ship it to the operator).
             out(nfactor::model::to_text(&syn.model));
         }),
-        "slice" => run_synthesis(&rest, &opts).map(|syn| {
+        "slice" => run_synthesis(&rest, &pipeline).map(|syn| {
             outln(syn.render_highlighted_slice());
         }),
-        "classes" => run_synthesis(&rest, &opts).map(|syn| {
+        "classes" => run_synthesis(&rest, &pipeline).map(|syn| {
             outln(format!("pktVar : {:?}", syn.classes.pkt_vars));
             outln(format!("cfgVar : {:?}", syn.classes.cfg_vars));
             outln(format!("oisVar : {:?}", syn.classes.ois_vars));
             outln(format!("logVar : {:?}", syn.classes.log_vars));
         }),
-        "paths" => run_synthesis(&rest, &opts).map(|syn| {
+        "paths" => run_synthesis(&rest, &pipeline).map(|syn| {
             for (i, p) in syn.exploration.paths.iter().enumerate() {
                 outln(format!("path {i}: {}", p.canonical()));
             }
         }),
-        "fsm" => run_synthesis(&rest, &opts).map(|syn| {
+        "fsm" => run_synthesis(&rest, &pipeline).map(|syn| {
             let fsm = nfactor::model::ModelFsm::from_model(&syn.model);
             outln(fsm.to_dot());
         }),
-        "metrics" => run_synthesis(&rest, &opts).map(|syn| {
+        "metrics" => run_synthesis(&rest, &pipeline).map(|syn| {
             let m = &syn.metrics;
             outln(format!("LoC orig       : {}", m.loc_orig));
             outln(format!("LoC slice      : {}", m.loc_slice));
@@ -310,7 +486,7 @@ fn main() -> ExitCode {
                 Err(e) => Err(e),
             }
         }
-        "test" => run_synthesis(&rest, &opts).and_then(|syn| {
+        "test" => run_synthesis(&rest, &pipeline).and_then(|syn| {
             let report =
                 nfactor::verify::compliance_test(&syn).map_err(|e| e.to_string())?;
             outln(format!("{report}"));

@@ -1,6 +1,6 @@
 //! Integration: the §4 applications end to end.
 
-use nfactor::core::{synthesize, Options};
+use nfactor::core::Pipeline;
 use nfactor::interp::{Value, ValueKey};
 use nfactor::model::ModelState;
 use nfactor::packet::Field;
@@ -9,23 +9,23 @@ use nfactor::verify::{compliance_test, recommend_order};
 
 #[test]
 fn composition_answers_the_papers_question() {
-    let fw = synthesize(
-        "FW",
-        &nfactor::corpus::firewall::source(),
-        &Options::default(),
-    )
+    let fw = Pipeline::builder()
+        .name("FW")
+        .build()
+        .unwrap()
+        .synthesize(&nfactor::corpus::firewall::source())
     .unwrap();
-    let ids = synthesize(
-        "IDS",
-        &nfactor::corpus::snort::source(6),
-        &Options::default(),
-    )
+    let ids = Pipeline::builder()
+        .name("IDS")
+        .build()
+        .unwrap()
+        .synthesize(&nfactor::corpus::snort::source(6))
     .unwrap();
-    let lb = synthesize(
-        "LB",
-        &nfactor::corpus::fig1_lb::source(),
-        &Options::default(),
-    )
+    let lb = Pipeline::builder()
+        .name("LB")
+        .build()
+        .unwrap()
+        .synthesize(&nfactor::corpus::fig1_lb::source())
     .unwrap();
     let report = recommend_order(&[("FW", &fw.model), ("IDS", &ids.model), ("LB", &lb.model)]);
     assert_eq!(report.order, vec!["FW", "IDS", "LB"], "{report}");
@@ -34,11 +34,11 @@ fn composition_answers_the_papers_question() {
 
 #[test]
 fn stateful_reachability_distinguishes_states() {
-    let syn = synthesize(
-        "fw",
-        &nfactor::corpus::firewall::source(),
-        &Options::default(),
-    )
+    let syn = Pipeline::builder()
+        .name("fw")
+        .build()
+        .unwrap()
+        .synthesize(&nfactor::corpus::firewall::source())
     .unwrap();
     let base_state = ModelState::default()
         .with_config("PROTECTED_NET", Value::Int(0x0a000000))
@@ -87,7 +87,11 @@ fn compliance_holds_for_the_corpus() {
         ("ids", nfactor::corpus::snort::source(6)),
         ("lb", nfactor::corpus::fig1_lb::source()),
     ] {
-        let syn = synthesize(name, &src, &Options::default()).unwrap();
+        let syn = Pipeline::builder()
+            .name(name)
+            .build()
+            .unwrap()
+            .synthesize(&src).unwrap();
         let report = compliance_test(&syn).unwrap_or_else(|e| panic!("{name}: {e}"));
         assert!(
             report.compliant(),
@@ -102,7 +106,11 @@ fn compliance_holds_for_the_corpus() {
 fn model_fsm_drives_state_setup() {
     // The NAT's FSM has a mutating transition (install) that the test
     // generator uses as the setup donor for the state-guarded entries.
-    let syn = synthesize("nat", &nfactor::corpus::nat::source(), &Options::default())
+    let syn = Pipeline::builder()
+        .name("nat")
+        .build()
+        .unwrap()
+        .synthesize(&nfactor::corpus::nat::source())
         .unwrap();
     let fsm = nfactor::model::ModelFsm::from_model(&syn.model);
     assert!(fsm.mutating_transitions().count() >= 1);

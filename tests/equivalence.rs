@@ -2,7 +2,7 @@
 //! strength, across the corpus.
 
 use nfactor::core::accuracy::{differential_test, path_sets_equal};
-use nfactor::core::{synthesize, Options};
+use nfactor::core::Pipeline;
 
 fn corpus() -> Vec<(&'static str, String)> {
     vec![
@@ -17,7 +17,11 @@ fn corpus() -> Vec<(&'static str, String)> {
 #[test]
 fn thousand_random_packets_agree_everywhere() {
     for (name, src) in corpus() {
-        let syn = synthesize(name, &src, &Options::default())
+        let syn = Pipeline::builder()
+            .name(name)
+            .build()
+            .unwrap()
+            .synthesize(&src)
             .unwrap_or_else(|e| panic!("{name}: {e}"));
         let report = differential_test(&syn, 2016, 1000)
             .unwrap_or_else(|e| panic!("{name}: {e}"));
@@ -34,7 +38,11 @@ fn thousand_random_packets_agree_everywhere() {
 #[test]
 fn path_sets_equal_everywhere() {
     for (name, src) in corpus() {
-        let syn = synthesize(name, &src, &Options::default())
+        let syn = Pipeline::builder()
+            .name(name)
+            .build()
+            .unwrap()
+            .synthesize(&src)
             .unwrap_or_else(|e| panic!("{name}: {e}"));
         assert!(
             path_sets_equal(&syn).unwrap_or_else(|e| panic!("{name}: {e}")),
@@ -46,11 +54,11 @@ fn path_sets_equal_everywhere() {
 #[test]
 fn different_seeds_still_agree() {
     // The paper fixes no seed; agreement must be seed-independent.
-    let syn = synthesize(
-        "nat",
-        &nfactor::corpus::nat::source(),
-        &Options::default(),
-    )
+    let syn = Pipeline::builder()
+        .name("nat")
+        .build()
+        .unwrap()
+        .synthesize(&nfactor::corpus::nat::source())
     .unwrap();
     for seed in [1u64, 7, 42, 99, 123456] {
         let report = differential_test(&syn, seed, 200).unwrap();
@@ -62,11 +70,11 @@ fn different_seeds_still_agree() {
 fn stateful_agreement_over_long_runs() {
     // 2000 packets through the Figure 1 LB: the NAT tables grow and the
     // model must track every installed mapping.
-    let syn = synthesize(
-        "fig1-lb",
-        &nfactor::corpus::fig1_lb::source(),
-        &Options::default(),
-    )
+    let syn = Pipeline::builder()
+        .name("fig1-lb")
+        .build()
+        .unwrap()
+        .synthesize(&nfactor::corpus::fig1_lb::source())
     .unwrap();
     let report = differential_test(&syn, 77, 2000).unwrap();
     assert!(report.perfect(), "{:?}", report.mismatches);

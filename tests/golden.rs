@@ -10,7 +10,7 @@
 //! UPDATE_GOLDEN=1 cargo test --test golden
 //! ```
 
-use nfactor::core::{synthesize, Options};
+use nfactor::core::Pipeline;
 use nfactor::model::to_text;
 use std::path::PathBuf;
 
@@ -21,7 +21,11 @@ fn golden_path(name: &str) -> PathBuf {
 }
 
 fn check_golden(name: &str, src: &str) {
-    let syn = synthesize(name, src, &Options::default())
+    let syn = Pipeline::builder()
+        .name(name)
+        .build()
+        .unwrap()
+        .synthesize(src)
         .unwrap_or_else(|e| panic!("pipeline failed on {name}: {e}"));
     let actual = format!(
         "# golden: {name}\n# regenerate with UPDATE_GOLDEN=1 cargo test --test golden\n\n\

@@ -147,11 +147,9 @@ fn corpus_shardability_matrix() {
     let lb = lint_source("fig1-lb", &nfactor::corpus::fig1_lb::source()).unwrap();
     let verdict = |r: &nfactor::lint::LintReport, var: &str| {
         r.sharding
-            .states
-            .iter()
-            .find(|s| s.var == var)
+            .get(var)
             .unwrap_or_else(|| panic!("no verdict for {var}"))
-            .verdict
+            .verdict()
     };
     assert_eq!(verdict(&lb, "f2b_nat"), StateShard::PerFlow);
     assert_eq!(verdict(&lb, "b2f_nat"), StateShard::Shared);

@@ -140,17 +140,12 @@ fn verdict_tracks_key_origin() {
         use nfactor::lint::StateShard;
         let src = render_program(key as usize, guarded == 1, extras);
         let report = lint_source("prop", &src).expect("lint");
-        let tbl = report
-            .sharding
-            .states
-            .iter()
-            .find(|s| s.var == "tbl")
-            .expect("tbl verdict");
+        let tbl = report.sharding.get("tbl").expect("tbl verdict");
         let flow_pure = (key as usize % KEYS.len()) < 3;
         if flow_pure {
-            assert_eq!(tbl.verdict, StateShard::PerFlow, "{tbl:?}");
+            assert_eq!(tbl.verdict(), StateShard::PerFlow, "{tbl:?}");
         } else {
-            assert_eq!(tbl.verdict, StateShard::Shared, "{tbl:?}");
+            assert_eq!(tbl.verdict(), StateShard::Shared, "{tbl:?}");
             assert!(
                 report
                     .diagnostics

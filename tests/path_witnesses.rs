@@ -4,7 +4,7 @@
 //! decision). This validates engine + solver against the ground-truth
 //! interpreter at path granularity — finer than the §5 random test.
 
-use nfactor::core::{synthesize, Options, Synthesis};
+use nfactor::core::{Pipeline, Synthesis};
 use nfactor::interp::Interp;
 use nfactor::packet::{Field, Packet, TcpFlags};
 use nfactor::symex::{Solver, SymVal};
@@ -95,11 +95,11 @@ fn check_stateless_paths(syn: &Synthesis) -> (usize, usize) {
 
 #[test]
 fn router_paths_all_witnessed() {
-    let syn = synthesize(
-        "router",
-        &nfactor::corpus::router::source(),
-        &Options::default(),
-    )
+    let syn = Pipeline::builder()
+        .name("router")
+        .build()
+        .unwrap()
+        .synthesize(&nfactor::corpus::router::source())
     .unwrap();
     let (witnessed, skipped) = check_stateless_paths(&syn);
     assert_eq!(skipped, 0, "router is stateless");
@@ -109,11 +109,11 @@ fn router_paths_all_witnessed() {
 
 #[test]
 fn snort_paths_all_witnessed() {
-    let syn = synthesize(
-        "snort",
-        &nfactor::corpus::snort::source(12),
-        &Options::default(),
-    )
+    let syn = Pipeline::builder()
+        .name("snort")
+        .build()
+        .unwrap()
+        .synthesize(&nfactor::corpus::snort::source(12))
     .unwrap();
     let (witnessed, _) = check_stateless_paths(&syn);
     assert_eq!(witnessed, 3, "block1 / block2 / forward all witnessed");
@@ -121,11 +121,11 @@ fn snort_paths_all_witnessed() {
 
 #[test]
 fn firewall_stateless_fraction_witnessed() {
-    let syn = synthesize(
-        "fw",
-        &nfactor::corpus::firewall::source(),
-        &Options::default(),
-    )
+    let syn = Pipeline::builder()
+        .name("fw")
+        .build()
+        .unwrap()
+        .synthesize(&nfactor::corpus::firewall::source())
     .unwrap();
     let (witnessed, skipped) = check_stateless_paths(&syn);
     // Every inbound path consults the pinhole map first (state-dependent,

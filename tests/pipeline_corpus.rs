@@ -2,7 +2,7 @@
 //! headline assertions (Table 1 classes, Table 2 relations, Figure 6
 //! content).
 
-use nfactor::core::{synthesize, Options};
+use nfactor::core::Pipeline;
 
 #[test]
 fn every_corpus_nf_synthesizes() {
@@ -13,7 +13,11 @@ fn every_corpus_nf_synthesizes() {
         ("nat", nfactor::corpus::nat::source()),
         ("firewall", nfactor::corpus::firewall::source()),
     ] {
-        let syn = synthesize(name, &src, &Options::default())
+        let syn = Pipeline::builder()
+            .name(name)
+            .build()
+            .unwrap()
+            .synthesize(&src)
             .unwrap_or_else(|e| panic!("{name}: {e}"));
         assert!(syn.model.entry_count() > 0, "{name}: empty model");
         assert!(
@@ -29,11 +33,11 @@ fn every_corpus_nf_synthesizes() {
 
 #[test]
 fn table1_variable_classes() {
-    let syn = synthesize(
-        "fig1-lb",
-        &nfactor::corpus::fig1_lb::source(),
-        &Options::default(),
-    )
+    let syn = Pipeline::builder()
+        .name("fig1-lb")
+        .build()
+        .unwrap()
+        .synthesize(&nfactor::corpus::fig1_lb::source())
     .unwrap();
     // The paper's Table 1, column by column.
     assert!(syn.classes.pkt_vars.contains("pkt"));
@@ -59,18 +63,22 @@ fn table1_variable_classes() {
 
 #[test]
 fn table2_relations_hold_at_small_scale() {
-    let opts = Options {
-        measure_original: true,
-        ..Options::default()
-    };
-    let snort = synthesize("snort", &nfactor::corpus::snort::source(40), &opts).unwrap();
+    let pipeline = Pipeline::builder()
+        .measure_original(true)
+        .build()
+        .unwrap();
+    let snort = pipeline
+        .synthesize_named("snort", &nfactor::corpus::snort::source(40))
+        .unwrap();
     assert_eq!(snort.metrics.ep_slice, 3, "snort slice EP = 3, like the paper");
     let (ep_orig, exhausted) = snort.metrics.ep_orig.unwrap();
     assert!(!exhausted && ep_orig >= 1000, "snort orig EP explodes");
     assert!(snort.metrics.se_time_orig.unwrap() > snort.metrics.se_time_slice);
     assert!(snort.metrics.loc_slice * 4 < snort.metrics.loc_orig);
 
-    let balance = synthesize("balance", &nfactor::corpus::balance::source(10), &opts).unwrap();
+    let balance = pipeline
+        .synthesize_named("balance", &nfactor::corpus::balance::source(10))
+        .unwrap();
     let (bep_orig, _) = balance.metrics.ep_orig.unwrap();
     assert!(bep_orig > balance.metrics.ep_slice, "balance orig > slice EP");
     assert!((3..=16).contains(&balance.metrics.ep_slice));
@@ -78,11 +86,11 @@ fn table2_relations_hold_at_small_scale() {
 
 #[test]
 fn figure6_balance_model_content() {
-    let syn = synthesize(
-        "balance",
-        &nfactor::corpus::balance::source(3),
-        &Options::default(),
-    )
+    let syn = Pipeline::builder()
+        .name("balance")
+        .build()
+        .unwrap()
+        .synthesize(&nfactor::corpus::balance::source(3))
     .unwrap();
     let table = syn.render_model();
     // Figure 6's RR row: state idx, action send to server[idx], update
@@ -99,11 +107,11 @@ fn figure6_balance_model_content() {
 fn figure6_lb_modes_match_paper_rows() {
     // The Figure 1 LB gives the cleaner Figure 6 analogue: one table per
     // mode; RR transitions rr_idx, hash mode leaves it alone.
-    let syn = synthesize(
-        "lb",
-        &nfactor::corpus::fig1_lb::source(),
-        &Options::default(),
-    )
+    let syn = Pipeline::builder()
+        .name("lb")
+        .build()
+        .unwrap()
+        .synthesize(&nfactor::corpus::fig1_lb::source())
     .unwrap();
     let rr_tables: Vec<_> = syn
         .model
@@ -135,11 +143,11 @@ fn figure6_lb_modes_match_paper_rows() {
 #[test]
 fn slice_is_a_valid_program() {
     // The sliced loop must itself type-check and interpret.
-    let syn = synthesize(
-        "nat",
-        &nfactor::corpus::nat::source(),
-        &Options::default(),
-    )
+    let syn = Pipeline::builder()
+        .name("nat")
+        .build()
+        .unwrap()
+        .synthesize(&nfactor::corpus::nat::source())
     .unwrap();
     nfactor::lang::types::check(&syn.sliced_loop.program).expect("slice type-checks");
     let mut interp = nfactor::interp::Interp::new(&syn.sliced_loop).expect("slice runs");

@@ -10,7 +10,7 @@ use nf_support::check::{
     vec_of, Config, Gen,
 };
 use nfactor::core::accuracy::differential_test;
-use nfactor::core::{synthesize, Options};
+use nfactor::core::Pipeline;
 use nfactor::packet::{Field, Packet, TcpFlags};
 use nfactor::symex::{Solver, SymVal};
 
@@ -139,7 +139,11 @@ fn random_nf_model_matches_program() {
         &cfg,
         &input,
         |(src, seed)| {
-            let syn = synthesize("random", src, &Options::default())
+            let syn = Pipeline::builder()
+                .name("random")
+                .build()
+                .unwrap()
+                .synthesize(src)
                 .unwrap_or_else(|e| panic!("pipeline: {e}\n{src}"));
             let report =
                 differential_test(&syn, *seed, 120).unwrap_or_else(|e| panic!("{e}\n{src}"));
@@ -166,7 +170,11 @@ fn hash_is_stable_across_interp_and_model() {
         }
         fn main() { sniff(cb); }
     "#;
-    let syn = synthesize("hash-lb", src, &Options::default()).unwrap();
+    let syn = Pipeline::builder()
+        .name("hash-lb")
+        .build()
+        .unwrap()
+        .synthesize(src).unwrap();
     let report = differential_test(&syn, 5, 500).unwrap();
     assert!(report.perfect(), "{:?}", report.mismatches);
     // And the backend choice actually varies across sources.

@@ -2,7 +2,7 @@
 //! truncated-model round-trips, and graceful degradation under a
 //! wall-clock deadline on the paper-scale snort NF.
 
-use nfactor::core::{synthesize, Options, Synthesis};
+use nfactor::core::{Pipeline, Synthesis};
 use nfactor::fuzz::{run, FuzzConfig};
 use nfactor::model::Completeness;
 use nfactor::support::budget::Budget;
@@ -18,11 +18,13 @@ fn corpus_source(name: &str) -> String {
 }
 
 fn synthesize_with_solver_cap(src: &str, cap: usize) -> Synthesis {
-    let opts = Options {
-        budget: Budget::unlimited().with_max_solver_calls(cap),
-        ..Options::default()
-    };
-    synthesize("nat", src, &opts).expect("capped synthesis must still succeed")
+    Pipeline::builder()
+        .name("nat")
+        .budget(Budget::unlimited().with_max_solver_calls(cap))
+        .build()
+        .unwrap()
+        .synthesize(src)
+        .expect("capped synthesis must still succeed")
 }
 
 /// A fuzz run is a pure function of its seed: same config, same report —
@@ -102,12 +104,15 @@ fn truncated_model_round_trips_through_json_and_text() {
 #[test]
 fn snort_with_10ms_deadline_returns_truncated_model() {
     let src = corpus_source("snort");
-    let opts = Options {
-        budget: Budget::unlimited().with_timeout_ms(10),
-        tracer: nfactor::trace::Tracer::enabled(),
-        ..Options::default()
-    };
-    let syn = synthesize("snort", &src, &opts).expect("deadline must degrade, not error");
+    let tracer = nfactor::trace::Tracer::enabled();
+    let syn = Pipeline::builder()
+        .name("snort")
+        .budget(Budget::unlimited().with_timeout_ms(10))
+        .tracer(tracer.clone())
+        .build()
+        .unwrap()
+        .synthesize(&src)
+        .expect("deadline must degrade, not error");
     let reason = syn
         .model
         .completeness
@@ -126,7 +131,7 @@ fn snort_with_10ms_deadline_returns_truncated_model() {
     // The degradation is also observable: the tracer reports the
     // truncation counter and the same reason label, and both survive the
     // metrics JSON (what `--metrics-json` writes).
-    let metrics = opts.tracer.metrics();
+    let metrics = tracer.metrics();
     assert_eq!(metrics.counter("pipeline.truncated"), Some(1));
     assert_eq!(
         metrics.labels.get("pipeline.truncated.reason").map(String::as_str),
@@ -144,7 +149,11 @@ fn snort_with_10ms_deadline_returns_truncated_model() {
 #[test]
 fn unlimited_budget_never_truncates_the_corpus() {
     for nf in nfactor::corpus::default_corpus() {
-        let syn = synthesize(&nf.name, &nf.source, &Options::default())
+        let syn = Pipeline::builder()
+            .name(nf.name)
+            .build()
+            .unwrap()
+            .synthesize(&nf.source)
             .unwrap_or_else(|e| panic!("{}: {e}", nf.name));
         assert!(
             matches!(syn.model.completeness, Completeness::Full),

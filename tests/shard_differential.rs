@@ -1,0 +1,171 @@
+//! The sharding differential oracle: for every corpus NF, a sharded
+//! run (4 worker threads, state placed per the lint's ShardingReport)
+//! must be observationally identical to the single-threaded
+//! interpreter — same per-packet outputs in arrival order, same merged
+//! final state.
+//!
+//! The per-flow NFs (firewall, portknock, ratelimiter, router, snort)
+//! exercise partitioned dispatch — including portknock/ratelimiter's
+//! source-IP-only key and the firewall's direction-symmetric pinhole
+//! key; the shared NFs (fig1-lb, nat, balance) exercise the
+//! ticket-ordered global-lock fallback.
+
+use nf_support::check::{check, tuple3, uint_range, Config};
+use nfactor::core::Pipeline;
+use nfactor::packet::{Field, PacketGen};
+use nfactor::shard::{dispatch_values, Backend, ShardEngine};
+
+const SHARDS: usize = 4;
+const PACKETS: usize = 400;
+
+fn oracle(name: &str, src: &str, expect_partitioned: bool) {
+    let pipeline = Pipeline::builder()
+        .name(name)
+        .shards(SHARDS)
+        .build()
+        .unwrap_or_else(|e| panic!("{name}: builder: {e}"));
+    let engine = ShardEngine::from_source(&pipeline, src, Backend::Interp)
+        .unwrap_or_else(|e| panic!("{name}: build: {e}"));
+    assert_eq!(
+        engine.plan().partitioned(),
+        expect_partitioned,
+        "{name}: unexpected plan mode: {}",
+        engine.plan().render_table()
+    );
+    let packets = PacketGen::new(0xD1FF).batch(PACKETS);
+    let sharded = engine
+        .run(&packets)
+        .unwrap_or_else(|e| panic!("{name}: sharded run: {e}"));
+    let single = engine
+        .run_single(&packets)
+        .unwrap_or_else(|e| panic!("{name}: single run: {e}"));
+    assert_eq!(
+        sharded.output_signature(),
+        single.output_signature(),
+        "{name}: sharded outputs diverge from single-threaded"
+    );
+    assert_eq!(
+        sharded.merged, single.merged,
+        "{name}: merged state diverges from single-threaded"
+    );
+    assert_eq!(sharded.total_pkts(), PACKETS as u64, "{name}");
+    // The sequential (simulated-parallel) mode must agree too — the
+    // bench relies on it.
+    let sequential = engine
+        .run_sequential(&packets)
+        .unwrap_or_else(|e| panic!("{name}: sequential run: {e}"));
+    assert_eq!(sequential.output_signature(), single.output_signature(), "{name}");
+    assert_eq!(sequential.merged, single.merged, "{name}");
+}
+
+#[test]
+fn shard_differential_firewall() {
+    oracle("firewall", &nfactor::corpus::firewall::source(), true);
+}
+
+#[test]
+fn shard_differential_portknock() {
+    oracle("portknock", &nfactor::corpus::portknock::source(), true);
+}
+
+#[test]
+fn shard_differential_ratelimiter() {
+    oracle("ratelimiter", &nfactor::corpus::ratelimiter::source(), true);
+}
+
+#[test]
+fn shard_differential_router() {
+    oracle("router", &nfactor::corpus::router::source(), true);
+}
+
+#[test]
+fn shard_differential_snort() {
+    oracle("snort", &nfactor::corpus::snort::source(25), true);
+}
+
+#[test]
+fn shard_differential_fig1_lb() {
+    oracle("fig1-lb", &nfactor::corpus::fig1_lb::source(), false);
+}
+
+#[test]
+fn shard_differential_nat() {
+    oracle("nat", &nfactor::corpus::nat::source(), false);
+}
+
+#[test]
+fn shard_differential_balance() {
+    oracle("balance", &nfactor::corpus::balance::source(6), false);
+}
+
+/// The model backend shards identically: the synthesized ratelimiter
+/// model run on 4 shards matches its own single-threaded evaluation.
+#[test]
+fn shard_differential_model_backend() {
+    let pipeline = Pipeline::builder()
+        .name("ratelimiter")
+        .shards(SHARDS)
+        .build()
+        .expect("builder");
+    let engine = ShardEngine::from_source(
+        &pipeline,
+        &nfactor::corpus::ratelimiter::source(),
+        Backend::Model,
+    )
+    .expect("synthesize + build");
+    let packets = PacketGen::new(99).batch(200);
+    let sharded = engine.run(&packets).expect("sharded run");
+    let single = engine.run_single(&packets).expect("single run");
+    assert_eq!(sharded.output_signature(), single.output_signature());
+    assert_eq!(sharded.merged, single.merged);
+}
+
+/// Property: the dispatch hash is a function of the dispatch fields
+/// alone — mutating any non-key byte of the packet (TTL, sequence
+/// numbers, payload, ethernet addresses) never re-steers it.
+#[test]
+fn dispatch_ignores_non_key_bytes() {
+    use nfactor::lint::DispatchKey;
+    let five_tuple = DispatchKey::new(
+        vec![
+            Field::IpSrc,
+            Field::IpDst,
+            Field::IpProto,
+            Field::TcpSport,
+            Field::TcpDport,
+        ],
+        false,
+    );
+    let non_key = [
+        Field::EthSrc,
+        Field::EthDst,
+        Field::IpTtl,
+        Field::IpId,
+        Field::TcpSeq,
+        Field::TcpAck,
+        Field::PayloadByte0,
+        Field::PayloadByte1,
+    ];
+    let (cfg, gen) = (
+        Config::with_cases(128),
+        tuple3(
+            uint_range(0, u64::MAX),
+            uint_range(0, non_key.len() as u64 - 1),
+            uint_range(0, 1 << 16),
+        ),
+    );
+    check("dispatch_ignores_non_key_bytes", &cfg, &gen, |&(seed, which, raw)| {
+        let pkt = PacketGen::new(seed).next_packet();
+        let before = dispatch_values(&five_tuple, &pkt);
+        let field = non_key[which as usize];
+        let mut mutated = pkt.clone();
+        let value = raw % (field.max_value() + 1).max(1);
+        if mutated.set(field, value).is_ok() {
+            assert_eq!(
+                before,
+                dispatch_values(&five_tuple, &mutated),
+                "mutating {field:?} re-steered the packet"
+            );
+        }
+    });
+}

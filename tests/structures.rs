@@ -2,7 +2,7 @@
 //! same NF must normalise and produce behaviourally equivalent models.
 
 use nfactor::analysis::normalize::{detect_structure, Structure};
-use nfactor::core::{synthesize, Options};
+use nfactor::core::Pipeline;
 use nfactor::interp::Value;
 use nfactor::model::ModelState;
 use nfactor::packet::{Field, Packet, TcpFlags};
@@ -40,7 +40,11 @@ fn first_three_shapes_give_equivalent_models() {
     let probe_miss = Packet::tcp(1, 9, 2, 81, TcpFlags::syn());
     let mut behaviours = Vec::new();
     for (name, src) in shapes {
-        let syn = synthesize(name, &src, &Options::default()).unwrap();
+        let syn = Pipeline::builder()
+            .name(name)
+            .build()
+            .unwrap()
+            .synthesize(&src).unwrap();
         // `hits` is a pure log counter (never output-impacting), so the
         // *forwarding* model rightly omits it — same as the paper's
         // pass_stat (outside the packet slice entirely, never oisVar).
@@ -69,11 +73,11 @@ fn first_three_shapes_give_equivalent_models() {
 fn nested_shape_carries_tcp_semantics() {
     // 4d terminates TCP: its model must refuse the handshake-free data
     // the other three forward blindly — that is the hidden-state point.
-    let syn = synthesize(
-        "4d",
-        &nfactor::corpus::structures::nested_loop(),
-        &Options::default(),
-    )
+    let syn = Pipeline::builder()
+        .name("4d")
+        .build()
+        .unwrap()
+        .synthesize(&nfactor::corpus::structures::nested_loop())
     .unwrap();
     let mut interp = nfactor::interp::Interp::new(&syn.nf_loop).unwrap();
     let mut data = Packet::tcp(1, 9, 2, 80, TcpFlags::ack());

@@ -3,7 +3,7 @@
 //! symex/slicer spans, the stable metric names, and — under a mock
 //! clock — byte-identical output across runs.
 
-use nfactor::core::{synthesize, Options};
+use nfactor::core::Pipeline;
 use nfactor::support::json::Value;
 use nfactor::trace::{MockClock, Tracer};
 use std::sync::Arc;
@@ -27,11 +27,13 @@ const STAGES: [&str; 5] = [
 #[test]
 fn pipeline_emits_one_span_per_stage_with_nested_symex() {
     let tracer = Tracer::enabled();
-    let opts = Options {
-        tracer: tracer.clone(),
-        ..Options::default()
-    };
-    let syn = synthesize("fig1-lb", &corpus_source("fig1-lb"), &opts).unwrap();
+    let syn = Pipeline::builder()
+        .name("fig1-lb")
+        .tracer(tracer.clone())
+        .build()
+        .unwrap()
+        .synthesize(&corpus_source("fig1-lb"))
+        .unwrap();
     assert!(tracer.balanced(), "all spans closed");
 
     let events = tracer.events();
@@ -92,11 +94,13 @@ fn table2_timings_come_from_the_spans() {
     // Satellite "reported once": the Metrics durations are the span
     // durations, so the table and the trace can never disagree.
     let tracer = Tracer::with_clock(Arc::new(MockClock::new(1_000)));
-    let opts = Options {
-        tracer: tracer.clone(),
-        ..Options::default()
-    };
-    let syn = synthesize("fig1-lb", &corpus_source("fig1-lb"), &opts).unwrap();
+    let syn = Pipeline::builder()
+        .name("fig1-lb")
+        .tracer(tracer.clone())
+        .build()
+        .unwrap()
+        .synthesize(&corpus_source("fig1-lb"))
+        .unwrap();
     let metrics = tracer.metrics();
     assert_eq!(
         metrics.counter("pipeline.stage.slice.ns"),
@@ -111,11 +115,13 @@ fn table2_timings_come_from_the_spans() {
 #[test]
 fn chrome_trace_json_round_trips_with_stage_spans() {
     let tracer = Tracer::enabled();
-    let opts = Options {
-        tracer: tracer.clone(),
-        ..Options::default()
-    };
-    synthesize("fig1-lb", &corpus_source("fig1-lb"), &opts).unwrap();
+    Pipeline::builder()
+        .name("fig1-lb")
+        .tracer(tracer.clone())
+        .build()
+        .unwrap()
+        .synthesize(&corpus_source("fig1-lb"))
+        .unwrap();
     let text = tracer.trace_json().render_pretty();
     let parsed = Value::parse(&text).expect("valid Chrome trace JSON");
     let Some(Value::Array(events)) = parsed.get("traceEvents") else {
@@ -140,11 +146,13 @@ fn chrome_trace_json_round_trips_with_stage_spans() {
 fn mock_clock_makes_all_observability_output_byte_identical() {
     let run_once = || {
         let tracer = Tracer::with_clock(Arc::new(MockClock::new(100)));
-        let opts = Options {
-            tracer: tracer.clone(),
-            ..Options::default()
-        };
-        synthesize("fig1-lb", &corpus_source("fig1-lb"), &opts).unwrap();
+        Pipeline::builder()
+            .name("fig1-lb")
+            .tracer(tracer.clone())
+            .build()
+            .unwrap()
+            .synthesize(&corpus_source("fig1-lb"))
+            .unwrap();
         (
             tracer.metrics().render_table(),
             tracer.metrics().to_json().render_pretty(),

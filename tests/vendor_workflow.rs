@@ -10,7 +10,7 @@
 //! on it.
 
 use nfactor::core::accuracy::initial_model_state;
-use nfactor::core::{synthesize, Options};
+use nfactor::core::Pipeline;
 use nfactor::interp::{Interp, Value};
 use nfactor::model::{from_text, to_text};
 use nfactor::packet::Field;
@@ -19,11 +19,11 @@ use nfactor::verify::hsa::{HeaderSpace, IntervalSet, StatefulNf};
 #[test]
 fn operator_verifies_from_shipped_model_only() {
     // --- vendor side ---
-    let syn = synthesize(
-        "fw",
-        &nfactor::corpus::firewall::source(),
-        &Options::default(),
-    )
+    let syn = Pipeline::builder()
+        .name("fw")
+        .build()
+        .unwrap()
+        .synthesize(&nfactor::corpus::firewall::source())
     .unwrap();
     let shipped = to_text(&syn.model);
 
@@ -55,7 +55,11 @@ fn operator_verifies_from_shipped_model_only() {
 fn operator_evaluates_shipped_model_like_the_nf() {
     // The shipped model must *behave* like the NF: run the §5 diff with
     // the parsed-from-text model on the model side.
-    let syn = synthesize("nat", &nfactor::corpus::nat::source(), &Options::default())
+    let syn = Pipeline::builder()
+        .name("nat")
+        .build()
+        .unwrap()
+        .synthesize(&nfactor::corpus::nat::source())
         .unwrap();
     let shipped = from_text(&to_text(&syn.model)).unwrap();
     let mut interp = Interp::new(&syn.nf_loop).unwrap();
@@ -83,7 +87,11 @@ fn every_corpus_model_ships_losslessly() {
             "snort" => nfactor::corpus::snort::source(10),
             _ => nf.source,
         };
-        let syn = synthesize(nf.name, &src, &Options::default())
+        let syn = Pipeline::builder()
+            .name(nf.name)
+            .build()
+            .unwrap()
+            .synthesize(&src)
             .unwrap_or_else(|e| panic!("{}: {e}", nf.name));
         let round = from_text(&to_text(&syn.model))
             .unwrap_or_else(|e| panic!("{}: {e}", nf.name));
