@@ -1,0 +1,47 @@
+//! Temporary review check: mirror-pair single-endpoint keys.
+
+use nf_packet::{Field, PacketGen};
+use nf_shard::{Backend, ShardEngine};
+use nfactor_core::Pipeline;
+
+#[test]
+fn single_field_mirror_pair_diverges() {
+    let src = r#"
+        state m = map();
+        fn cb(pkt: packet) {
+            if pkt.ip.dst in m { send(pkt); } else { drop(pkt); }
+            m[pkt.ip.src] = 1;
+        }
+        fn main() { sniff(cb); }
+    "#;
+    let pipeline = Pipeline::builder().name("rev").shards(4).build().unwrap();
+    let engine = ShardEngine::from_source(&pipeline, src, Backend::Interp).unwrap();
+    eprintln!("plan: {}", engine.plan().render_table());
+    assert!(engine.plan().partitioned(), "expected partitioned plan");
+
+    // Packet 1: A -> B  (records m[A]); Packet 2: C -> A (probe dst=A).
+    let mut gen = PacketGen::new(1);
+    let mut packets = Vec::new();
+    for (s, d) in [(5u64, 3u64), (7, 5)] {
+        let mut p = gen.next_packet();
+        p.set(Field::IpSrc, s).unwrap();
+        p.set(Field::IpDst, d).unwrap();
+        packets.push(p);
+    }
+    let single = engine.run_single(&packets).unwrap();
+    let sharded = engine.run(&packets).unwrap();
+    eprintln!(
+        "single: {:?}",
+        single.outputs.iter().map(|o| o.dropped).collect::<Vec<_>>()
+    );
+    eprintln!(
+        "sharded: {:?} (shards {:?})",
+        sharded.outputs.iter().map(|o| o.dropped).collect::<Vec<_>>(),
+        sharded.outputs.iter().map(|o| o.shard).collect::<Vec<_>>()
+    );
+    assert_eq!(
+        sharded.output_signature(),
+        single.output_signature(),
+        "sharded diverged from single-threaded"
+    );
+}
