@@ -1,0 +1,700 @@
+//! Lowering a [`Model`] to a [`CompiledProgram`].
+//!
+//! The compiler runs once per deployment (model + concrete
+//! configuration + initial state) and produces a flattened dispatch
+//! structure the runtime walks per packet:
+//!
+//! 1. **Name resolution.** Every `cfg:` variable folds to its concrete
+//!    value (configurations never change at runtime), every `st:`
+//!    scalar becomes a dense arena slot index, every state map a map
+//!    index. Constant subterms fold through the reference evaluator.
+//! 2. **Table selection.** Config-table conditions are evaluated *now*:
+//!    a table whose condition folds to `false` is dropped entirely, one
+//!    that folds to `true` contributes its entries. A condition that
+//!    does not fold to a concrete boolean is a [`CompileError`] — the
+//!    deployment's configuration is incomplete, which the reference
+//!    evaluator would report on the first packet.
+//! 3. **Flattening.** Surviving entries are concatenated in table
+//!    order, preserving the reference evaluator's first-match priority.
+//! 4. **Tree construction.** Flow literals of the recognised
+//!    single-field shapes become shared decision-tree nodes
+//!    ([`crate::tree`]); the rest stay residual at the leaves.
+//! 5. **State-tag interning.** State-match literals are canonicalised
+//!    (leading negations stripped into an expected polarity) and
+//!    deduplicated, so one evaluation per packet serves every entry
+//!    that tests the same predicate.
+
+use crate::expr::{fold, CExpr};
+use crate::tree::{build, classify, Cand, Node};
+use nf_model::{Entry, FlowAction, Model, ModelState};
+use nf_packet::Field;
+use nfl_interp::value::{Value, ValueKey};
+use nfl_symex::{MapOp, SymVal};
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+/// Compilation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// A config-table condition did not fold to a concrete boolean —
+    /// the configuration this model was deployed with is incomplete.
+    Config {
+        /// Index of the offending table.
+        table: usize,
+        /// The condition literal, rendered.
+        lit: String,
+    },
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::Config { table, lit } => write!(
+                f,
+                "config condition of table {table} does not fold to a boolean: {lit}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// Compiled packet action.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CFlowAction {
+    /// Forward with in-order header rewrites.
+    Forward {
+        /// `(field, value term)` rewrites.
+        rewrites: Vec<(Field, CExpr)>,
+    },
+    /// Drop.
+    Drop,
+}
+
+/// Compiled map operation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CMapOp {
+    /// `map[key] = value`.
+    Insert {
+        /// Map index.
+        map: usize,
+        /// Key term.
+        key: CExpr,
+        /// Value term.
+        value: CExpr,
+    },
+    /// `map_remove(map, key)`.
+    Remove {
+        /// Map index.
+        map: usize,
+        /// Key term.
+        key: CExpr,
+    },
+}
+
+/// One state-match obligation of an entry: interned predicate `pred`
+/// must evaluate to `expect`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StateLit {
+    /// Index into [`CompiledProgram::state_preds`].
+    pub pred: usize,
+    /// Required truth value (negations folded into the polarity).
+    pub expect: bool,
+    /// Whether the source literal was wrapped in `!` — decides which
+    /// reference error message a non-boolean predicate value raises.
+    pub wrapped: bool,
+}
+
+/// One flattened table entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CEntry {
+    /// `(table, entry)` position in the source model — reported as the
+    /// fired entry, identically to the reference evaluator.
+    pub origin: (usize, usize),
+    /// Lowered flow-match literals, in source order. The decision tree
+    /// proves a subset of these on the path to a leaf; the leaf lists
+    /// the rest as residuals.
+    pub flow_lits: Vec<CExpr>,
+    /// State-match obligations, in source order.
+    pub state_lits: Vec<StateLit>,
+    /// Packet action.
+    pub flow_action: CFlowAction,
+    /// Scalar state writes `(slot, value term)`, committed in order.
+    pub updates: Vec<(usize, CExpr)>,
+    /// Map writes, committed in order (after scalars, as the reference
+    /// does).
+    pub map_ops: Vec<CMapOp>,
+}
+
+/// The compiled form of a model: decision tree + flattened entries +
+/// interned state predicates + dense initial state.
+#[derive(Debug, Clone)]
+pub struct CompiledProgram {
+    /// Name of the NF the model was extracted from.
+    pub nf_name: String,
+    /// Tree node arena.
+    pub nodes: Vec<Node>,
+    /// Root node index.
+    pub root: usize,
+    /// Flattened entries in global priority order.
+    pub entries: Vec<CEntry>,
+    /// Interned state-match predicates (canonical, negation-stripped).
+    pub state_preds: Vec<CExpr>,
+    /// Scalar slot names (error messages, snapshots).
+    pub slot_names: Vec<String>,
+    /// Map names (error messages, snapshots).
+    pub map_names: Vec<String>,
+    /// Initial slot values (`None` = unset).
+    pub init_slots: Vec<Option<Value>>,
+    /// Initial map contents.
+    pub init_maps: Vec<HashMap<ValueKey, Value>>,
+    /// Which maps exist in the initial state (a map not declared there
+    /// only materialises in snapshots once written, mirroring
+    /// `ModelState.maps`).
+    pub init_materialized: Vec<bool>,
+    /// Concrete configuration, kept for snapshot parity with the
+    /// reference backend.
+    pub configs: BTreeMap<String, Value>,
+}
+
+impl CompiledProgram {
+    /// Number of decision-tree nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of flattened table entries.
+    pub fn entry_count(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+/// Name-resolution context during lowering.
+struct Lowerer<'a> {
+    configs: &'a BTreeMap<String, Value>,
+    slot_names: Vec<String>,
+    map_names: Vec<String>,
+}
+
+impl Lowerer<'_> {
+    fn slot_idx(&mut self, name: &str) -> usize {
+        match self.slot_names.iter().position(|n| n == name) {
+            Some(i) => i,
+            None => {
+                self.slot_names.push(name.to_string());
+                self.slot_names.len() - 1
+            }
+        }
+    }
+
+    fn map_idx(&mut self, name: &str) -> usize {
+        match self.map_names.iter().position(|n| n == name) {
+            Some(i) => i,
+            None => {
+                self.map_names.push(name.to_string());
+                self.map_names.len() - 1
+            }
+        }
+    }
+
+    /// Lower one symbolic term, folding constants as we go. Terms the
+    /// reference evaluator would fail on lower to [`CExpr::Stuck`]
+    /// carrying the reference's exact message, so the error surfaces at
+    /// the same packet, not at compile time.
+    fn lower(&mut self, v: &SymVal) -> CExpr {
+        let e = match v {
+            SymVal::Int(i) => CExpr::Const(Value::Int(*i)),
+            SymVal::Bool(b) => CExpr::Const(Value::Bool(*b)),
+            SymVal::Str(s) => CExpr::Const(Value::Str(s.clone())),
+            SymVal::Var(name) => {
+                if let Some(path) = name.strip_prefix("pkt.") {
+                    match Field::from_path(path) {
+                        Some(f) => CExpr::Pkt(f),
+                        None => CExpr::Stuck(format!("unknown field {path}")),
+                    }
+                } else if let Some(cfg) = name.strip_prefix("cfg:") {
+                    match self.configs.get(cfg) {
+                        Some(v) => CExpr::Const(v.clone()),
+                        None => CExpr::Stuck(format!("config `{cfg}` unset")),
+                    }
+                } else if let Some(stv) = name.strip_prefix("st:") {
+                    CExpr::Slot(self.slot_idx(stv))
+                } else {
+                    CExpr::Stuck(format!("free variable `{name}`"))
+                }
+            }
+            SymVal::Tuple(es) => CExpr::Tuple(es.iter().map(|e| self.lower(e)).collect()),
+            SymVal::Array(es) => CExpr::Array(es.iter().map(|e| self.lower(e)).collect()),
+            SymVal::Bin(op, a, b) => {
+                CExpr::Bin(*op, Box::new(self.lower(a)), Box::new(self.lower(b)))
+            }
+            SymVal::Not(a) => CExpr::Not(Box::new(self.lower(a))),
+            SymVal::Neg(a) => CExpr::Neg(Box::new(self.lower(a))),
+            SymVal::Hash(a) => CExpr::Hash(Box::new(self.lower(a))),
+            SymVal::Min(a, b) => CExpr::Min(Box::new(self.lower(a)), Box::new(self.lower(b))),
+            SymVal::Max(a, b) => CExpr::Max(Box::new(self.lower(a)), Box::new(self.lower(b))),
+            SymVal::MapGet(m, k) => {
+                let mi = self.map_idx(m);
+                CExpr::MapGet(mi, Box::new(self.lower(k)))
+            }
+            SymVal::MapContains(m, k) => {
+                let mi = self.map_idx(m);
+                CExpr::MapContains(mi, Box::new(self.lower(k)))
+            }
+            SymVal::ArrayGet(a, i) => {
+                CExpr::ArrayGet(Box::new(self.lower(a)), Box::new(self.lower(i)))
+            }
+            SymVal::Proj(a, i) => CExpr::Proj(Box::new(self.lower(a)), *i),
+        };
+        fold(e)
+    }
+}
+
+/// Canonicalise a state-match literal: strip leading negations into the
+/// expected polarity and intern the remaining predicate.
+fn intern_state_lit(lowered: CExpr, preds: &mut Vec<CExpr>) -> StateLit {
+    let mut expect = true;
+    let mut wrapped = false;
+    let mut e = lowered;
+    while let CExpr::Not(inner) = e {
+        expect = !expect;
+        wrapped = true;
+        e = *inner;
+    }
+    let pred = match preds.iter().position(|p| *p == e) {
+        Some(i) => i,
+        None => {
+            preds.push(e);
+            preds.len() - 1
+        }
+    };
+    StateLit {
+        pred,
+        expect,
+        wrapped,
+    }
+}
+
+/// Compile `model` against the concrete deployment in `init`
+/// (configuration values, initial scalars, declared maps) — the same
+/// `ModelState` the reference backend starts from.
+///
+/// The contract with the reference evaluator is one-sided: for every
+/// packet on which `ModelState::step` succeeds, the compiled program
+/// succeeds with the identical output, fired entry, and post-state. On
+/// packets where the reference *errors*, the compiled program may
+/// differ (the tree can prove an entry unmatchable without evaluating
+/// the literal that would have raised the error).
+pub fn compile(model: &Model, init: &ModelState) -> Result<CompiledProgram, CompileError> {
+    let mut lw = Lowerer {
+        configs: &init.configs,
+        slot_names: init.scalars.keys().cloned().collect(),
+        map_names: init.maps.keys().cloned().collect(),
+    };
+    let init_map_count = lw.map_names.len();
+    let mut entries: Vec<CEntry> = Vec::new();
+    let mut cands: Vec<Cand> = Vec::new();
+    let mut preds: Vec<CExpr> = Vec::new();
+    for (ti, table) in model.tables.iter().enumerate() {
+        let mut selected = true;
+        for lit in &table.config {
+            match lw.lower(lit) {
+                CExpr::Const(Value::Bool(true)) => {}
+                CExpr::Const(Value::Bool(false)) => {
+                    selected = false;
+                    break;
+                }
+                _ => {
+                    return Err(CompileError::Config {
+                        table: ti,
+                        lit: lit.to_string(),
+                    })
+                }
+            }
+        }
+        if !selected {
+            continue;
+        }
+        for (ei, entry) in table.entries.iter().enumerate() {
+            let ce = lower_entry(&mut lw, entry, (ti, ei), &mut preds);
+            // Literals that folded to `true` hold on every packet; they
+            // need no tree test and no residual. Everything else either
+            // classifies into a tree test or stays residual.
+            let lits = ce
+                .flow_lits
+                .iter()
+                .enumerate()
+                .filter(|(_, l)| !matches!(l, CExpr::Const(Value::Bool(true))))
+                .map(|(i, l)| (i, classify(l)))
+                .collect();
+            cands.push(Cand {
+                entry: entries.len(),
+                lits,
+            });
+            entries.push(ce);
+        }
+    }
+    let mut nodes = Vec::new();
+    let root = build(&mut nodes, cands);
+    let init_slots = lw
+        .slot_names
+        .iter()
+        .map(|n| init.scalars.get(n).cloned())
+        .collect();
+    let init_maps = lw
+        .map_names
+        .iter()
+        .map(|n| {
+            init.maps
+                .get(n)
+                .map(|m| m.iter().map(|(k, v)| (k.clone(), v.clone())).collect())
+                .unwrap_or_default()
+        })
+        .collect();
+    let init_materialized = (0..lw.map_names.len()).map(|i| i < init_map_count).collect();
+    Ok(CompiledProgram {
+        nf_name: model.nf_name.clone(),
+        nodes,
+        root,
+        entries,
+        state_preds: preds,
+        slot_names: lw.slot_names,
+        map_names: lw.map_names,
+        init_slots,
+        init_maps,
+        init_materialized,
+        configs: init.configs.clone(),
+    })
+}
+
+fn lower_entry(
+    lw: &mut Lowerer<'_>,
+    entry: &Entry,
+    origin: (usize, usize),
+    preds: &mut Vec<CExpr>,
+) -> CEntry {
+    let flow_lits = entry.flow_match.iter().map(|l| lw.lower(l)).collect();
+    let state_lits = entry
+        .state_match
+        .iter()
+        .map(|l| intern_state_lit(lw.lower(l), preds))
+        .collect();
+    let flow_action = match &entry.flow_action {
+        FlowAction::Drop => CFlowAction::Drop,
+        FlowAction::Forward { rewrites } => CFlowAction::Forward {
+            rewrites: rewrites
+                .iter()
+                .map(|(f, term)| (*f, lw.lower(term)))
+                .collect(),
+        },
+    };
+    let updates = entry
+        .state_action
+        .updates
+        .iter()
+        .map(|(name, term)| (lw.slot_idx(name), lw.lower(term)))
+        .collect();
+    let map_ops = entry
+        .state_action
+        .map_ops
+        .iter()
+        .map(|op| match op {
+            MapOp::Insert { map, key, value } => CMapOp::Insert {
+                map: lw.map_idx(map),
+                key: lw.lower(key),
+                value: lw.lower(value),
+            },
+            MapOp::Remove { map, key } => CMapOp::Remove {
+                map: lw.map_idx(map),
+                key: lw.lower(key),
+            },
+        })
+        .collect();
+    CEntry {
+        origin,
+        flow_lits,
+        state_lits,
+        flow_action,
+        updates,
+        map_ops,
+    }
+}
+
+/// Render a compiled program as deterministic text — the golden-file
+/// format, and what `modeldiff --mode compiled-vs-model` prints.
+pub fn render(p: &CompiledProgram) -> String {
+    let mut s = String::new();
+    s.push_str(&format!(
+        "compiled {}: {} entries, {} nodes, {} state preds, {} slots, {} maps\n",
+        p.nf_name,
+        p.entries.len(),
+        p.nodes.len(),
+        p.state_preds.len(),
+        p.slot_names.len(),
+        p.map_names.len(),
+    ));
+    if !p.slot_names.is_empty() {
+        s.push_str(&format!("slots: [{}]\n", p.slot_names.join(", ")));
+    }
+    if !p.map_names.is_empty() {
+        s.push_str(&format!("maps: [{}]\n", p.map_names.join(", ")));
+    }
+    s.push_str("entries:\n");
+    for (i, e) in p.entries.iter().enumerate() {
+        s.push_str(&format!("  e{i} <- (t{},e{})\n", e.origin.0, e.origin.1));
+        if !e.flow_lits.is_empty() {
+            let lits: Vec<String> = e.flow_lits.iter().map(|l| fmt_expr(p, l)).collect();
+            s.push_str(&format!("    flow: [{}]\n", lits.join(", ")));
+        }
+        if !e.state_lits.is_empty() {
+            let lits: Vec<String> = e
+                .state_lits
+                .iter()
+                .map(|sl| {
+                    let bang = if sl.expect { "" } else { "!" };
+                    format!("{bang}p{}", sl.pred)
+                })
+                .collect();
+            s.push_str(&format!("    state: [{}]\n", lits.join(", ")));
+        }
+        match &e.flow_action {
+            CFlowAction::Drop => s.push_str("    action: drop\n"),
+            CFlowAction::Forward { rewrites } => {
+                let rw: Vec<String> = rewrites
+                    .iter()
+                    .map(|(f, t)| format!("pkt.{} := {}", f.path(), fmt_expr(p, t)))
+                    .collect();
+                s.push_str(&format!("    action: forward [{}]\n", rw.join(", ")));
+            }
+        }
+        if !e.updates.is_empty() {
+            let ups: Vec<String> = e
+                .updates
+                .iter()
+                .map(|(slot, t)| format!("st:{} := {}", p.slot_names[*slot], fmt_expr(p, t)))
+                .collect();
+            s.push_str(&format!("    updates: [{}]\n", ups.join(", ")));
+        }
+        if !e.map_ops.is_empty() {
+            let ops: Vec<String> = e
+                .map_ops
+                .iter()
+                .map(|op| match op {
+                    CMapOp::Insert { map, key, value } => format!(
+                        "{}[{}] := {}",
+                        p.map_names[*map],
+                        fmt_expr(p, key),
+                        fmt_expr(p, value)
+                    ),
+                    CMapOp::Remove { map, key } => {
+                        format!("del {}[{}]", p.map_names[*map], fmt_expr(p, key))
+                    }
+                })
+                .collect();
+            s.push_str(&format!("    mapops: [{}]\n", ops.join(", ")));
+        }
+    }
+    if !p.state_preds.is_empty() {
+        s.push_str("preds:\n");
+        for (i, pr) in p.state_preds.iter().enumerate() {
+            s.push_str(&format!("  p{i}: {}\n", fmt_expr(p, pr)));
+        }
+    }
+    s.push_str(&format!("tree (root n{}):\n", p.root));
+    for (i, n) in p.nodes.iter().enumerate() {
+        match n {
+            Node::Exact {
+                field,
+                mask,
+                arms,
+                default,
+                missing,
+            } => {
+                let lhs = if *mask == -1 {
+                    format!("pkt.{}", field.path())
+                } else {
+                    format!("(pkt.{} & {:#x})", field.path(), mask)
+                };
+                let aa: Vec<String> = arms.iter().map(|(v, c)| format!("{v} -> n{c}")).collect();
+                let miss = match missing {
+                    Some(m) => format!(" missing n{m}"),
+                    None => String::new(),
+                };
+                s.push_str(&format!(
+                    "  n{i}: exact {lhs} {{ {} }} else n{default}{miss}\n",
+                    aa.join(", ")
+                ));
+            }
+            Node::Range {
+                field,
+                cuts,
+                children,
+                missing,
+            } => {
+                let cc: Vec<String> = cuts.iter().map(|c| c.to_string()).collect();
+                let ch: Vec<String> = children.iter().map(|c| format!("n{c}")).collect();
+                let miss = match missing {
+                    Some(m) => format!(" missing n{m}"),
+                    None => String::new(),
+                };
+                s.push_str(&format!(
+                    "  n{i}: range pkt.{} cuts [{}] -> [{}]{miss}\n",
+                    field.path(),
+                    cc.join(", "),
+                    ch.join(", ")
+                ));
+            }
+            Node::Leaf { cands } => {
+                let cc: Vec<String> = cands
+                    .iter()
+                    .map(|c| {
+                        let rr: Vec<String> =
+                            c.residuals.iter().map(|r| r.to_string()).collect();
+                        format!("e{} res[{}]", c.entry, rr.join(","))
+                    })
+                    .collect();
+                s.push_str(&format!("  n{i}: leaf {{ {} }}\n", cc.join("; ")));
+            }
+        }
+    }
+    s
+}
+
+/// Pretty-print a compiled expression with slot/map names restored.
+pub fn fmt_expr(p: &CompiledProgram, e: &CExpr) -> String {
+    match e {
+        CExpr::Const(v) => format!("{v}"),
+        CExpr::Pkt(f) => format!("pkt.{}", f.path()),
+        CExpr::Slot(i) => format!("st:{}", p.slot_names[*i]),
+        CExpr::Stuck(m) => format!("stuck<{m}>"),
+        CExpr::Tuple(es) => {
+            let parts: Vec<String> = es.iter().map(|x| fmt_expr(p, x)).collect();
+            format!("({})", parts.join(", "))
+        }
+        CExpr::Array(es) => {
+            let parts: Vec<String> = es.iter().map(|x| fmt_expr(p, x)).collect();
+            format!("[{}]", parts.join(", "))
+        }
+        CExpr::Bin(op, a, b) => {
+            format!("({} {} {})", fmt_expr(p, a), op.symbol(), fmt_expr(p, b))
+        }
+        CExpr::Not(a) => format!("!({})", fmt_expr(p, a)),
+        CExpr::Neg(a) => format!("-({})", fmt_expr(p, a)),
+        CExpr::Hash(a) => format!("hash({})", fmt_expr(p, a)),
+        CExpr::Min(a, b) => format!("min({}, {})", fmt_expr(p, a), fmt_expr(p, b)),
+        CExpr::Max(a, b) => format!("max({}, {})", fmt_expr(p, a), fmt_expr(p, b)),
+        CExpr::MapGet(m, k) => format!("{}[{}]", p.map_names[*m], fmt_expr(p, k)),
+        CExpr::MapContains(m, k) => format!("({} in {})", fmt_expr(p, k), p.map_names[*m]),
+        CExpr::ArrayGet(a, i) => format!("{}[{}]", fmt_expr(p, a), fmt_expr(p, i)),
+        CExpr::Proj(a, i) => format!("{}.{}", fmt_expr(p, a), i),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nfl_analysis::normalize::normalize;
+    use nfl_lang::parse_and_check;
+    use nfl_symex::SymExec;
+
+    fn model_of(src: &str) -> Model {
+        let p = parse_and_check(src).unwrap();
+        let pl = normalize(&p).unwrap();
+        let stats = SymExec::new(&pl).explore().unwrap();
+        Model::from_paths("t", &stats.paths)
+    }
+
+    const MODE_NF: &str = r#"
+        const RR = 1;
+        config mode = 1;
+        config servers = [(1.1.1.1, 80), (2.2.2.2, 80)];
+        state idx = 0;
+        fn cb(pkt: packet) {
+            let server = (0, 0);
+            if mode == RR {
+                server = servers[idx];
+                idx = (idx + 1) % len(servers);
+            } else {
+                server = servers[hash(pkt.ip.src) % len(servers)];
+            }
+            pkt.ip.dst = server[0];
+            pkt.tcp.dport = server[1];
+            send(pkt);
+        }
+        fn main() { sniff(cb); }
+    "#;
+
+    #[test]
+    fn config_folding_selects_one_table() {
+        let m = model_of(MODE_NF);
+        assert_eq!(m.tables.len(), 2);
+        let init = ModelState::default()
+            .with_config("mode", Value::Int(1))
+            .with_config(
+                "servers",
+                Value::Array(vec![
+                    Value::Tuple(vec![0x01010101, 80]),
+                    Value::Tuple(vec![0x02020202, 80]),
+                ]),
+            )
+            .with_scalar("idx", Value::Int(0));
+        let p = compile(&m, &init).unwrap();
+        // Only the mode==1 table survives; its single entry remains.
+        assert_eq!(p.entry_count(), 1);
+        assert_eq!(p.slot_names, vec!["idx".to_string()]);
+    }
+
+    #[test]
+    fn unset_config_in_table_condition_is_a_compile_error() {
+        let m = model_of(MODE_NF);
+        let err = compile(&m, &ModelState::default()).unwrap_err();
+        assert!(matches!(err, CompileError::Config { .. }), "{err}");
+    }
+
+    #[test]
+    fn state_preds_are_deduplicated() {
+        let m = model_of(
+            r#"
+            state seen = map();
+            fn cb(pkt: packet) {
+                if pkt.ip.src in seen {
+                    send(pkt);
+                } else {
+                    seen[pkt.ip.src] = 1;
+                }
+            }
+            fn main() { sniff(cb); }
+        "#,
+        );
+        let init = ModelState::default().with_map("seen");
+        let p = compile(&m, &init).unwrap();
+        // Both paths test the same membership predicate (one positively,
+        // one negated): a single interned predicate.
+        assert_eq!(p.state_preds.len(), 1, "{}", render(&p));
+        let polarities: Vec<bool> = p
+            .entries
+            .iter()
+            .flat_map(|e| e.state_lits.iter().map(|l| l.expect))
+            .collect();
+        assert!(polarities.contains(&true) && polarities.contains(&false));
+    }
+
+    #[test]
+    fn render_is_deterministic() {
+        let m = model_of(MODE_NF);
+        let init = ModelState::default()
+            .with_config("mode", Value::Int(1))
+            .with_config(
+                "servers",
+                Value::Array(vec![
+                    Value::Tuple(vec![0x01010101, 80]),
+                    Value::Tuple(vec![0x02020202, 80]),
+                ]),
+            )
+            .with_scalar("idx", Value::Int(0));
+        let a = render(&compile(&m, &init).unwrap());
+        let b = render(&compile(&m, &init).unwrap());
+        assert_eq!(a, b);
+        assert!(a.contains("tree (root n"), "{a}");
+    }
+}

@@ -1,0 +1,415 @@
+//! The compiled-program runtime.
+//!
+//! [`CompiledState`] is the dense mutable state of one deployment: a
+//! scalar slot arena (`Vec<Option<Value>>`) and hash-map arenas, plus a
+//! per-packet memo table for the interned state predicates. One
+//! [`step`](CompiledState::step) walks the decision tree to a leaf,
+//! evaluates the leaf candidates' residual flow literals and state tags
+//! in reference order, and fires the first full match exactly as
+//! `ModelState::fire` would: all terms evaluated against the *pre*
+//! state, scalar commits before map commits, in source order.
+
+use crate::compile::{CFlowAction, CMapOp, CompiledProgram};
+use crate::expr::{eval_expr, CExpr, RunEnv};
+use crate::tree::Node;
+use nf_model::EvalError;
+use nf_packet::Packet;
+use nfl_interp::value::{Value, ValueKey};
+use std::collections::{BTreeMap, HashMap};
+
+/// Result of pushing one packet through a compiled program — the same
+/// shape as `nf_model::ModelStep`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledStep {
+    /// The forwarded packet, if any (`None` = dropped).
+    pub output: Option<Packet>,
+    /// `(table, entry)` of the fired source-model entry, if any.
+    pub fired: Option<(usize, usize)>,
+}
+
+/// Mutable runtime state of one compiled deployment.
+#[derive(Debug, Clone)]
+pub struct CompiledState {
+    /// Scalar slots; `None` mirrors an absent `ModelState` scalar.
+    pub slots: Vec<Option<Value>>,
+    /// Map arenas, indexed like `CompiledProgram::map_names`.
+    pub maps: Vec<HashMap<ValueKey, Value>>,
+    /// Whether each map has materialised (declared initially or written
+    /// since) — only materialised maps appear in snapshots, mirroring
+    /// `ModelState.maps`.
+    materialized: Vec<bool>,
+    /// Predicate memo: `memo[p] = (generation, value)`.
+    memo: Vec<(u64, bool)>,
+    /// Current packet generation (bumped per step).
+    generation: u64,
+}
+
+impl CompiledState {
+    /// Fresh state at the program's initial deployment.
+    pub fn new(prog: &CompiledProgram) -> CompiledState {
+        CompiledState {
+            slots: prog.init_slots.clone(),
+            maps: prog.init_maps.clone(),
+            materialized: prog.init_materialized.clone(),
+            memo: vec![(0, false); prog.state_preds.len()],
+            generation: 0,
+        }
+    }
+
+    /// Run one packet through the compiled program, mutating the state.
+    ///
+    /// For any packet on which the reference `ModelState::step`
+    /// succeeds, this returns `Ok` with the identical output, fired
+    /// entry, and post-state.
+    pub fn step(&mut self, prog: &CompiledProgram, pkt: &Packet) -> Result<CompiledStep, EvalError> {
+        self.generation += 1;
+        // Walk the tree to a leaf.
+        let mut node = prog.root;
+        let cands = loop {
+            match &prog.nodes[node] {
+                Node::Exact {
+                    field,
+                    mask,
+                    arms,
+                    default,
+                    missing,
+                } => match pkt.get(*field) {
+                    Ok(raw) => {
+                        let v = (raw as i64) & *mask;
+                        node = match arms.binary_search_by_key(&v, |(a, _)| *a) {
+                            Ok(i) => arms[i].1,
+                            Err(_) => *default,
+                        };
+                    }
+                    Err(e) => match missing {
+                        Some(m) => node = *m,
+                        // Unreachable: every node over a fallible field
+                        // is built with a missing child.
+                        None => return Err(EvalError::Stuck(e.to_string())),
+                    },
+                },
+                Node::Range {
+                    field,
+                    cuts,
+                    children,
+                    missing,
+                } => match pkt.get(*field) {
+                    Ok(raw) => {
+                        let v = raw as i64;
+                        node = children[cuts.partition_point(|&c| c <= v)];
+                    }
+                    Err(e) => match missing {
+                        Some(m) => node = *m,
+                        None => return Err(EvalError::Stuck(e.to_string())),
+                    },
+                },
+                Node::Leaf { cands } => break cands,
+            }
+        };
+        // Evaluate candidates in priority order; the first whose
+        // residual literals and state tags all hold fires.
+        'cand: for c in cands {
+            let entry = &prog.entries[c.entry];
+            for &ri in &c.residuals {
+                match self.eval(prog, pkt, &entry.flow_lits[ri])? {
+                    Value::Bool(true) => {}
+                    Value::Bool(false) => continue 'cand,
+                    other => {
+                        return Err(EvalError::Stuck(format!(
+                            "match literal evaluated to {other}"
+                        )))
+                    }
+                }
+            }
+            for sl in &entry.state_lits {
+                if self.state_pred(prog, pkt, sl.pred, sl.wrapped)? != sl.expect {
+                    continue 'cand;
+                }
+            }
+            let output = self.fire(prog, pkt, c.entry)?;
+            return Ok(CompiledStep {
+                output,
+                fired: Some(entry.origin),
+            });
+        }
+        // Default action: drop.
+        Ok(CompiledStep {
+            output: None,
+            fired: None,
+        })
+    }
+
+    /// Evaluate interned state predicate `p`, memoised per packet.
+    /// `wrapped` selects the reference error message a non-boolean
+    /// value raises (`!x` errors inside the negation; a bare literal
+    /// errors in the match loop).
+    fn state_pred(
+        &mut self,
+        prog: &CompiledProgram,
+        pkt: &Packet,
+        p: usize,
+        wrapped: bool,
+    ) -> Result<bool, EvalError> {
+        let (gen, val) = self.memo[p];
+        if gen == self.generation {
+            return Ok(val);
+        }
+        match self.eval(prog, pkt, &prog.state_preds[p])? {
+            Value::Bool(b) => {
+                self.memo[p] = (self.generation, b);
+                Ok(b)
+            }
+            other => Err(EvalError::Stuck(if wrapped {
+                format!("not of {other}")
+            } else {
+                format!("match literal evaluated to {other}")
+            })),
+        }
+    }
+
+    fn eval(&self, prog: &CompiledProgram, pkt: &Packet, e: &CExpr) -> Result<Value, EvalError> {
+        let env = RunEnv {
+            pkt,
+            slots: &self.slots,
+            maps: &self.maps,
+            map_names: &prog.map_names,
+            slot_names: &prog.slot_names,
+        };
+        eval_expr(&env, e)
+    }
+
+    /// Fire entry `ei`: evaluate rewrites, updates, and map operations
+    /// against the pre-state, then commit scalars before maps, in
+    /// order — exactly as `ModelState::fire`.
+    fn fire(
+        &mut self,
+        prog: &CompiledProgram,
+        pkt: &Packet,
+        ei: usize,
+    ) -> Result<Option<Packet>, EvalError> {
+        let entry = &prog.entries[ei];
+        let output = match &entry.flow_action {
+            CFlowAction::Drop => None,
+            CFlowAction::Forward { rewrites } => {
+                let mut out = pkt.clone();
+                for (field, term) in rewrites {
+                    let v = self.eval(prog, pkt, term)?;
+                    let iv = v.as_int().ok_or_else(|| {
+                        EvalError::Stuck(format!("rewrite of {field} to non-int {v}"))
+                    })?;
+                    let uv = u64::try_from(iv)
+                        .map_err(|_| EvalError::Field(format!("negative value {iv}")))?;
+                    out.set(*field, uv)
+                        .map_err(|e| EvalError::Field(e.to_string()))?;
+                }
+                Some(out)
+            }
+        };
+        let mut new_scalars = Vec::with_capacity(entry.updates.len());
+        for (slot, term) in &entry.updates {
+            new_scalars.push((*slot, self.eval(prog, pkt, term)?));
+        }
+        let mut map_commits: Vec<(usize, ValueKey, Option<Value>)> =
+            Vec::with_capacity(entry.map_ops.len());
+        for op in &entry.map_ops {
+            match op {
+                CMapOp::Insert { map, key, value } => {
+                    let k = self
+                        .eval(prog, pkt, key)?
+                        .as_key()
+                        .ok_or_else(|| EvalError::Stuck("unkeyable map key".into()))?;
+                    let v = self.eval(prog, pkt, value)?;
+                    map_commits.push((*map, k, Some(v)));
+                }
+                CMapOp::Remove { map, key } => {
+                    let k = self
+                        .eval(prog, pkt, key)?
+                        .as_key()
+                        .ok_or_else(|| EvalError::Stuck("unkeyable map key".into()))?;
+                    map_commits.push((*map, k, None));
+                }
+            }
+        }
+        for (slot, v) in new_scalars {
+            self.slots[slot] = Some(v);
+        }
+        for (map, k, v) in map_commits {
+            self.materialized[map] = true;
+            match v {
+                Some(v) => {
+                    self.maps[map].insert(k, v);
+                }
+                None => {
+                    self.maps[map].remove(&k);
+                }
+            }
+        }
+        Ok(output)
+    }
+
+    /// Observable state snapshot — the same `name -> value` map the
+    /// reference backend produces (configs, set scalars, materialised
+    /// maps), so sharded-merge and differential comparisons treat the
+    /// two backends interchangeably.
+    pub fn snapshot(&self, prog: &CompiledProgram) -> BTreeMap<String, Value> {
+        let mut out = BTreeMap::new();
+        for (k, v) in &prog.configs {
+            out.insert(k.clone(), v.clone());
+        }
+        for (i, slot) in self.slots.iter().enumerate() {
+            if let Some(v) = slot {
+                out.insert(prog.slot_names[i].clone(), v.clone());
+            }
+        }
+        for (i, m) in self.maps.iter().enumerate() {
+            if self.materialized[i] {
+                let ordered: BTreeMap<ValueKey, Value> =
+                    m.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+                out.insert(prog.map_names[i].clone(), Value::Map(ordered));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::compile;
+    use nf_model::{Model, ModelState};
+    use nf_packet::wire::{parse_ipv4, TcpFlags};
+    use nfl_analysis::normalize::normalize;
+    use nfl_lang::parse_and_check;
+    use nfl_symex::SymExec;
+
+    fn model_of(src: &str) -> Model {
+        let p = parse_and_check(src).unwrap();
+        let pl = normalize(&p).unwrap();
+        let stats = SymExec::new(&pl).explore().unwrap();
+        Model::from_paths("t", &stats.paths)
+    }
+
+    fn tcp(sport: u16, dport: u16) -> Packet {
+        Packet::tcp(
+            parse_ipv4("10.0.0.1").unwrap(),
+            sport,
+            parse_ipv4("3.3.3.3").unwrap(),
+            dport,
+            TcpFlags::syn(),
+        )
+    }
+
+    /// Run a packet sequence through both evaluators and assert
+    /// identical per-packet results and final snapshots.
+    fn lockstep(src: &str, init: ModelState, pkts: &[Packet]) {
+        let m = model_of(src);
+        let prog = compile(&m, &init).unwrap();
+        let mut cs = CompiledState::new(&prog);
+        let mut ms = init;
+        for (i, p) in pkts.iter().enumerate() {
+            let want = ms.step(&m, p).expect("reference step");
+            let got = cs.step(&prog, p).expect("compiled step");
+            assert_eq!(got.output, want.output, "packet {i} output");
+            assert_eq!(got.fired, want.fired, "packet {i} fired entry");
+        }
+        let mut want = BTreeMap::new();
+        for (k, v) in &ms.configs {
+            want.insert(k.clone(), v.clone());
+        }
+        for (k, v) in &ms.scalars {
+            want.insert(k.clone(), v.clone());
+        }
+        for (k, m) in &ms.maps {
+            want.insert(k.clone(), Value::Map(m.clone()));
+        }
+        assert_eq!(cs.snapshot(&prog), want, "final state snapshot");
+    }
+
+    #[test]
+    fn nat_lockstep_with_reference() {
+        let src = r#"
+            state nat = map();
+            state next = 10000;
+            fn cb(pkt: packet) {
+                let k = (pkt.ip.src, pkt.tcp.sport);
+                if k not in nat {
+                    nat[k] = next;
+                    next = next + 1;
+                }
+                pkt.tcp.sport = nat[k];
+                send(pkt);
+            }
+            fn main() { sniff(cb); }
+        "#;
+        let init = ModelState::default()
+            .with_scalar("next", Value::Int(10000))
+            .with_map("nat");
+        lockstep(
+            src,
+            init,
+            &[tcp(5555, 80), tcp(5555, 80), tcp(7777, 80), tcp(5555, 443)],
+        );
+    }
+
+    #[test]
+    fn port_filter_lockstep() {
+        let src = r#"
+            config PORT = 80;
+            fn cb(pkt: packet) {
+                if pkt.tcp.dport == PORT { send(pkt); }
+            }
+            fn main() { sniff(cb); }
+        "#;
+        let init = ModelState::default().with_config("PORT", Value::Int(80));
+        lockstep(src, init, &[tcp(1, 80), tcp(1, 81), tcp(2, 80)]);
+    }
+
+    #[test]
+    fn udp_packet_takes_missing_layer_path() {
+        // The dport test sits behind a proto literal in the source; a
+        // UDP-only packet must not error on the hoisted tcp field read.
+        let src = r#"
+            fn cb(pkt: packet) {
+                if pkt.ip.proto == 6 {
+                    if pkt.tcp.flags & 2 != 0 { send(pkt); }
+                } else {
+                    send(pkt);
+                }
+            }
+            fn main() { sniff(cb); }
+        "#;
+        let udp = Packet::udp(
+            parse_ipv4("10.0.0.1").unwrap(),
+            53,
+            parse_ipv4("3.3.3.3").unwrap(),
+            53,
+        );
+        lockstep(src, ModelState::default(), &[tcp(1, 80), udp]);
+    }
+
+    #[test]
+    fn rr_counter_wraps_like_reference() {
+        let src = r#"
+            config servers = [(1.1.1.1, 80), (2.2.2.2, 80)];
+            state idx = 0;
+            fn cb(pkt: packet) {
+                let server = servers[idx];
+                idx = (idx + 1) % len(servers);
+                pkt.ip.dst = server[0];
+                pkt.tcp.dport = server[1];
+                send(pkt);
+            }
+            fn main() { sniff(cb); }
+        "#;
+        let init = ModelState::default()
+            .with_config(
+                "servers",
+                Value::Array(vec![
+                    Value::Tuple(vec![0x01010101, 80]),
+                    Value::Tuple(vec![0x02020202, 80]),
+                ]),
+            )
+            .with_scalar("idx", Value::Int(0));
+        lockstep(src, init, &[tcp(1, 1), tcp(2, 2), tcp(3, 3)]);
+    }
+}

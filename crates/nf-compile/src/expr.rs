@@ -1,0 +1,335 @@
+//! The compiled expression IR.
+//!
+//! A [`CExpr`] is a [`SymVal`](nfl_symex::SymVal) with every name
+//! resolved at compile time: configuration variables are folded to
+//! their concrete [`Value`]s (configs never change at runtime — only
+//! `st:` scalars and maps are written by state actions), state scalars
+//! become dense arena slot indices, and state maps become map indices.
+//! Constant subterms are folded through the *same* evaluator that runs
+//! at packet time, so folding can never change semantics.
+//!
+//! Evaluation ([`eval_expr`]) mirrors `nf_model::ModelState::eval`
+//! operation for operation — short-circuit `&&`/`||`, euclidean `%` and
+//! wrapping arithmetic via [`nf_model::eval_bin`], the interpreter's
+//! `stable_hash` — so that for any packet on which the reference model
+//! evaluator succeeds, the compiled program produces the identical
+//! result.
+
+use nf_model::{eval_bin, EvalError};
+use nf_packet::{Field, Packet};
+use nfl_interp::value::{stable_hash, Value, ValueKey};
+use nfl_lang::BinOp;
+
+/// A compile-time-resolved expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CExpr {
+    /// A concrete value (literals, folded configs, folded subterms).
+    Const(Value),
+    /// A packet header field read.
+    Pkt(Field),
+    /// A scalar state read from arena slot `i`.
+    Slot(usize),
+    /// A term that can never evaluate (unknown field, unset config…);
+    /// carries the exact error message the reference evaluator raises.
+    Stuck(String),
+    /// Tuple of terms.
+    Tuple(Vec<CExpr>),
+    /// Array of terms.
+    Array(Vec<CExpr>),
+    /// Binary operation.
+    Bin(BinOp, Box<CExpr>, Box<CExpr>),
+    /// Logical negation.
+    Not(Box<CExpr>),
+    /// Arithmetic negation.
+    Neg(Box<CExpr>),
+    /// The interpreter's stable hash.
+    Hash(Box<CExpr>),
+    /// Minimum of two integer terms.
+    Min(Box<CExpr>, Box<CExpr>),
+    /// Maximum of two integer terms.
+    Max(Box<CExpr>, Box<CExpr>),
+    /// Read of state map `i` at a key.
+    MapGet(usize, Box<CExpr>),
+    /// Membership test of state map `i` at a key.
+    MapContains(usize, Box<CExpr>),
+    /// Array read with a computed index.
+    ArrayGet(Box<CExpr>, Box<CExpr>),
+    /// Tuple projection.
+    Proj(Box<CExpr>, usize),
+}
+
+impl CExpr {
+    /// The concrete value, if this node is one.
+    pub fn as_const(&self) -> Option<&Value> {
+        match self {
+            CExpr::Const(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The concrete integer, if this node is one.
+    pub fn as_const_int(&self) -> Option<i64> {
+        self.as_const().and_then(|v| v.as_int())
+    }
+}
+
+/// Where evaluation reads packet fields, state slots, and maps from.
+/// Two implementations: the runtime environment (a packet plus a
+/// [`CompiledState`](crate::CompiledState) arena) and the compile-time
+/// constant environment (which has none of those and errors if asked).
+pub trait Env {
+    /// Read a packet field as the evaluator does (`raw as i64`).
+    fn pkt_field(&self, f: Field) -> Result<Value, EvalError>;
+    /// Read scalar slot `i`.
+    fn slot(&self, i: usize) -> Result<Value, EvalError>;
+    /// Read map `i` at `k` (`None` = absent key).
+    fn map_get(&self, i: usize, k: &ValueKey) -> Result<Option<Value>, EvalError>;
+    /// Membership in map `i`.
+    fn map_contains(&self, i: usize, k: &ValueKey) -> Result<bool, EvalError>;
+    /// The source-level name of map `i`, for error messages.
+    fn map_name(&self, i: usize) -> &str;
+}
+
+/// The compile-time environment: constants only. Any packet, slot, or
+/// map access is an error, which makes [`eval_expr`] double as the
+/// constant folder — a fold succeeds exactly when the term is closed.
+pub struct ConstEnv;
+
+impl Env for ConstEnv {
+    fn pkt_field(&self, f: Field) -> Result<Value, EvalError> {
+        Err(EvalError::Stuck(format!("pkt.{} is not constant", f.path())))
+    }
+    fn slot(&self, i: usize) -> Result<Value, EvalError> {
+        Err(EvalError::Stuck(format!("slot {i} is not constant")))
+    }
+    fn map_get(&self, i: usize, _k: &ValueKey) -> Result<Option<Value>, EvalError> {
+        Err(EvalError::Stuck(format!("map {i} is not constant")))
+    }
+    fn map_contains(&self, i: usize, _k: &ValueKey) -> Result<bool, EvalError> {
+        Err(EvalError::Stuck(format!("map {i} is not constant")))
+    }
+    fn map_name(&self, _i: usize) -> &str {
+        "?"
+    }
+}
+
+/// The per-packet runtime environment.
+pub struct RunEnv<'a> {
+    /// The packet being classified.
+    pub pkt: &'a Packet,
+    /// Scalar slots (`None` = unset, mirroring an absent scalar in
+    /// `ModelState.scalars`).
+    pub slots: &'a [Option<Value>],
+    /// Map arenas.
+    pub maps: &'a [std::collections::HashMap<ValueKey, Value>],
+    /// Map names (for error messages).
+    pub map_names: &'a [String],
+    /// Scalar names (for error messages).
+    pub slot_names: &'a [String],
+}
+
+impl Env for RunEnv<'_> {
+    fn pkt_field(&self, f: Field) -> Result<Value, EvalError> {
+        let raw = self
+            .pkt
+            .get(f)
+            .map_err(|e| EvalError::Stuck(e.to_string()))?;
+        Ok(Value::Int(raw as i64))
+    }
+    fn slot(&self, i: usize) -> Result<Value, EvalError> {
+        self.slots[i]
+            .clone()
+            .ok_or_else(|| EvalError::Stuck(format!("state `{}` unset", self.slot_names[i])))
+    }
+    fn map_get(&self, i: usize, k: &ValueKey) -> Result<Option<Value>, EvalError> {
+        Ok(self.maps[i].get(k).cloned())
+    }
+    fn map_contains(&self, i: usize, k: &ValueKey) -> Result<bool, EvalError> {
+        Ok(self.maps[i].contains_key(k))
+    }
+    fn map_name(&self, i: usize) -> &str {
+        &self.map_names[i]
+    }
+}
+
+/// Evaluate a compiled expression. Every arm reproduces the
+/// corresponding `ModelState::eval` arm, including its error messages,
+/// so the two evaluators are observationally interchangeable wherever
+/// the reference succeeds.
+pub fn eval_expr<E: Env>(env: &E, term: &CExpr) -> Result<Value, EvalError> {
+    match term {
+        CExpr::Const(v) => Ok(v.clone()),
+        CExpr::Pkt(f) => env.pkt_field(*f),
+        CExpr::Slot(i) => env.slot(*i),
+        CExpr::Stuck(msg) => Err(EvalError::Stuck(msg.clone())),
+        CExpr::Tuple(es) => {
+            let mut items = Vec::with_capacity(es.len());
+            for e in es {
+                let v = eval_expr(env, e)?;
+                items.push(
+                    v.as_int()
+                        .ok_or_else(|| EvalError::Stuck("tuple of non-int".into()))?,
+                );
+            }
+            Ok(Value::Tuple(items))
+        }
+        CExpr::Array(es) => {
+            let mut items = Vec::with_capacity(es.len());
+            for e in es {
+                items.push(eval_expr(env, e)?);
+            }
+            Ok(Value::Array(items))
+        }
+        CExpr::Bin(op, a, b) => {
+            if matches!(op, BinOp::And | BinOp::Or) {
+                let va = eval_expr(env, a)?
+                    .as_bool()
+                    .ok_or_else(|| EvalError::Stuck("logic on non-bool".into()))?;
+                return match (op, va) {
+                    (BinOp::And, false) => Ok(Value::Bool(false)),
+                    (BinOp::Or, true) => Ok(Value::Bool(true)),
+                    _ => {
+                        let vb = eval_expr(env, b)?
+                            .as_bool()
+                            .ok_or_else(|| EvalError::Stuck("logic on non-bool".into()))?;
+                        Ok(Value::Bool(vb))
+                    }
+                };
+            }
+            let va = eval_expr(env, a)?;
+            let vb = eval_expr(env, b)?;
+            eval_bin(*op, &va, &vb)
+        }
+        CExpr::Not(a) => match eval_expr(env, a)? {
+            Value::Bool(b) => Ok(Value::Bool(!b)),
+            other => Err(EvalError::Stuck(format!("not of {other}"))),
+        },
+        CExpr::Neg(a) => match eval_expr(env, a)? {
+            Value::Int(v) => Ok(Value::Int(-v)),
+            other => Err(EvalError::Stuck(format!("neg of {other}"))),
+        },
+        CExpr::Hash(a) => {
+            let v = eval_expr(env, a)?;
+            Ok(Value::Int(stable_hash(&v)))
+        }
+        CExpr::Min(a, b) | CExpr::Max(a, b) => {
+            let is_min = matches!(term, CExpr::Min(..));
+            let x = eval_expr(env, a)?
+                .as_int()
+                .ok_or_else(|| EvalError::Stuck("min/max of non-int".into()))?;
+            let y = eval_expr(env, b)?
+                .as_int()
+                .ok_or_else(|| EvalError::Stuck("min/max of non-int".into()))?;
+            Ok(Value::Int(if is_min { x.min(y) } else { x.max(y) }))
+        }
+        CExpr::MapGet(m, key) => {
+            let k = eval_expr(env, key)?
+                .as_key()
+                .ok_or_else(|| EvalError::Stuck("unkeyable key".into()))?;
+            env.map_get(*m, &k)?
+                .ok_or_else(|| EvalError::Stuck(format!("{}[{k}] missing", env.map_name(*m))))
+        }
+        CExpr::MapContains(m, key) => {
+            let k = eval_expr(env, key)?
+                .as_key()
+                .ok_or_else(|| EvalError::Stuck("unkeyable key".into()))?;
+            Ok(Value::Bool(env.map_contains(*m, &k)?))
+        }
+        CExpr::ArrayGet(base, idx) => {
+            let b = eval_expr(env, base)?;
+            let i = eval_expr(env, idx)?
+                .as_int()
+                .ok_or_else(|| EvalError::Stuck("array index".into()))?;
+            match b {
+                Value::Array(items) => {
+                    let ix = usize::try_from(i)
+                        .map_err(|_| EvalError::Stuck("negative index".into()))?;
+                    items
+                        .get(ix)
+                        .cloned()
+                        .ok_or_else(|| EvalError::Stuck("array OOB".into()))
+                }
+                other => Err(EvalError::Stuck(format!("indexing {other}"))),
+            }
+        }
+        CExpr::Proj(base, i) => {
+            let b = eval_expr(env, base)?;
+            match b {
+                Value::Tuple(items) => items
+                    .get(*i)
+                    .map(|v| Value::Int(*v))
+                    .ok_or_else(|| EvalError::Stuck("tuple OOB".into())),
+                other => Err(EvalError::Stuck(format!("projecting {other}"))),
+            }
+        }
+    }
+}
+
+/// Try to fold a freshly-built node to a constant by running it through
+/// the real evaluator with the constant-only environment. On any
+/// evaluation error the node is returned unfolded, so the error
+/// resurfaces at packet time exactly where the reference evaluator
+/// raises it.
+pub fn fold(e: CExpr) -> CExpr {
+    let closed = match &e {
+        CExpr::Const(_) => return e,
+        CExpr::Pkt(_) | CExpr::Slot(_) | CExpr::Stuck(_) => false,
+        CExpr::MapGet(..) | CExpr::MapContains(..) => false,
+        CExpr::Tuple(es) | CExpr::Array(es) => es.iter().all(|c| c.as_const().is_some()),
+        CExpr::Bin(_, a, b)
+        | CExpr::Min(a, b)
+        | CExpr::Max(a, b)
+        | CExpr::ArrayGet(a, b) => a.as_const().is_some() && b.as_const().is_some(),
+        CExpr::Not(a) | CExpr::Neg(a) | CExpr::Hash(a) | CExpr::Proj(a, _) => {
+            a.as_const().is_some()
+        }
+    };
+    if !closed {
+        return e;
+    }
+    match eval_expr(&ConstEnv, &e) {
+        Ok(v) => CExpr::Const(v),
+        Err(_) => e,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fold_closes_arithmetic() {
+        let e = fold(CExpr::Bin(
+            BinOp::Add,
+            Box::new(CExpr::Const(Value::Int(2))),
+            Box::new(CExpr::Const(Value::Int(40))),
+        ));
+        assert_eq!(e, CExpr::Const(Value::Int(42)));
+    }
+
+    #[test]
+    fn fold_keeps_div_by_zero_for_runtime() {
+        let e = fold(CExpr::Bin(
+            BinOp::Div,
+            Box::new(CExpr::Const(Value::Int(1))),
+            Box::new(CExpr::Const(Value::Int(0))),
+        ));
+        assert!(matches!(e, CExpr::Bin(..)), "division by zero must not fold");
+    }
+
+    #[test]
+    fn fold_mirrors_euclidean_mod() {
+        let e = fold(CExpr::Bin(
+            BinOp::Mod,
+            Box::new(CExpr::Const(Value::Int(-7))),
+            Box::new(CExpr::Const(Value::Int(3))),
+        ));
+        assert_eq!(e, CExpr::Const(Value::Int(2)), "rem_euclid, like the interpreter");
+    }
+
+    #[test]
+    fn fold_hash_matches_stable_hash() {
+        let e = fold(CExpr::Hash(Box::new(CExpr::Const(Value::Int(17)))));
+        assert_eq!(e, CExpr::Const(Value::Int(stable_hash(&Value::Int(17)))));
+    }
+}

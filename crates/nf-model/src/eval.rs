@@ -251,7 +251,7 @@ impl ModelState {
                 }
                 let va = self.eval(a, pkt)?;
                 let vb = self.eval(b, pkt)?;
-                eval_bin(*op, &va, &vb, self)
+                eval_bin(*op, &va, &vb)
             }
             SymVal::Not(a) => match self.eval(a, pkt)? {
                 Value::Bool(b) => Ok(Value::Bool(!b)),
@@ -329,7 +329,12 @@ impl ModelState {
     }
 }
 
-fn eval_bin(op: BinOp, a: &Value, b: &Value, _st: &ModelState) -> Result<Value, EvalError> {
+/// Apply a binary operator to two concrete values, with the exact
+/// semantics the model evaluator (and the interpreter it mirrors) uses:
+/// euclidean `%`, wrapping integer arithmetic, structural `==`. Public
+/// so alternative execution backends (`nf-compile`) share one
+/// definition of the arithmetic instead of re-implementing it.
+pub fn eval_bin(op: BinOp, a: &Value, b: &Value) -> Result<Value, EvalError> {
     use BinOp::*;
     match op {
         Add | Sub | Mul | Div | Mod | BitAnd | BitOr => {

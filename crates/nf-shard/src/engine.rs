@@ -31,6 +31,7 @@
 
 use crate::dispatch::shard_of;
 use crate::plan::{RunMode, ShardPlan};
+use nf_compile::{CompiledProgram, CompiledState};
 use nf_model::{Model, ModelState};
 use nf_packet::Packet;
 use nf_trace::Tracer;
@@ -74,6 +75,10 @@ pub enum Backend {
     Interp,
     /// The synthesized model evaluator.
     Model,
+    /// The model compiled to a flattened XFSM dispatch engine
+    /// (`nf-compile`): decision-tree flow classification, memoized
+    /// state tags, dense state arenas.
+    Compiled,
 }
 
 /// Errors from building or running a shard engine.
@@ -103,11 +108,17 @@ impl std::fmt::Display for ShardError {
 
 impl std::error::Error for ShardError {}
 
-/// Per-shard program state: an interpreter or a model-state instance.
+/// Per-shard program state: an interpreter, a model-state instance, or
+/// a compiled program plus its dense state arena (the program itself is
+/// immutable and shared across shards via `Arc`).
 #[derive(Debug, Clone)]
 enum BackendState {
     Interp(Interp),
     Model(ModelState),
+    Compiled {
+        prog: Arc<CompiledProgram>,
+        state: CompiledState,
+    },
 }
 
 impl BackendState {
@@ -129,6 +140,13 @@ impl BackendState {
                     })
                     .map_err(|e| e.to_string())
             }
+            BackendState::Compiled { prog, state } => state
+                .step(prog, pkt)
+                .map(|s| {
+                    let dropped = s.output.is_none();
+                    (s.output.into_iter().collect(), dropped)
+                })
+                .map_err(|e| e.to_string()),
         }
     }
 
@@ -153,6 +171,7 @@ impl BackendState {
                 }
                 out
             }
+            BackendState::Compiled { prog, state } => state.snapshot(prog),
         }
     }
 }
@@ -264,35 +283,66 @@ impl ShardEngine {
                     model: None,
                 })
             }
-            Backend::Model => {
+            Backend::Model | Backend::Compiled => {
                 let syn = pipeline
                     .synthesize(src)
                     .map_err(|e| ShardError::Build(e.to_string()))?;
-                ShardEngine::from_synthesis(pipeline, &syn)
+                ShardEngine::from_synthesis(pipeline, &syn, backend)
             }
         }
     }
 
-    /// Build a model-backend engine from an existing [`Synthesis`]
-    /// (avoids re-running the pipeline when the caller already has
-    /// one).
+    /// Build an engine from an existing [`Synthesis`] (avoids
+    /// re-running the pipeline when the caller already has one) for any
+    /// backend: the interpreter runs the synthesis's normalised
+    /// program, the model backend its synthesized model, and the
+    /// compiled backend the model lowered by `nf-compile` against the
+    /// program's initial configuration and state.
     pub fn from_synthesis(
         pipeline: &Pipeline,
         syn: &Synthesis,
+        backend: Backend,
     ) -> Result<ShardEngine, ShardError> {
         let lint = nfl_lint::lint_program(&syn.name, &syn.nf_loop.program)
             .map_err(ShardError::Build)?;
         let interp =
             Interp::new(&syn.nf_loop).map_err(|e| ShardError::Build(e.to_string()))?;
-        let proto = nfactor_core::accuracy::initial_model_state(syn, &interp);
+        let tracer = pipeline.tracer().clone();
+        let (proto, model) = match backend {
+            Backend::Interp => (BackendState::Interp(interp), None),
+            Backend::Model => {
+                let init = nfactor_core::accuracy::initial_model_state(syn, &interp);
+                (
+                    BackendState::Model(init),
+                    Some(Arc::new(syn.model.clone())),
+                )
+            }
+            Backend::Compiled => {
+                let init = nfactor_core::accuracy::initial_model_state(syn, &interp);
+                let t0 = Instant::now();
+                let prog = nf_compile::compile(&syn.model, &init)
+                    .map_err(|e| ShardError::Build(e.to_string()))?;
+                tracer.observe_ns("compile.ns", t0.elapsed().as_nanos() as u64);
+                tracer.count("compiled.nodes", prog.node_count() as u64);
+                tracer.count("compiled.table.entries", prog.entry_count() as u64);
+                let state = nf_compile::CompiledState::new(&prog);
+                (
+                    BackendState::Compiled {
+                        prog: Arc::new(prog),
+                        state,
+                    },
+                    None,
+                )
+            }
+        };
         Ok(ShardEngine {
             name: syn.name.clone(),
             shards: pipeline.shards(),
             plan: ShardPlan::from_report(&lint.sharding),
             report: lint.sharding,
-            tracer: pipeline.tracer().clone(),
-            proto: BackendState::Model(proto),
-            model: Some(Arc::new(syn.model.clone())),
+            tracer,
+            proto,
+            model,
         })
     }
 

@@ -1,7 +1,9 @@
 //! # nf-shard — sharded packet-processing runtime
 //!
-//! Executes a synthesized NF model or the NFL interpreter across `N`
-//! worker shards, with state placed according to `nfl-lint`'s
+//! Executes an NF across `N` worker shards through one of three
+//! [`Backend`]s — the NFL interpreter, the synthesized model
+//! evaluator, or the model compiled to a flattened dispatch engine by
+//! `nf-compile` — with state placed according to `nfl-lint`'s
 //! [`ShardingReport`](nfl_lint::ShardingReport):
 //!
 //! * **per-flow** maps are partitioned — the lint-derived

@@ -43,11 +43,27 @@ if [ -z "$pkts" ] || [ "$((passed + dropped))" -ne "$pkts" ]; then
 fi
 echo "    pass_stat ($passed) + drop_stat ($dropped) == $pkts packets: ok"
 
+echo "==> compiled-backend smoke: fig1-lb lowered to the decision-tree engine"
+# The model compiles to the nf-compile dispatch tree and runs sharded;
+# the merged counters must still account for every packet.
+out=$(./target/release/nfactor run --corpus fig1-lb --backend compiled --shards 4)
+pkts=$(printf '%s\n' "$out" | awk '/^packets/ {print $3}')
+if [ -z "$pkts" ] || [ "$pkts" -eq 0 ]; then
+    echo "    compiled backend processed no packets:"; echo "$out"; exit 1
+fi
+echo "    compiled backend processed $pkts packets across 4 shards: ok"
+
 echo "==> shard differential: every corpus NF, 4 shards vs single-threaded"
-# The sweep also runs as part of the workspace suite above; the explicit
-# invocation keeps the oracle from silently falling out of the suite.
-cargo test -q --offline --test shard_differential > /dev/null
+# The sweeps also run as part of the workspace suite above; the explicit
+# invocations keep the oracles from silently falling out of the suite.
+cargo test -q --offline --test differential sharded:: > /dev/null
 echo "    threaded == sequential == single for all corpus NFs: ok"
+
+echo "==> three-way differential: interp == model == compiled"
+# Every corpus NF, shard counts {1,4}, threaded and sequential modes,
+# compared on per-packet outputs and the model's state variables.
+cargo test -q --offline --test differential three_way:: > /dev/null
+echo "    interp == model == compiled for all corpus NFs: ok"
 
 echo "==> graceful degradation: snort under a 10 ms deadline"
 # Must return a *partial* model (exit 0) with the truncation visible,

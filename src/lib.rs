@@ -53,6 +53,7 @@
 //! | [`packet`] | `nf-packet` | Ethernet/IPv4/TCP/UDP substrate, packet generator |
 //! | [`tcp`] | `nf-tcp` | TCP FSM + socket unfolding (Fig. 4d → Fig. 5) |
 //! | [`model`] | `nf-model` | the model: tables, evaluator, Figure 6 renderer, FSM |
+//! | [`compile`] | `nf-compile` | models lowered to a flattened XFSM dispatch engine (decision trees, state arenas) |
 //! | [`core`] | `nfactor-core` | the pipeline (Algorithm 1) + §5 accuracy experiments |
 //! | [`corpus`] | `nf-corpus` | the analysed NFs, incl. paper-scale snort/balance generators |
 //! | [`verify`] | `nf-verify` | §4 applications: stateful HSA, chain composition, test generation |
@@ -63,6 +64,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use nf_compile as compile;
 pub use nf_corpus as corpus;
 pub use nf_fuzz as fuzz;
 pub use nf_model as model;

@@ -25,7 +25,8 @@
 //! streams, or `{"trace": [{"ip.src": A, "tcp.dport": 80, ...}, ...]}`
 //! for explicit packets); without it a default seeded stream is used.
 //! `--backend model` runs the synthesized model instead of the NFL
-//! interpreter.
+//! interpreter; `--backend compiled` runs the model lowered to the
+//! `nf-compile` decision-tree engine.
 //!
 //! Synthesis-based commands accept `--timeout-ms N` and `--max-paths N`,
 //! which bound the run with a [`Budget`](nfactor::support::budget::Budget);
@@ -109,7 +110,8 @@ UTILITY COMMANDS
 
 RUN OPTIONS
   --shards N        worker shards (default 1, max 256)
-  --backend B       execution backend: interp (default) or model
+  --backend B       execution backend: interp (default), model, or
+                    compiled (model lowered to a decision-tree engine)
   --workload FILE   JSON workload: {\"seed\": S, \"packets\": N} for a
                     generated stream, or {\"trace\": [{\"ip.src\": A,
                     \"tcp.dport\": 80, ...}, ...]} for explicit packets
@@ -249,6 +251,7 @@ fn run_shards(
     let backend_name = match backend {
         Backend::Interp => "interp",
         Backend::Model => "model",
+        Backend::Compiled => "compiled",
     };
     outln(format!(
         "== {name}: {} shard(s), {backend_name} backend ==",
@@ -356,8 +359,11 @@ fn main() -> ExitCode {
         let backend = match take_str_flag(&mut rest, "--backend")?.as_deref() {
             None | Some("interp") => Backend::Interp,
             Some("model") => Backend::Model,
+            Some("compiled") => Backend::Compiled,
             Some(other) => {
-                return Err(format!("--backend: expected `interp` or `model`, got `{other}`"))
+                return Err(format!(
+                    "--backend: expected `interp`, `model`, or `compiled`, got `{other}`"
+                ))
             }
         };
         let mut budget = nfactor::support::budget::Budget::unlimited();
