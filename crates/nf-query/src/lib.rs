@@ -1,0 +1,34 @@
+//! nf-query — a demand-driven, memoized incremental analysis engine
+//! over the NFL lint pipeline.
+//!
+//! The batch pipeline (`nfl-lint`) rebuilds every analysis fact from
+//! scratch per invocation — fine for CI, wasteful for editor loops
+//! where one function changed and nine NFs didn't. This crate turns
+//! each pipeline stage into a *query* keyed on per-function content
+//! fingerprints and memoizes results in a long-lived [`Engine`]
+//! (salsa-style red-green revalidation with early cutoff; see
+//! [`engine`] for the algorithm). On top of the engine sit two
+//! front-ends:
+//!
+//! * [`watch`] — diffing state for `nfactor lint --watch`: re-lint
+//!   dirty documents, print only the diagnostics that appeared or
+//!   disappeared;
+//! * [`lsp`] — a minimal stdio JSON-RPC language server
+//!   (`nfactor lsp`): publishes NFL001–NFL009 diagnostics on
+//!   open/change and answers hover with the variable's StateAlyzer
+//!   class and sharding verdict.
+//!
+//! Cache behaviour is observable through `query.<label>.hit`,
+//! `query.<label>.recompute`, `query.<label>.recompute.ns`, and
+//! `query.<label>.cutoff` metrics on the engine's
+//! [`Tracer`](nf_trace::Tracer).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod lsp;
+pub mod watch;
+
+pub use engine::{Engine, PassOutput, QueryKind, QueryValue};
+pub use watch::{render_lines, WatchDelta, WatchState};

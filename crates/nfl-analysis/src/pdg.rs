@@ -54,7 +54,13 @@ impl Pdg {
         let f = program
             .function(func)
             .unwrap_or_else(|| panic!("no function `{func}`"));
-        let cfg = build_cfg(f);
+        Pdg::build_with_cfg(program, boundary_vars, build_cfg(f))
+    }
+
+    /// Like [`Pdg::build`], but over an already-constructed CFG, so a
+    /// caller that derives the CFG independently (the incremental query
+    /// engine memoizes it as its own fact) doesn't rebuild it here.
+    pub fn build_with_cfg(program: &Program, boundary_vars: &BTreeSet<String>, cfg: Cfg) -> Pdg {
         let reaching = reaching_definitions(program, &cfg, boundary_vars);
         let mut edges = Vec::new();
         let mut seen: HashSet<(NodeId, NodeId, String)> = HashSet::new();

@@ -1,0 +1,349 @@
+//! Stable structural fingerprints of NFL programs and functions.
+//!
+//! The incremental query engine (`nf-query`) keys every derived
+//! analysis fact on the *content* of the program it was computed from,
+//! not on the raw source text: two parses whose ASTs agree — including
+//! spans, statement ids, and literal values, but excluding comments and
+//! whitespace that no span covers — must fingerprint identically, so
+//! that a trivia-only edit re-runs the parser and then *early-cuts*
+//! every downstream pass. Conversely, any edit that moves a span (and
+//! would therefore move a diagnostic) must change the fingerprint, so
+//! span data is deliberately part of the hash.
+//!
+//! The hash is a 64-bit FNV-1a over a deterministic pre-order walk of
+//! the AST. It is stable within a process and across runs of the same
+//! build (no randomized hasher state); it is *not* a cross-version
+//! serialization format.
+
+use crate::ast::{
+    Expr, ExprKind, ForIter, Function, Item, LValue, Program, Stmt, StmtKind, UnOp,
+};
+use crate::span::Span;
+
+/// 64-bit FNV-1a, the workhorse behind all fingerprints.
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv64(u64);
+
+impl Fnv64 {
+    const OFFSET: u64 = 0xcbf29ce484222325;
+    const PRIME: u64 = 0x100000001b3;
+
+    /// A fresh hasher at the FNV offset basis.
+    pub fn new() -> Fnv64 {
+        Fnv64(Self::OFFSET)
+    }
+
+    /// Fold one byte.
+    pub fn byte(&mut self, b: u8) {
+        self.0 ^= u64::from(b);
+        self.0 = self.0.wrapping_mul(Self::PRIME);
+    }
+
+    /// Fold a byte slice.
+    pub fn bytes(&mut self, bs: &[u8]) {
+        for &b in bs {
+            self.byte(b);
+        }
+    }
+
+    /// Fold a `u64` (little-endian bytes).
+    pub fn u64(&mut self, v: u64) {
+        self.bytes(&v.to_le_bytes());
+    }
+
+    /// Fold a string, length-prefixed so `("ab","c")` ≠ `("a","bc")`.
+    pub fn str(&mut self, s: &str) {
+        self.u64(s.len() as u64);
+        self.bytes(s.as_bytes());
+    }
+
+    /// The digest so far.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Fnv64::new()
+    }
+}
+
+/// Hash a string with FNV-1a (convenience for error strings etc.).
+pub fn fnv64_str(s: &str) -> u64 {
+    let mut h = Fnv64::new();
+    h.str(s);
+    h.finish()
+}
+
+/// Combine two digests non-commutatively.
+pub fn mix(a: u64, b: u64) -> u64 {
+    let mut h = Fnv64::new();
+    h.u64(a);
+    h.u64(b);
+    h.finish()
+}
+
+fn hash_span(h: &mut Fnv64, s: Span) {
+    h.u64(s.start as u64);
+    h.u64(s.end as u64);
+    h.u64(u64::from(s.line));
+}
+
+fn hash_expr(h: &mut Fnv64, e: &Expr) {
+    hash_span(h, e.span);
+    match &e.kind {
+        ExprKind::Int(v) => {
+            h.byte(0);
+            h.u64(*v as u64);
+        }
+        ExprKind::Bool(v) => {
+            h.byte(1);
+            h.byte(u8::from(*v));
+        }
+        ExprKind::Str(s) => {
+            h.byte(2);
+            h.str(s);
+        }
+        ExprKind::Var(v) => {
+            h.byte(3);
+            h.str(v);
+        }
+        ExprKind::Field(base, f) => {
+            h.byte(4);
+            h.str(base);
+            h.str(f.path());
+        }
+        ExprKind::Tuple(es) => {
+            h.byte(5);
+            h.u64(es.len() as u64);
+            for x in es {
+                hash_expr(h, x);
+            }
+        }
+        ExprKind::Array(es) => {
+            h.byte(6);
+            h.u64(es.len() as u64);
+            for x in es {
+                hash_expr(h, x);
+            }
+        }
+        ExprKind::Index(a, b) => {
+            h.byte(7);
+            hash_expr(h, a);
+            hash_expr(h, b);
+        }
+        ExprKind::Binary(op, a, b) => {
+            h.byte(8);
+            h.str(op.symbol());
+            hash_expr(h, a);
+            hash_expr(h, b);
+        }
+        ExprKind::Unary(op, a) => {
+            h.byte(9);
+            h.byte(match op {
+                UnOp::Neg => 0,
+                UnOp::Not => 1,
+            });
+            hash_expr(h, a);
+        }
+        ExprKind::Call(name, args) => {
+            h.byte(10);
+            h.str(name);
+            h.u64(args.len() as u64);
+            for a in args {
+                hash_expr(h, a);
+            }
+        }
+    }
+}
+
+fn hash_lvalue(h: &mut Fnv64, lv: &LValue) {
+    match lv {
+        LValue::Var(v) => {
+            h.byte(0);
+            h.str(v);
+        }
+        LValue::Index(base, key) => {
+            h.byte(1);
+            h.str(base);
+            hash_expr(h, key);
+        }
+        LValue::Field(base, f) => {
+            h.byte(2);
+            h.str(base);
+            h.str(f.path());
+        }
+    }
+}
+
+fn hash_stmt(h: &mut Fnv64, s: &Stmt) {
+    h.u64(u64::from(s.id.0));
+    hash_span(h, s.span);
+    match &s.kind {
+        StmtKind::Let { name, value } => {
+            h.byte(0);
+            h.str(name);
+            hash_expr(h, value);
+        }
+        StmtKind::Assign { target, value } => {
+            h.byte(1);
+            hash_lvalue(h, target);
+            hash_expr(h, value);
+        }
+        StmtKind::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
+            h.byte(2);
+            hash_expr(h, cond);
+            hash_stmts(h, then_branch);
+            hash_stmts(h, else_branch);
+        }
+        StmtKind::While { cond, body } => {
+            h.byte(3);
+            hash_expr(h, cond);
+            hash_stmts(h, body);
+        }
+        StmtKind::For { var, iter, body } => {
+            h.byte(4);
+            h.str(var);
+            match iter {
+                ForIter::Range(lo, hi) => {
+                    h.byte(0);
+                    hash_expr(h, lo);
+                    hash_expr(h, hi);
+                }
+                ForIter::Array(a) => {
+                    h.byte(1);
+                    hash_expr(h, a);
+                }
+            }
+            hash_stmts(h, body);
+        }
+        StmtKind::Return(e) => {
+            h.byte(5);
+            match e {
+                None => h.byte(0),
+                Some(x) => {
+                    h.byte(1);
+                    hash_expr(h, x);
+                }
+            }
+        }
+        StmtKind::Break => h.byte(6),
+        StmtKind::Continue => h.byte(7),
+        StmtKind::Expr(e) => {
+            h.byte(8);
+            hash_expr(h, e);
+        }
+    }
+}
+
+fn hash_stmts(h: &mut Fnv64, stmts: &[Stmt]) {
+    h.u64(stmts.len() as u64);
+    for s in stmts {
+        hash_stmt(h, s);
+    }
+}
+
+fn hash_item(h: &mut Fnv64, it: &Item) {
+    h.str(&it.name);
+    hash_span(h, it.span);
+    hash_expr(h, &it.init);
+}
+
+/// Fingerprint of one function: name, parameters, body, and spans.
+pub fn function_fingerprint(f: &Function) -> u64 {
+    let mut h = Fnv64::new();
+    h.str(&f.name);
+    hash_span(&mut h, f.span);
+    h.u64(f.params.len() as u64);
+    for (name, ty) in &f.params {
+        h.str(name);
+        h.str(ty);
+    }
+    hash_stmts(&mut h, &f.body);
+    h.finish()
+}
+
+/// Fingerprint of a whole program: every `const`/`config`/`state`
+/// declaration plus every function, in declaration order. The raw
+/// `source` text is deliberately **not** hashed — trivia-only edits
+/// (comments, whitespace past the last span) keep the fingerprint
+/// stable, which is what lets an incremental engine early-cut after a
+/// re-parse.
+pub fn program_fingerprint(p: &Program) -> u64 {
+    let mut h = Fnv64::new();
+    for (tag, items) in [(0u8, &p.consts), (1, &p.configs), (2, &p.states)] {
+        h.byte(tag);
+        h.u64(items.len() as u64);
+        for it in items {
+            hash_item(&mut h, it);
+        }
+    }
+    h.u64(p.functions.len() as u64);
+    for f in &p.functions {
+        h.u64(function_fingerprint(f));
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_and_check;
+
+    const BASE: &str = "\
+state hits = 0;
+fn cb(pkt: packet) { hits = hits + 1; send(pkt); }
+fn main() { sniff(cb); }
+";
+
+    #[test]
+    fn identical_source_identical_fingerprint() {
+        let a = parse_and_check(BASE).unwrap();
+        let b = parse_and_check(BASE).unwrap();
+        assert_eq!(program_fingerprint(&a), program_fingerprint(&b));
+    }
+
+    #[test]
+    fn trailing_comment_is_invisible() {
+        let a = parse_and_check(BASE).unwrap();
+        let b = parse_and_check(&format!("{BASE}// a trailing comment\n")).unwrap();
+        assert_eq!(program_fingerprint(&a), program_fingerprint(&b));
+    }
+
+    #[test]
+    fn leading_comment_shifts_spans_and_fingerprint() {
+        let a = parse_and_check(BASE).unwrap();
+        let b = parse_and_check(&format!("// leading\n{BASE}")).unwrap();
+        assert_ne!(program_fingerprint(&a), program_fingerprint(&b));
+    }
+
+    #[test]
+    fn semantic_edit_changes_fingerprint() {
+        let a = parse_and_check(BASE).unwrap();
+        let b = parse_and_check(&BASE.replace("hits + 1", "hits + 2")).unwrap();
+        assert_ne!(program_fingerprint(&a), program_fingerprint(&b));
+    }
+
+    #[test]
+    fn per_function_fingerprints_are_independent() {
+        let a = parse_and_check(BASE).unwrap();
+        let b = parse_and_check(&BASE.replace("sniff(cb)", "sniff( cb )")).unwrap();
+        // Editing main's whitespace inside its span region may move
+        // main's spans but must not disturb cb's fingerprint.
+        let fa = a.function("cb").map(function_fingerprint);
+        let fb = b.function("cb").map(function_fingerprint);
+        assert_eq!(fa, fb);
+    }
+
+    #[test]
+    fn mix_is_order_sensitive() {
+        assert_ne!(mix(1, 2), mix(2, 1));
+        assert_eq!(fnv64_str("abc"), fnv64_str("abc"));
+        assert_ne!(fnv64_str("abc"), fnv64_str("abd"));
+    }
+}

@@ -45,6 +45,7 @@
 
 pub mod ast;
 pub mod builtins;
+pub mod fingerprint;
 pub mod lexer;
 pub mod parser;
 pub mod pretty;

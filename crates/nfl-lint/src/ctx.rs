@@ -39,18 +39,25 @@ pub struct AnalysisCtx {
 }
 
 impl AnalysisCtx {
+    /// Normalise `program` into its per-packet loop, unfolding sockets
+    /// for the Figure 4d shape. This is the exact front half of
+    /// [`AnalysisCtx::build`], exposed so incremental callers
+    /// (`nf-query`) can memoize the loop as its own fact.
+    pub fn normalize_loop(program: &Program) -> Result<PacketLoop, String> {
+        match normalize(program) {
+            Ok(pl) => Ok(pl),
+            Err(StructureError::NestedLoop) => {
+                let unfolded = nf_tcp::unfold_sockets(program).map_err(|e| e.to_string())?;
+                normalize(&unfolded).map_err(|e| e.to_string())
+            }
+            Err(e) => Err(e.to_string()),
+        }
+    }
+
     /// Normalise `program` (unfolding sockets for the Figure 4d shape)
     /// and build the context.
     pub fn build(program: &Program) -> Result<AnalysisCtx, String> {
-        let nf_loop = match normalize(program) {
-            Ok(pl) => pl,
-            Err(StructureError::NestedLoop) => {
-                let unfolded = nf_tcp::unfold_sockets(program).map_err(|e| e.to_string())?;
-                normalize(&unfolded).map_err(|e| e.to_string())?
-            }
-            Err(e) => return Err(e.to_string()),
-        };
-        AnalysisCtx::from_loop(nf_loop)
+        AnalysisCtx::from_loop(AnalysisCtx::normalize_loop(program)?)
     }
 
     /// Build the context from an already-normalised packet loop.

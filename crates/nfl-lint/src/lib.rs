@@ -52,7 +52,7 @@ pub mod sharding;
 
 pub use ctx::AnalysisCtx;
 pub use diag::{Code, Diagnostic, Severity};
-pub use passes::{LintPass, LintSink, PassManager};
+pub use passes::{default_passes, finish_sink, LintPass, LintSink, PassManager};
 pub use sharding::{mirror_field, DispatchKey, ShardingReport, StateShard, StateVerdict};
 
 use nf_support::json::{FromJson, JsonError, ToJson, Value};

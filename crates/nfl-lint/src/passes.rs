@@ -55,15 +55,7 @@ impl PassManager {
 
     /// The default registry: every built-in pass, in code order.
     pub fn with_default_passes() -> PassManager {
-        let mut pm = PassManager::new();
-        pm.register(Box::new(DeadStorePass));
-        pm.register(Box::new(UnreachableCodePass));
-        pm.register(Box::new(UnusedConfigPass));
-        pm.register(Box::new(UseBeforeInitPass));
-        pm.register(Box::new(UnguardedMapReadPass));
-        pm.register(Box::new(ClassMismatchPass));
-        pm.register(Box::new(ShardingPass));
-        pm
+        PassManager { passes: default_passes() }
     }
 
     /// Add a pass to the registry.
@@ -74,6 +66,11 @@ impl PassManager {
     /// Registered pass names, in run order.
     pub fn pass_names(&self) -> Vec<&'static str> {
         self.passes.iter().map(|p| p.name()).collect()
+    }
+
+    /// The registered passes, in run order.
+    pub fn passes(&self) -> &[Box<dyn LintPass>] {
+        &self.passes
     }
 
     /// Run every pass and return the sorted findings.
@@ -91,13 +88,37 @@ impl PassManager {
             pass.run(ctx, &mut sink);
             span.end();
         }
-        sink.diagnostics.sort_by(|a, b| a.sort_key().cmp(&b.sort_key()));
-        sink.diagnostics.dedup();
+        finish_sink(&mut sink);
         if tracer.is_enabled() {
             tracer.count("lint.diagnostics", sink.diagnostics.len() as u64);
         }
         sink
     }
+}
+
+/// The built-in passes in registration order. Exposed so callers that
+/// memoize each pass individually (`nf-query`) run the *same* list in
+/// the *same* order as [`PassManager::with_default_passes`].
+pub fn default_passes() -> Vec<Box<dyn LintPass>> {
+    vec![
+        Box::new(DeadStorePass),
+        Box::new(UnreachableCodePass),
+        Box::new(UnusedConfigPass),
+        Box::new(UseBeforeInitPass),
+        Box::new(UnguardedMapReadPass),
+        Box::new(ClassMismatchPass),
+        Box::new(ShardingPass),
+    ]
+}
+
+/// The canonical post-processing every lint run applies: sort combined
+/// findings into [`Diagnostic::sort_key`] order and drop exact
+/// duplicates. Shared between [`PassManager::run_traced`] and the
+/// incremental engine's merge step so both produce byte-identical
+/// reports.
+pub fn finish_sink(sink: &mut LintSink) {
+    sink.diagnostics.sort_by(|a, b| a.sort_key().cmp(&b.sort_key()));
+    sink.diagnostics.dedup();
 }
 
 impl Default for PassManager {

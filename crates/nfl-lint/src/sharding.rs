@@ -791,11 +791,38 @@ impl<'a> Tracer<'a> {
     }
 }
 
-/// Derive the dispatch key for one per-flow map from its key sites:
-/// all sites share one shape → plain hash of its flow fields; the
-/// sites split into a shape and its direction-mirror → symmetric hash;
-/// anything else (unresolved shapes, three or more shapes) → `None`.
-fn resolve_dispatch(sites: &[&KeySite]) -> Option<DispatchKey> {
+fn flow_fields(shape: &[ShapeElem]) -> Vec<Field> {
+    shape
+        .iter()
+        .filter_map(|e| match e {
+            ShapeElem::Flow(f) => Some(*f),
+            ShapeElem::Const => None,
+        })
+        .collect()
+}
+
+/// Is a mirrored shape pair *closed* under direction reversal — does
+/// the shape carry the same multiset of flow fields as its mirror?
+///
+/// Only then is a symmetric dispatch hash sound: for a closed pair
+/// (`{src, dst}`, `{src, sport, dst, dport}`) the hash input is exactly
+/// the entry key's own values (in either orientation), so the write and
+/// every probe of one entry agree on a shard. For an *open* pair —
+/// `m[pkt.ip.src]` written, `m[pkt.ip.dst]` probed — the canonical hash
+/// mixes in the packet's *other* endpoint, which is not part of the
+/// entry key, and the write for endpoint X and the probe for endpoint X
+/// can land on different shards.
+fn mirror_closed(shape: &[ShapeElem]) -> bool {
+    let mut fwd = flow_fields(shape);
+    let mut rev: Vec<Field> = fwd.iter().map(|f| mirror_field(*f)).collect();
+    fwd.sort();
+    rev.sort();
+    fwd == rev
+}
+
+/// The distinct resolved shapes across `sites`, or `None` if any site's
+/// key has no exact shape.
+fn distinct_shapes<'s>(sites: &[&'s KeySite]) -> Option<Vec<&'s Vec<ShapeElem>>> {
     let mut shapes: Vec<&Vec<ShapeElem>> = Vec::new();
     for site in sites {
         let shape = site.shape.as_ref()?;
@@ -803,15 +830,27 @@ fn resolve_dispatch(sites: &[&KeySite]) -> Option<DispatchKey> {
             shapes.push(shape);
         }
     }
-    let flow_fields = |shape: &[ShapeElem]| -> Vec<Field> {
-        shape
-            .iter()
-            .filter_map(|e| match e {
-                ShapeElem::Flow(f) => Some(*f),
-                ShapeElem::Const => None,
-            })
-            .collect()
-    };
+    Some(shapes)
+}
+
+/// Detect the unsound mirror-pair case: the sites resolve to exactly a
+/// shape and its mirror, but the pair is not mirror-closed. Returns the
+/// two field lists for the report.
+fn open_mirror_pair(sites: &[&KeySite]) -> Option<(Vec<Field>, Vec<Field>)> {
+    let shapes = distinct_shapes(sites)?;
+    if shapes.len() != 2 || mirror_shape(shapes[0]) != *shapes[1] || mirror_closed(shapes[0]) {
+        return None;
+    }
+    Some((flow_fields(shapes[0]), flow_fields(shapes[1])))
+}
+
+/// Derive the dispatch key for one per-flow map from its key sites:
+/// all sites share one shape → plain hash of its flow fields; the
+/// sites split into a shape and its mirror-closed direction-mirror →
+/// symmetric hash; anything else (unresolved shapes, open mirror
+/// pairs, three or more shapes) → `None`.
+fn resolve_dispatch(sites: &[&KeySite]) -> Option<DispatchKey> {
+    let shapes = distinct_shapes(sites)?;
     match shapes.len() {
         1 => {
             let fields = flow_fields(shapes[0]);
@@ -825,7 +864,9 @@ fn resolve_dispatch(sites: &[&KeySite]) -> Option<DispatchKey> {
             // Exactly a shape and its mirror (a direction-symmetric
             // map, e.g. firewall pinholes). Orient deterministically on
             // the smaller shape so reports do not depend on site order.
-            if mirror_shape(shapes[0]) != *shapes[1] {
+            // Open pairs are unsound to hash symmetrically — `analyze`
+            // demotes them to `shared` before ever asking for a key.
+            if mirror_shape(shapes[0]) != *shapes[1] || !mirror_closed(shapes[0]) {
                 return None;
             }
             let canon = if shapes[0] <= shapes[1] {
@@ -1047,14 +1088,36 @@ pub fn analyze(ctx: &AnalysisCtx) -> (ShardingReport, Vec<Diagnostic>) {
                     .iter()
                     .find(|s| !matches!(s.origin, Origin::Flow))
                 {
-                    None => (
-                        StateShard::PerFlow,
-                        format!(
-                            "all {} keys derive from the packet flow tuple",
-                            my_sites.len()
-                        ),
-                        None,
-                    ),
+                    None => {
+                        if let Some((fwd, rev)) = open_mirror_pair(&my_sites) {
+                            // Every key is flow-pure, but the sites form a
+                            // mirror pair that is not closed under direction
+                            // reversal (e.g. written under `ip.src`, probed
+                            // under `ip.dst`): no packet-field hash keeps the
+                            // write and the probe for one endpoint on one
+                            // shard, so the map couples flows after all.
+                            let render = |fs: &[Field]| {
+                                fs.iter().map(|f| f.path()).collect::<Vec<_>>().join(", ")
+                            };
+                            let reason = format!(
+                                "keys form an open mirror pair ({} vs {}): the write and \
+                                 the probe for one endpoint mix in the packet's other \
+                                 endpoint, so they can land on different shards",
+                                render(&fwd),
+                                render(&rev)
+                            );
+                            (StateShard::Shared, reason, my_sites.first().copied())
+                        } else {
+                            (
+                                StateShard::PerFlow,
+                                format!(
+                                    "all {} keys derive from the packet flow tuple",
+                                    my_sites.len()
+                                ),
+                                None,
+                            )
+                        }
+                    }
                     Some(bad) => {
                         let culprit = match &bad.origin {
                             Origin::Const => "constant key shared by every flow".to_string(),
@@ -1383,6 +1446,84 @@ mod tests {
             d.mirror_fields(),
             vec![Field::IpDst, Field::TcpDport, Field::IpSrc, Field::TcpSport]
         );
+    }
+
+    #[test]
+    fn open_mirror_pair_single_field_demotes_to_shared() {
+        // Written under the source endpoint, probed under the
+        // destination endpoint: a mirror pair, but not mirror-closed —
+        // a symmetric hash would mix in the packet's other endpoint,
+        // scattering one entry's write and probe across shards.
+        let r = run(r#"
+            state m = map();
+            fn cb(pkt: packet) {
+                if pkt.ip.dst in m { send(pkt); } else { drop(pkt); }
+                m[pkt.ip.src] = 1;
+            }
+            fn main() { sniff(cb); }
+        "#);
+        let v = verdict_of(&r, "m");
+        assert_eq!(v.verdict, StateShard::Shared, "{v:?}");
+        assert!(v.reason.contains("open mirror pair"), "{}", v.reason);
+        assert!(v.reason.contains("ip.src") && v.reason.contains("ip.dst"), "{}", v.reason);
+        assert!(v.dispatch().is_none());
+        assert!(!r.shardable());
+    }
+
+    #[test]
+    fn open_mirror_pair_two_field_demotes_to_shared() {
+        // Same defect with a (addr, port) pair per direction: still a
+        // mirror pair, still open ({src, sport} ≠ {dst, dport}).
+        let r = run(r#"
+            state m = map();
+            fn cb(pkt: packet) {
+                if (pkt.ip.dst, pkt.tcp.dport) in m { send(pkt); } else { drop(pkt); }
+                m[(pkt.ip.src, pkt.tcp.sport)] = 1;
+            }
+            fn main() { sniff(cb); }
+        "#);
+        let v = verdict_of(&r, "m");
+        assert_eq!(v.verdict, StateShard::Shared, "{v:?}");
+        assert!(v.reason.contains("open mirror pair"), "{}", v.reason);
+    }
+
+    #[test]
+    fn open_mirror_pair_emits_nfl009() {
+        let p = nfl_lang::parse_and_check(r#"
+            state m = map();
+            fn cb(pkt: packet) {
+                if pkt.ip.dst in m { send(pkt); } else { drop(pkt); }
+                m[pkt.ip.src] = 1;
+            }
+            fn main() { sniff(cb); }
+        "#).unwrap();
+        let ctx = AnalysisCtx::build(&p).unwrap();
+        let (_, diags) = analyze(&ctx);
+        assert!(
+            diags.iter().any(|d| d.code == Code::SharedState
+                && d.var.as_deref() == Some("m")
+                && d.message.contains("open mirror pair")),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn closed_mirror_pair_keeps_symmetric_dispatch() {
+        // The two-endpoint pair {src, dst} mirrors onto itself — the
+        // symmetric hash input is exactly the entry key, so the
+        // firewall-style demotion must NOT fire here.
+        let r = run(r#"
+            state peers = map();
+            fn cb(pkt: packet) {
+                if (pkt.ip.dst, pkt.ip.src) in peers { send(pkt); } else { drop(pkt); }
+                peers[(pkt.ip.src, pkt.ip.dst)] = 1;
+            }
+            fn main() { sniff(cb); }
+        "#);
+        let v = verdict_of(&r, "peers");
+        assert_eq!(v.verdict, StateShard::PerFlow, "{v:?}");
+        let d = v.dispatch().expect("dispatch");
+        assert!(d.symmetric());
     }
 
     #[test]

@@ -95,6 +95,49 @@ grep -q '"symex.paths.explored"' "$tracedir/metrics.json"
 grep -q '"pipeline.stage.slice.ns"' "$tracedir/metrics.json"
 echo "    metrics JSON carries the stable names: ok"
 
+echo "==> incremental lint smoke: --watch re-lints the edit, metrics show cache hits"
+# First poll lints cold; the appended trailing comment re-parses but
+# early-cuts, so the diagnostic set must not change (no +/- lines), and
+# the query metrics must record parse cache activity.
+cat > "$tracedir/watch.nfl" <<'EOF'
+state m = map();
+fn cb(pkt: packet) {
+    let src = pkt.ip.src;
+    let unused = 7;
+    if src not in m { m[src] = 0; }
+    m[src] = m[src] + 1;
+    send(pkt);
+}
+fn main() { sniff(cb); }
+EOF
+( sleep 0.3; echo "// trailing comment" >> "$tracedir/watch.nfl" ) &
+out=$(./target/release/nfactor lint "$tracedir/watch.nfl" --watch \
+    --poll-ms 100 --watch-max-polls 8 --metrics-json "$tracedir/watch-metrics.json")
+wait
+case "$out" in
+    *"+ warning[NFL001]"*) echo "    watch printed the initial finding: ok" ;;
+    *) echo "    watch did not print the NFL001 finding:"; echo "$out"; exit 1 ;;
+esac
+if [ "$(printf '%s\n' "$out" | grep -c 'NFL001')" -ne 1 ]; then
+    echo "    trivia edit re-printed unchanged diagnostics:"; echo "$out"; exit 1
+fi
+echo "    trivia edit printed no diagnostic churn: ok"
+./target/release/nfactor json-check "$tracedir/watch-metrics.json" > /dev/null
+grep -q '"query.parse.recompute"' "$tracedir/watch-metrics.json"
+grep -q '"query.report.hit"' "$tracedir/watch-metrics.json"
+echo "    query.* metrics recorded: ok"
+
+echo "==> lsp smoke: initialize handshake over stdio"
+body1='{"jsonrpc":"2.0","id":1,"method":"initialize","params":{}}'
+body2='{"jsonrpc":"2.0","method":"exit"}'
+out=$({ printf 'Content-Length: %d\r\n\r\n%s' "${#body1}" "$body1"; \
+        printf 'Content-Length: %d\r\n\r\n%s' "${#body2}" "$body2"; } \
+      | ./target/release/nfactor lsp)
+case "$out" in
+    *'"textDocumentSync":1'*'"nfactor-lsp"'*) echo "    capabilities + serverInfo: ok" ;;
+    *) echo "    unexpected initialize response:"; echo "$out"; exit 1 ;;
+esac
+
 echo "==> panic gate"
 ./scripts/panic_gate.sh
 

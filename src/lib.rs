@@ -49,6 +49,7 @@
 //! | [`interp`] | `nfl-interp` | concrete interpreter + dynamic traces |
 //! | [`slicer`] | `nfl-slicer` | static & dynamic backward slicing, StateAlyzer classes |
 //! | [`lint`] | `nfl-lint` | diagnostics passes (`NFL0xx`) + cross-flow sharding analysis |
+//! | [`query`] | `nf-query` | incremental red-green query engine over the lint pipeline, watch diffing, LSP server |
 //! | [`symex`] | `nfl-symex` | symbolic execution + SMT-lite solver |
 //! | [`packet`] | `nf-packet` | Ethernet/IPv4/TCP/UDP substrate, packet generator |
 //! | [`tcp`] | `nf-tcp` | TCP FSM + socket unfolding (Fig. 4d → Fig. 5) |
@@ -69,6 +70,7 @@ pub use nf_corpus as corpus;
 pub use nf_fuzz as fuzz;
 pub use nf_model as model;
 pub use nf_packet as packet;
+pub use nf_query as query;
 pub use nf_shard as shard;
 pub use nf_tcp as tcp;
 pub use nf_verify as verify;

@@ -11,6 +11,8 @@
 //! nfactor metrics    <file.nfl | --corpus name>   # Table-2 row (add --orig for the slow column)
 //! nfactor test       <file.nfl | --corpus name>   # model-guided compliance tests
 //! nfactor lint       <file.nfl | --corpus name>   # NFL0xx diagnostics + sharding verdict (--json for machine output)
+//! nfactor lint       <file.nfl> --watch           # re-lint on change, print only changed findings
+//! nfactor lsp                                     # stdio JSON-RPC language server (diagnostics + hover)
 //! nfactor fuzz       [--seed N] [--cases N]       # seeded crash/differential fuzzing of the whole pipeline
 //! nfactor corpus                                  # list bundled corpus NFs
 //! nfactor json-check <file.json>                  # validate a JSON file (used by scripts/verify.sh)
@@ -101,6 +103,7 @@ EXECUTION COMMANDS
   run          execute the NF on a packet workload across worker shards
   test         model-guided compliance tests against the NF itself
   lint         NFL0xx diagnostics + cross-flow sharding report (--json)
+  lsp          stdio JSON-RPC language server (diagnostics + hover)
   fuzz         seeded crash/differential fuzzing [--seed N] [--cases N]
 
 UTILITY COMMANDS
@@ -115,6 +118,12 @@ RUN OPTIONS
   --workload FILE   JSON workload: {\"seed\": S, \"packets\": N} for a
                     generated stream, or {\"trace\": [{\"ip.src\": A,
                     \"tcp.dport\": 80, ...}, ...]} for explicit packets
+
+LINT OPTIONS
+  --watch              poll the file and re-lint on change, printing only
+                       the diagnostics that appeared (+) or disappeared (-)
+  --poll-ms N          watch poll interval in milliseconds (default 500)
+  --watch-max-polls N  stop after N polls (0 = run until interrupted)
 
 BUDGET OPTIONS
   --timeout-ms N    wall-clock deadline; on exhaustion the model is
@@ -331,6 +340,64 @@ fn emit_observability(
     Ok(())
 }
 
+/// `nfactor lint --watch`: poll `path`'s mtime, feed edits into a
+/// long-lived incremental [`Engine`](nfactor::query::Engine), and print
+/// only the diagnostics that changed since the previous iteration.
+/// Returns whether the *last* report was error-free (the exit status).
+fn run_watch(
+    path: &str,
+    poll_ms: u64,
+    max_polls: u64,
+    tracer: &nfactor::trace::Tracer,
+) -> Result<bool, String> {
+    let mut engine = nfactor::query::Engine::with_tracer(tracer.clone());
+    let mut watch = nfactor::query::WatchState::new();
+    let mut clean = true;
+    let mut polls: u64 = 0;
+    let mut stamp: Option<(std::time::SystemTime, u64)> = None;
+    loop {
+        // mtime+len is only a cheap dirtiness hint: the engine hashes
+        // the bytes itself, so a touch without an edit re-lints free.
+        let meta = std::fs::metadata(path).map_err(|e| format!("{path}: {e}"))?;
+        let now = (
+            meta.modified().map_err(|e| format!("{path}: {e}"))?,
+            meta.len(),
+        );
+        if stamp != Some(now) {
+            stamp = Some(now);
+            let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            let first = polls == 0;
+            if engine.set_source(path, &src) || first {
+                let report = engine.lint_report(path);
+                let delta = watch.diff(path, report.as_ref());
+                if !delta.is_empty() || first {
+                    outln(format!(
+                        "[{path}] {} total ({} new, {} fixed)",
+                        delta.total,
+                        delta.added.len(),
+                        delta.removed.len()
+                    ));
+                    for line in &delta.removed {
+                        outln(format!("- {line}"));
+                    }
+                    for line in &delta.added {
+                        outln(format!("+ {line}"));
+                    }
+                }
+                clean = match report.as_ref() {
+                    Ok(r) => !r.has_errors(),
+                    Err(_) => false,
+                };
+            }
+        }
+        polls += 1;
+        if max_polls != 0 && polls >= max_polls {
+            return Ok(clean);
+        }
+        std::thread::sleep(std::time::Duration::from_millis(poll_ms));
+    }
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     if argv.iter().any(|a| a == "--help" || a == "-h") || argv.first().map(String::as_str) == Some("help") {
@@ -473,7 +540,20 @@ fn main() -> ExitCode {
         }),
         "lint" => {
             let r: Result<bool, String> = (|| {
-                let (name, src) = load_source(&rest)?;
+                let mut largs = rest.clone();
+                let poll_ms = take_num_flag(&mut largs, "--poll-ms")?.unwrap_or(500);
+                let max_polls = take_num_flag(&mut largs, "--watch-max-polls")?.unwrap_or(0);
+                if let Some(i) = largs.iter().position(|a| a == "--watch") {
+                    largs.remove(i);
+                    let path = match largs.as_slice() {
+                        [p] if p != "--corpus" => p.clone(),
+                        _ => return Err("--watch requires a file path (not --corpus)".into()),
+                    };
+                    // Watch reports errors via diagnostics lines; its
+                    // exit status reflects the final report.
+                    return run_watch(&path, poll_ms, max_polls, &tracer).map(|clean| !clean);
+                }
+                let (name, src) = load_source(&largs)?;
                 let report = nfactor::lint::lint_source_traced(&name, &src, &tracer)?;
                 if json {
                     use nfactor::support::json::ToJson;
@@ -491,6 +571,15 @@ fn main() -> ExitCode {
                 }
                 Err(e) => Err(e),
             }
+        }
+        "lsp" => {
+            let mut engine = nfactor::query::Engine::with_tracer(tracer.clone());
+            let stdin = std::io::stdin();
+            let stdout = std::io::stdout();
+            let mut reader = stdin.lock();
+            let mut writer = stdout.lock();
+            nfactor::query::lsp::serve(&mut engine, &mut reader, &mut writer)
+                .map_err(|e| format!("lsp: {e}"))
         }
         "test" => run_synthesis(&rest, &pipeline).and_then(|syn| {
             let report =

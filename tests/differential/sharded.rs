@@ -113,16 +113,15 @@ fn shard_differential_model_backend() {
     );
 }
 
-/// Known divergence, pinned: a map written under `pkt.ip.src` but
-/// probed under `pkt.ip.dst` gets a mirror-canonicalised partitioned
-/// key from the lint, yet the write for endpoint X and the probe for
-/// endpoint X can land on different shards when the *other* endpoint
-/// differs (the canonical key hashes both). The correct verdict would
-/// be `shared` (global lock). Until the lint's key refinement learns
-/// to reject mirror pairs of *single-endpoint* keys, this test pins
-/// the divergence so a silent behaviour change is caught either way.
+/// A map written under `pkt.ip.src` but probed under `pkt.ip.dst` is
+/// an *open* mirror pair: the write for endpoint X and the probe for
+/// endpoint X see different other-endpoints, so no flow-tuple hash can
+/// co-locate them. The lint demotes such maps to `shared` (global
+/// lock), and under that plan the sharded run must equal the
+/// single-threaded reference — including the adversarial packet pair
+/// that used to diverge under the old mirror-canonicalised dispatch.
 #[test]
-fn mirror_pair_single_field_key_known_divergence() {
+fn mirror_pair_single_field_key_is_shared_and_consistent() {
     let src = r#"
         state m = map();
         fn cb(pkt: packet) {
@@ -134,13 +133,13 @@ fn mirror_pair_single_field_key_known_divergence() {
     let pipeline = Pipeline::builder().name("mirror").shards(SHARDS).build().unwrap();
     let engine = ShardEngine::from_source(&pipeline, src, Backend::Interp).unwrap();
     assert!(
-        engine.plan().partitioned(),
-        "lint now demotes mirror single-field keys — delete this pin \
-         and fold the case into `oracle` as a passing scenario"
+        !engine.plan().partitioned(),
+        "open mirror pairs must fall back to the shared plan: {}",
+        engine.plan().render_table()
     );
-    // Packet 1: 5 -> 3 records m[5] on the shard of key (3,5).
-    // Packet 2: 7 -> 5 probes m[5] on the shard of key (5,7): miss
-    // there, hit single-threaded.
+    // The historical divergence witness: packet 1 (5 -> 3) records
+    // m[5]; packet 2 (7 -> 5) probes m[5]. Under the old partitioned
+    // plan these landed on different shards and the probe missed.
     let mut gen = PacketGen::new(1);
     let mut packets = Vec::new();
     for (s, d) in [(5u64, 3u64), (7, 5)] {
@@ -149,12 +148,15 @@ fn mirror_pair_single_field_key_known_divergence() {
         p.set(Field::IpDst, d).unwrap();
         packets.push(p);
     }
-    let single = engine.run_single(&packets).unwrap();
-    let sharded = engine.run(&packets).unwrap();
-    assert_ne!(
-        sharded.output_signature(),
-        single.output_signature(),
-        "mirror-pair divergence no longer reproduces — the lint or \
-         dispatch changed; update this pin"
+    packets.extend(PacketGen::new(0xD1FF).batch(PACKETS));
+    for_each_backend_pair(
+        "mirror",
+        &[DiffEngine {
+            label: format!("interp/{SHARDS}"),
+            engine,
+        }],
+        &[Mode::Single, Mode::Threaded, Mode::Sequential],
+        &packets,
+        &StateScope::Full,
     );
 }
