@@ -28,20 +28,36 @@
 //! thread with per-shard busy-time accounting — deterministic
 //! makespan measurement for single-core hosts), and
 //! [`ShardEngine::run_single`] (the one-shard reference).
+//!
+//! Every mode runs **supervised**: each packet's eval is wrapped in
+//! `catch_unwind` behind a pre-image journal, so a panic or runtime
+//! error rolls partial state writes back and quarantines the packet
+//! ([`crate::supervise`]) instead of aborting the run; the compiled
+//! backend additionally falls back to the model evaluator per packet
+//! on a compiled-engine error. The `run*_faulted` variants thread a
+//! deterministic [`FaultPlan`] through dispatch and eval so the chaos
+//! differential suite can prove that non-quarantined behaviour is
+//! byte-identical to the fault-free run.
 
 use crate::dispatch::shard_of;
 use crate::plan::{RunMode, ShardPlan};
+use crate::supervise::{
+    panic_message, quiet_catch_unwind, scramble_packet, Quarantine, QuarantineRecord,
+    SupervisorPolicy, INJECTED_RING_DEADLINE,
+};
 use nf_compile::{CompiledProgram, CompiledState};
 use nf_model::{Model, ModelState};
 use nf_packet::Packet;
+use nf_support::fault::{FaultKind, FaultPlan};
+use nf_support::spsc::{Backoff, Producer, TrySendError};
 use nf_trace::Tracer;
 use nfactor_core::{Pipeline, Synthesis};
-use nfl_interp::{Interp, Value};
+use nfl_interp::{Interp, Value, ValueKey};
 use nfl_lint::{ShardingReport, StateShard};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Ring capacity per worker; deep enough to absorb dispatch bursts,
 /// shallow enough to bound memory.
@@ -174,6 +190,333 @@ impl BackendState {
             BackendState::Compiled { prog, state } => state.snapshot(prog),
         }
     }
+
+    /// The backend's display name (quarantine records, metrics).
+    fn label(&self) -> &'static str {
+        match self {
+            BackendState::Interp(_) => "interp",
+            BackendState::Model(_) => "model",
+            BackendState::Compiled { .. } => "compiled",
+        }
+    }
+
+    /// Capture the pre-image of everything a packet eval can mutate.
+    fn journal(&self) -> Journal {
+        match self {
+            BackendState::Interp(i) => Journal::Interp {
+                globals: i.globals.clone(),
+                packets_seen: i.packets_seen(),
+            },
+            BackendState::Model(ms) => Journal::Model {
+                scalars: ms.scalars.clone(),
+                maps: ms.maps.clone(),
+            },
+            BackendState::Compiled { state, .. } => Journal::Compiled(state.clone()),
+        }
+    }
+
+    /// Restore the pre-image captured by [`journal`](Self::journal): a
+    /// failed packet leaves no trace, however far into a fire it got.
+    fn rollback(&mut self, journal: Journal) {
+        match (self, journal) {
+            (BackendState::Interp(i), Journal::Interp { globals, packets_seen }) => {
+                i.globals = globals;
+                i.rewind_packets_seen(packets_seen);
+            }
+            (BackendState::Model(ms), Journal::Model { scalars, maps }) => {
+                ms.scalars = scalars;
+                ms.maps = maps;
+            }
+            (BackendState::Compiled { state, .. }, Journal::Compiled(s)) => *state = s,
+            // A journal is only ever replayed into the state it was
+            // captured from; a variant mismatch cannot happen.
+            _ => {}
+        }
+    }
+
+    /// Supervisor restart: rebuild derived caches from the persistent
+    /// state snapshot. Only the compiled backend carries derived state
+    /// (the predicate memo and its generation counter); the interpreter
+    /// and model evaluator *are* their persistent state, so a restart
+    /// is a no-op for them beyond the supervisor's accounting.
+    fn refresh(&mut self) {
+        if let BackendState::Compiled { prog, state } = self {
+            let snap = state.snapshot(prog);
+            let mut fresh = CompiledState::new(prog);
+            if fresh.restore(prog, &snap).is_ok() {
+                *state = fresh;
+            }
+        }
+    }
+
+    /// The per-packet compiled→model fallback: evaluate this packet on
+    /// the reference model over the compiled state's snapshot, then
+    /// write the model's post-state back into the dense arenas. The
+    /// compiled engine's one-sided contract (identical behaviour
+    /// wherever the reference succeeds) makes this exact: any packet
+    /// the model can evaluate produces the same output either way.
+    fn fallback_step(
+        &mut self,
+        fb_model: &Model,
+        template: &ModelState,
+        pkt: &Packet,
+    ) -> Result<(Vec<Packet>, bool), String> {
+        let BackendState::Compiled { prog, state } = self else {
+            return Err("fallback is only defined for the compiled backend".into());
+        };
+        let snap = state.snapshot(prog);
+        // Seed from the template (the t=0 ModelState the program was
+        // compiled against) so the config/scalar/map split matches the
+        // model's view, then overlay the live snapshot.
+        let mut ms = template.clone();
+        for (k, v) in &snap {
+            if ms.configs.contains_key(k) {
+                continue;
+            }
+            match v {
+                Value::Map(m) => {
+                    ms.maps.insert(k.clone(), m.clone());
+                }
+                other => {
+                    ms.scalars.insert(k.clone(), other.clone());
+                }
+            }
+        }
+        let s = ms.step(fb_model, pkt).map_err(|e| e.to_string())?;
+        let mut post = BTreeMap::new();
+        for (k, v) in &ms.configs {
+            post.insert(k.clone(), v.clone());
+        }
+        for (k, v) in &ms.scalars {
+            post.insert(k.clone(), v.clone());
+        }
+        for (k, m) in &ms.maps {
+            post.insert(k.clone(), Value::Map(m.clone()));
+        }
+        state.restore(prog, &post)?;
+        let dropped = s.output.is_none();
+        Ok((s.output.into_iter().collect(), dropped))
+    }
+}
+
+/// Pre-image of one packet's mutable state, captured before eval and
+/// restored on contained failure (see [`BackendState::journal`]).
+enum Journal {
+    Interp {
+        globals: HashMap<String, Value>,
+        packets_seen: u64,
+    },
+    Model {
+        scalars: BTreeMap<String, Value>,
+        maps: BTreeMap<String, BTreeMap<ValueKey, Value>>,
+    },
+    Compiled(CompiledState),
+}
+
+/// One isolated eval: apply eval-side faults, journal, step under
+/// `catch_unwind`, roll back on any failure. `Err` carries the
+/// quarantine reason, and the state is pre-packet clean whenever it is
+/// returned. A compiled-engine *error* (not a panic) retries the packet
+/// on the model evaluator when a fallback is available.
+#[allow(clippy::too_many_arguments)]
+fn supervised_step(
+    state: &mut BackendState,
+    model: Option<&Model>,
+    fallback: Option<&(Model, ModelState)>,
+    shard: usize,
+    nth: u64,
+    pkt: &Packet,
+    faults: &FaultPlan,
+    fallbacks: &mut u64,
+) -> Result<(Vec<Packet>, bool), String> {
+    let (mut inject_panic, mut inject_err, mut garbage) = (false, false, false);
+    for k in faults.at(shard, nth) {
+        match k {
+            FaultKind::Panic => inject_panic = true,
+            FaultKind::EvalError => inject_err = true,
+            FaultKind::Garbage => garbage = true,
+            FaultKind::Delay(us) => std::thread::sleep(Duration::from_micros(us)),
+            FaultKind::RingOverflow(_) => {} // dispatch-side, handled there
+        }
+    }
+    if garbage {
+        // The dispatcher scrambled this packet in flight; reject it
+        // before eval so no corrupted bytes reach the state.
+        return Err("garbage packet detected before eval".into());
+    }
+    let journal = state.journal();
+    let stepped = quiet_catch_unwind(|| {
+        if inject_panic {
+            panic!("injected fault: panic on shard {shard} packet {nth}");
+        }
+        if inject_err {
+            return Err(format!("injected fault: eval error on shard {shard} packet {nth}"));
+        }
+        state.step(model, pkt)
+    });
+    match stepped {
+        Ok(Ok(out)) => Ok(out),
+        Ok(Err(e)) => {
+            state.rollback(journal);
+            if let Some((fb_model, template)) = fallback {
+                match state.fallback_step(fb_model, template, pkt) {
+                    Ok(out) => {
+                        *fallbacks += 1;
+                        return Ok(out);
+                    }
+                    Err(fe) => return Err(format!("{e}; model fallback failed: {fe}")),
+                }
+            }
+            Err(e)
+        }
+        Err(msg) => {
+            state.rollback(journal);
+            Err(format!("panicked: {msg}"))
+        }
+    }
+}
+
+/// Dispatch-side faults at `(shard, nth)`: forced ring-full attempts
+/// and whether to scramble the packet.
+fn dispatch_faults(faults: &FaultPlan, shard: usize, nth: u64) -> (u64, bool) {
+    let (mut forced, mut garbage) = (0u64, false);
+    for k in faults.at(shard, nth) {
+        match k {
+            FaultKind::RingOverflow(a) => forced = forced.max(a),
+            FaultKind::Garbage => garbage = true,
+            _ => {}
+        }
+    }
+    (forced, garbage)
+}
+
+/// The ring deadline in force for one dispatch: the policy's, or the
+/// injected default when a ring-overflow fault is forcing fulls.
+fn ring_deadline(policy: &SupervisorPolicy, forced: u64) -> Option<u32> {
+    policy
+        .ring_deadline
+        .or(if forced > 0 { Some(INJECTED_RING_DEADLINE) } else { None })
+}
+
+/// Enqueue with bounded retry: spin-then-yield backoff on a full ring,
+/// dropping the packet once `deadline` attempts are exhausted.
+/// `Ok(true)` = delivered, `Ok(false)` = dropped past the deadline,
+/// `Err(())` = the worker is gone (its join reports why).
+fn send_with_retry(
+    tx: &Producer<(u64, u64, Packet)>,
+    item: (u64, u64, Packet),
+    forced: u64,
+    policy: &SupervisorPolicy,
+    retries: &mut u64,
+) -> Result<bool, ()> {
+    let deadline = ring_deadline(policy, forced);
+    let mut item = item;
+    let mut attempts = 0u64;
+    let mut backoff = Backoff::new();
+    loop {
+        if attempts >= forced {
+            match tx.try_send(item) {
+                Ok(()) => return Ok(true),
+                Err((_, TrySendError::Disconnected)) => return Err(()),
+                Err((it, TrySendError::Full)) => item = it,
+            }
+        }
+        attempts += 1;
+        *retries += 1;
+        if let Some(d) = deadline {
+            if attempts > u64::from(d) {
+                return Ok(false);
+            }
+        }
+        backoff.snooze();
+    }
+}
+
+/// The sequential modes simulate the threaded dispatcher's retry loop
+/// (the ring is never genuinely full on one thread, so only forced
+/// fulls count). Returns whether the packet is delivered.
+fn simulate_dispatch(forced: u64, policy: &SupervisorPolicy, retries: &mut u64) -> bool {
+    let deadline = ring_deadline(policy, forced);
+    let mut attempts = 0u64;
+    while attempts < forced {
+        attempts += 1;
+        *retries += 1;
+        if let Some(d) = deadline {
+            if attempts > u64::from(d) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Per-shard supervision bookkeeping wrapped around one shard's
+/// [`BackendState`]: the quarantine buffer, the consecutive-failure
+/// streak, and restart accounting.
+struct ShardWorker {
+    shard: usize,
+    state: BackendState,
+    model: Option<Arc<Model>>,
+    fallback: Option<Arc<(Model, ModelState)>>,
+    faults: FaultPlan,
+    policy: SupervisorPolicy,
+    label: &'static str,
+    quarantine: Quarantine,
+    fail_streak: u32,
+    restarts: u64,
+    fallbacks: u64,
+}
+
+impl ShardWorker {
+    /// Supervised processing of one packet; `None` means quarantined.
+    fn process(&mut self, seq: u64, nth: u64, pkt: &Packet) -> Option<(Vec<Packet>, bool)> {
+        match supervised_step(
+            &mut self.state,
+            self.model.as_deref(),
+            self.fallback.as_deref(),
+            self.shard,
+            nth,
+            pkt,
+            &self.faults,
+            &mut self.fallbacks,
+        ) {
+            Ok(out) => {
+                self.fail_streak = 0;
+                Some(out)
+            }
+            Err(error) => {
+                self.quarantine.push(QuarantineRecord {
+                    seq,
+                    shard: self.shard,
+                    backend: self.label,
+                    error,
+                    packet: pkt.clone(),
+                });
+                self.fail_streak += 1;
+                if self.fail_streak >= self.policy.restart_after {
+                    self.state.refresh();
+                    self.restarts += 1;
+                    self.fail_streak = 0;
+                }
+                None
+            }
+        }
+    }
+
+    fn into_out(self, outputs: Vec<SeqOutput>, pkts: u64, busy_ns: u64) -> WorkerOut {
+        let snapshot = self.state.snapshot();
+        let (quarantined, quarantined_seqs) = self.quarantine.into_parts();
+        WorkerOut {
+            outputs,
+            snapshot,
+            pkts,
+            busy_ns,
+            quarantined,
+            quarantined_seqs,
+            restarts: self.restarts,
+            fallbacks: self.fallbacks,
+        }
+    }
 }
 
 /// The observable result of processing one packet, tagged with its
@@ -204,6 +547,19 @@ pub struct ShardRun {
     pub busy_ns: Vec<u64>,
     /// Whether shards ran without cross-shard locking.
     pub partitioned: bool,
+    /// Retained quarantine records, bounded by the policy's cap.
+    pub quarantined: Vec<QuarantineRecord>,
+    /// Arrival seqs of *all* quarantined packets (exact, sorted).
+    pub quarantined_seqs: Vec<u64>,
+    /// Arrival seqs dropped at dispatch after the ring retry deadline.
+    pub dropped_seqs: Vec<u64>,
+    /// Worker restarts performed by the supervisor.
+    pub restarts: u64,
+    /// Failed enqueue attempts (ring full) absorbed by dispatch backoff.
+    pub retries: u64,
+    /// Per-packet compiled→model fallbacks (each is a recorded
+    /// divergence; the run continues).
+    pub fallbacks: u64,
 }
 
 impl ShardRun {
@@ -231,6 +587,27 @@ impl ShardRun {
             .map(|o| (o.seq, o.outputs.clone(), o.dropped))
             .collect()
     }
+
+    /// Packets offered to the run: processed + quarantined + dropped.
+    /// Always equals the input length — the accounting invariant the
+    /// robustness suite pins.
+    pub fn offered(&self) -> u64 {
+        self.total_pkts() + self.quarantined_seqs.len() as u64 + self.dropped_seqs.len() as u64
+    }
+
+    /// Sorted arrival seqs excluded from `outputs` (quarantined at eval
+    /// or dropped at dispatch) — what a chaos oracle filters from the
+    /// fault-free reference input before comparing.
+    pub fn excluded_seqs(&self) -> Vec<u64> {
+        let mut seqs: Vec<u64> = self
+            .quarantined_seqs
+            .iter()
+            .chain(&self.dropped_seqs)
+            .copied()
+            .collect();
+        seqs.sort_unstable();
+        seqs
+    }
 }
 
 /// What one worker hands back at join time.
@@ -239,6 +616,10 @@ struct WorkerOut {
     snapshot: BTreeMap<String, Value>,
     pkts: u64,
     busy_ns: u64,
+    quarantined: Vec<QuarantineRecord>,
+    quarantined_seqs: Vec<u64>,
+    restarts: u64,
+    fallbacks: u64,
 }
 
 /// A sharded runtime instance for one NF.
@@ -250,6 +631,10 @@ pub struct ShardEngine {
     tracer: Tracer,
     proto: BackendState,
     model: Option<Arc<Model>>,
+    /// The compiled backend's per-packet escape hatch: the reference
+    /// model plus the t=0 `ModelState` it was compiled against.
+    fallback: Option<Arc<(Model, ModelState)>>,
+    policy: SupervisorPolicy,
 }
 
 impl ShardEngine {
@@ -281,6 +666,8 @@ impl ShardEngine {
                     tracer: pipeline.tracer().clone(),
                     proto: BackendState::Interp(interp),
                     model: None,
+                    fallback: None,
+                    policy: SupervisorPolicy::default(),
                 })
             }
             Backend::Model | Backend::Compiled => {
@@ -308,13 +695,14 @@ impl ShardEngine {
         let interp =
             Interp::new(&syn.nf_loop).map_err(|e| ShardError::Build(e.to_string()))?;
         let tracer = pipeline.tracer().clone();
-        let (proto, model) = match backend {
-            Backend::Interp => (BackendState::Interp(interp), None),
+        let (proto, model, fallback) = match backend {
+            Backend::Interp => (BackendState::Interp(interp), None, None),
             Backend::Model => {
                 let init = nfactor_core::accuracy::initial_model_state(syn, &interp);
                 (
                     BackendState::Model(init),
                     Some(Arc::new(syn.model.clone())),
+                    None,
                 )
             }
             Backend::Compiled => {
@@ -332,6 +720,7 @@ impl ShardEngine {
                         state,
                     },
                     None,
+                    Some(Arc::new((syn.model.clone(), init))),
                 )
             }
         };
@@ -343,6 +732,8 @@ impl ShardEngine {
             tracer,
             proto,
             model,
+            fallback,
+            policy: SupervisorPolicy::default(),
         })
     }
 
@@ -366,12 +757,33 @@ impl ShardEngine {
         &self.report
     }
 
+    /// The supervision policy in force.
+    pub fn policy(&self) -> SupervisorPolicy {
+        self.policy
+    }
+
+    /// Replace the supervision policy (restart threshold, quarantine
+    /// cap, ring retry deadline).
+    pub fn set_policy(&mut self, policy: SupervisorPolicy) {
+        self.policy = policy;
+    }
+
     /// Run threaded: one `std::thread` worker per shard, fed over SPSC
     /// rings, packets steered by the plan.
     pub fn run(&self, packets: &[Packet]) -> Result<ShardRun, ShardError> {
+        self.run_faulted(packets, &FaultPlan::new())
+    }
+
+    /// [`run`](Self::run) with a deterministic fault plan injected into
+    /// dispatch and eval.
+    pub fn run_faulted(
+        &self,
+        packets: &[Packet],
+        faults: &FaultPlan,
+    ) -> Result<ShardRun, ShardError> {
         match self.plan.mode().clone() {
-            RunMode::Partitioned(key) => self.run_partitioned_threaded(&key, packets),
-            RunMode::GlobalLock => self.run_global_threaded(packets),
+            RunMode::Partitioned(key) => self.run_partitioned_threaded(&key, packets, faults),
+            RunMode::GlobalLock => self.run_global_threaded(packets, faults),
         }
     }
 
@@ -379,217 +791,397 @@ impl ShardEngine {
     /// shard — the deterministic way to measure partitioned speedup on
     /// a host without `shards` free cores.
     pub fn run_sequential(&self, packets: &[Packet]) -> Result<ShardRun, ShardError> {
+        self.run_sequential_faulted(packets, &FaultPlan::new())
+    }
+
+    /// [`run_sequential`](Self::run_sequential) with a fault plan.
+    pub fn run_sequential_faulted(
+        &self,
+        packets: &[Packet],
+        faults: &FaultPlan,
+    ) -> Result<ShardRun, ShardError> {
         match self.plan.mode().clone() {
-            RunMode::Partitioned(key) => self.run_sequential_n(self.shards, |p| {
-                shard_of(&key, p, self.shards)
-            }, true, packets),
+            RunMode::Partitioned(key) => self.run_sequential_n(
+                self.shards,
+                |p| shard_of(&key, p, self.shards),
+                true,
+                packets,
+                faults,
+            ),
             RunMode::GlobalLock => {
                 // One state instance; round-robin accounting, serialised
                 // critical path.
-                self.run_global_sequential(packets)
+                self.run_global_sequential(packets, faults)
             }
         }
     }
 
     /// The single-threaded reference run every sharded run must match.
     pub fn run_single(&self, packets: &[Packet]) -> Result<ShardRun, ShardError> {
-        self.run_sequential_n(1, |_| 0, true, packets)
+        self.run_single_faulted(packets, &FaultPlan::new())
+    }
+
+    /// [`run_single`](Self::run_single) with a fault plan (shard 0 is
+    /// the only shard, so per-shard ordinals equal arrival seqs).
+    pub fn run_single_faulted(
+        &self,
+        packets: &[Packet],
+        faults: &FaultPlan,
+    ) -> Result<ShardRun, ShardError> {
+        self.run_sequential_n(1, |_| 0, true, packets, faults)
+    }
+
+    /// A fresh supervised worker for shard `shard`.
+    fn shard_worker(&self, shard: usize, faults: &FaultPlan) -> ShardWorker {
+        ShardWorker {
+            shard,
+            state: self.proto.clone(),
+            model: self.model.clone(),
+            fallback: self.fallback.clone(),
+            faults: faults.clone(),
+            policy: self.policy,
+            label: self.proto.label(),
+            quarantine: Quarantine::new(self.policy.quarantine_cap),
+            fail_streak: 0,
+            restarts: 0,
+            fallbacks: 0,
+        }
     }
 
     fn run_partitioned_threaded(
         &self,
         key: &nfl_lint::DispatchKey,
         packets: &[Packet],
+        faults: &FaultPlan,
     ) -> Result<ShardRun, ShardError> {
         let n = self.shards;
-        let outs = std::thread::scope(|scope| -> Result<Vec<WorkerOut>, ShardError> {
-            let mut producers = Vec::with_capacity(n);
-            let mut handles = Vec::with_capacity(n);
-            for w in 0..n {
-                let (tx, rx) = nf_support::spsc::ring::<(u64, Packet)>(RING_CAP);
-                producers.push(tx);
-                let mut state = self.proto.clone();
-                let model = self.model.clone();
-                let tracer = self.tracer.clone();
-                let handle = std::thread::Builder::new()
-                    .name(format!("nf-shard-{w}"))
-                    .spawn_scoped(scope, move || -> Result<WorkerOut, String> {
-                        let mut outputs = Vec::new();
-                        let (mut pkts, mut busy_ns) = (0u64, 0u64);
-                        loop {
-                            let wait = Instant::now();
-                            let Some((seq, pkt)) = rx.recv() else { break };
-                            tracer.observe_ns(
-                                &format!("shard.{w}.ring.wait.ns"),
-                                wait.elapsed().as_nanos() as u64,
-                            );
-                            let t0 = Instant::now();
-                            let (outs, dropped) = state.step(model.as_deref(), &pkt)?;
-                            busy_ns += t0.elapsed().as_nanos() as u64;
-                            pkts += 1;
-                            outputs.push(SeqOutput {
-                                seq,
-                                shard: w,
-                                outputs: outs,
-                                dropped,
-                            });
-                        }
-                        tracer.count(&format!("shard.{w}.pkts"), pkts);
-                        Ok(WorkerOut {
-                            outputs,
-                            snapshot: state.snapshot(),
-                            pkts,
-                            busy_ns,
+        let policy = self.policy;
+        type ScopeOut = (Vec<WorkerOut>, Vec<u64>, Vec<u64>, Vec<u64>);
+        let (outs, retries, dropped_seqs, dropped_per_shard) =
+            std::thread::scope(|scope| -> Result<ScopeOut, ShardError> {
+                let mut producers = Vec::with_capacity(n);
+                let mut handles = Vec::with_capacity(n);
+                for w in 0..n {
+                    let (tx, rx) = nf_support::spsc::ring::<(u64, u64, Packet)>(RING_CAP);
+                    producers.push(tx);
+                    let mut worker = self.shard_worker(w, faults);
+                    let tracer = self.tracer.clone();
+                    let handle = std::thread::Builder::new()
+                        .name(format!("nf-shard-{w}"))
+                        .spawn_scoped(scope, move || -> WorkerOut {
+                            let mut outputs = Vec::new();
+                            let (mut pkts, mut busy_ns) = (0u64, 0u64);
+                            loop {
+                                let wait = Instant::now();
+                                let Some((seq, nth, pkt)) = rx.recv() else { break };
+                                tracer.observe_ns(
+                                    &format!("shard.{w}.ring.wait.ns"),
+                                    wait.elapsed().as_nanos() as u64,
+                                );
+                                let t0 = Instant::now();
+                                if let Some((outs, dropped)) = worker.process(seq, nth, &pkt)
+                                {
+                                    busy_ns += t0.elapsed().as_nanos() as u64;
+                                    pkts += 1;
+                                    outputs.push(SeqOutput {
+                                        seq,
+                                        shard: w,
+                                        outputs: outs,
+                                        dropped,
+                                    });
+                                } else {
+                                    busy_ns += t0.elapsed().as_nanos() as u64;
+                                }
+                            }
+                            tracer.count(&format!("shard.{w}.pkts"), pkts);
+                            worker.into_out(outputs, pkts, busy_ns)
                         })
-                    })
-                    .map_err(|e| ShardError::Thread(e.to_string()))?;
-                handles.push(handle);
-            }
-            for (i, pkt) in packets.iter().enumerate() {
-                let w = shard_of(key, pkt, n);
-                if producers[w].send((i as u64, pkt.clone())).is_err() {
-                    // The worker exited early (runtime error); its join
-                    // below reports why.
-                    break;
+                        .map_err(|e| ShardError::Thread(e.to_string()))?;
+                    handles.push(handle);
                 }
-            }
-            drop(producers);
-            let mut outs = Vec::with_capacity(n);
-            for handle in handles {
-                match handle.join() {
-                    Ok(Ok(out)) => outs.push(out),
-                    Ok(Err(e)) => return Err(ShardError::Runtime(e)),
-                    Err(_) => return Err(ShardError::Thread("worker panicked".into())),
+                let mut steered = vec![0u64; n];
+                let mut retries = vec![0u64; n];
+                let mut dropped_seqs = Vec::new();
+                let mut dropped_per_shard = vec![0u64; n];
+                for (i, pkt) in packets.iter().enumerate() {
+                    let w = shard_of(key, pkt, n);
+                    let nth = steered[w];
+                    steered[w] += 1;
+                    let (forced, garbage) = dispatch_faults(faults, w, nth);
+                    let mut pkt = pkt.clone();
+                    if garbage {
+                        scramble_packet(&mut pkt, i as u64);
+                    }
+                    match send_with_retry(
+                        &producers[w],
+                        (i as u64, nth, pkt),
+                        forced,
+                        &policy,
+                        &mut retries[w],
+                    ) {
+                        Ok(true) => {}
+                        Ok(false) => {
+                            dropped_seqs.push(i as u64);
+                            dropped_per_shard[w] += 1;
+                        }
+                        // The worker exited early; its join below
+                        // reports why.
+                        Err(()) => break,
+                    }
                 }
-            }
-            Ok(outs)
-        })?;
-        self.assemble(outs, true)
+                drop(producers);
+                let mut outs = Vec::with_capacity(n);
+                for (i, handle) in handles.into_iter().enumerate() {
+                    match handle.join() {
+                        Ok(out) => outs.push(out),
+                        Err(payload) => {
+                            return Err(ShardError::Thread(format!(
+                                "shard {i} panicked: {}",
+                                panic_message(payload.as_ref())
+                            )))
+                        }
+                    }
+                }
+                Ok((outs, retries, dropped_seqs, dropped_per_shard))
+            })?;
+        self.assemble(outs, true, retries, dropped_seqs, dropped_per_shard)
     }
 
-    fn run_global_threaded(&self, packets: &[Packet]) -> Result<ShardRun, ShardError> {
+    fn run_global_threaded(
+        &self,
+        packets: &[Packet],
+        faults: &FaultPlan,
+    ) -> Result<ShardRun, ShardError> {
         let n = self.shards;
+        let policy = self.policy;
         let shared = Arc::new(Mutex::new(self.proto.clone()));
         let turn = Arc::new(AtomicU64::new(0));
-        let outs = std::thread::scope(|scope| -> Result<Vec<WorkerOut>, ShardError> {
-            let mut producers = Vec::with_capacity(n);
-            let mut handles = Vec::with_capacity(n);
-            for w in 0..n {
-                let (tx, rx) = nf_support::spsc::ring::<(u64, Packet)>(RING_CAP);
-                producers.push(tx);
-                let shared = Arc::clone(&shared);
-                let turn = Arc::clone(&turn);
-                let model = self.model.clone();
-                let tracer = self.tracer.clone();
-                let handle = std::thread::Builder::new()
-                    .name(format!("nf-shard-{w}"))
-                    .spawn_scoped(scope, move || -> Result<WorkerOut, String> {
-                        let mut poison = PoisonTicket {
-                            turn: Arc::clone(&turn),
-                            armed: true,
-                        };
-                        let mut outputs = Vec::new();
-                        let (mut pkts, mut busy_ns) = (0u64, 0u64);
-                        while let Some((seq, pkt)) = rx.recv() {
-                            // Ticket lock: process strictly in arrival
-                            // order so the run is bit-identical to the
-                            // single-threaded reference. `u64::MAX` is
-                            // the poison ticket a failing shard leaves
-                            // behind so nobody spins forever.
-                            let wait = Instant::now();
-                            let mut spins = 0u32;
-                            loop {
-                                match turn.load(Ordering::Acquire) {
-                                    t if t == seq => break,
-                                    u64::MAX => {
-                                        return Err(ABORTED.into());
-                                    }
-                                    _ => {
-                                        spins += 1;
-                                        if spins > 64 {
-                                            std::thread::yield_now();
-                                        } else {
-                                            std::hint::spin_loop();
+        // Seqs that will never be processed (dropped at dispatch): a
+        // waiter whose turn never comes checks here and advances the
+        // ticket past them, so a drop cannot stall the run.
+        let skipped = Arc::new(Mutex::new(BTreeSet::<u64>::new()));
+        type ScopeOut = (Vec<WorkerOut>, Vec<u64>, Vec<u64>, Vec<u64>);
+        let (mut outs, retries, mut dropped_seqs, dropped_per_shard) =
+            std::thread::scope(|scope| -> Result<ScopeOut, ShardError> {
+                let mut producers = Vec::with_capacity(n);
+                let mut handles = Vec::with_capacity(n);
+                for w in 0..n {
+                    let (tx, rx) = nf_support::spsc::ring::<(u64, u64, Packet)>(RING_CAP);
+                    producers.push(tx);
+                    let shared = Arc::clone(&shared);
+                    let turn = Arc::clone(&turn);
+                    let skipped = Arc::clone(&skipped);
+                    let model = self.model.clone();
+                    let fallback = self.fallback.clone();
+                    let faults = faults.clone();
+                    let label = self.proto.label();
+                    let tracer = self.tracer.clone();
+                    let handle = std::thread::Builder::new()
+                        .name(format!("nf-shard-{w}"))
+                        .spawn_scoped(scope, move || -> Result<WorkerOut, String> {
+                            let mut poison = PoisonTicket {
+                                turn: Arc::clone(&turn),
+                                armed: true,
+                            };
+                            let mut outputs = Vec::new();
+                            let (mut pkts, mut busy_ns) = (0u64, 0u64);
+                            let mut quarantine = Quarantine::new(policy.quarantine_cap);
+                            let (mut fail_streak, mut restarts) = (0u32, 0u64);
+                            let mut fallbacks = 0u64;
+                            while let Some((seq, nth, pkt)) = rx.recv() {
+                                // Ticket lock: process strictly in arrival
+                                // order so the run is bit-identical to the
+                                // single-threaded reference. `u64::MAX` is
+                                // the poison ticket a failing shard leaves
+                                // behind so nobody spins forever.
+                                let wait = Instant::now();
+                                let mut backoff = Backoff::new();
+                                loop {
+                                    match turn.load(Ordering::Acquire) {
+                                        t if t == seq => break,
+                                        u64::MAX => {
+                                            return Err(ABORTED.into());
+                                        }
+                                        t => {
+                                            if backoff.yields() {
+                                                let set = skipped
+                                                    .lock()
+                                                    .unwrap_or_else(|e| e.into_inner());
+                                                if set.contains(&t) {
+                                                    let _ = turn.compare_exchange(
+                                                        t,
+                                                        t + 1,
+                                                        Ordering::AcqRel,
+                                                        Ordering::Acquire,
+                                                    );
+                                                    continue;
+                                                }
+                                            }
+                                            backoff.snooze();
                                         }
                                     }
                                 }
+                                let mut guard =
+                                    shared.lock().unwrap_or_else(|e| e.into_inner());
+                                tracer.observe_ns(
+                                    "lock.wait.ns",
+                                    wait.elapsed().as_nanos() as u64,
+                                );
+                                let t0 = Instant::now();
+                                let step = supervised_step(
+                                    &mut guard,
+                                    model.as_deref(),
+                                    fallback.as_deref(),
+                                    w,
+                                    nth,
+                                    &pkt,
+                                    &faults,
+                                    &mut fallbacks,
+                                );
+                                match step {
+                                    Ok((outs, dropped)) => {
+                                        fail_streak = 0;
+                                        drop(guard);
+                                        turn.store(seq + 1, Ordering::Release);
+                                        busy_ns += t0.elapsed().as_nanos() as u64;
+                                        pkts += 1;
+                                        outputs.push(SeqOutput {
+                                            seq,
+                                            shard: w,
+                                            outputs: outs,
+                                            dropped,
+                                        });
+                                    }
+                                    Err(error) => {
+                                        // Contained: quarantine, advance
+                                        // the ticket, keep running.
+                                        fail_streak += 1;
+                                        if fail_streak >= policy.restart_after {
+                                            guard.refresh();
+                                            restarts += 1;
+                                            fail_streak = 0;
+                                        }
+                                        drop(guard);
+                                        turn.store(seq + 1, Ordering::Release);
+                                        busy_ns += t0.elapsed().as_nanos() as u64;
+                                        quarantine.push(QuarantineRecord {
+                                            seq,
+                                            shard: w,
+                                            backend: label,
+                                            error,
+                                            packet: pkt.clone(),
+                                        });
+                                    }
+                                }
                             }
-                            let mut guard =
-                                shared.lock().unwrap_or_else(|e| e.into_inner());
-                            tracer.observe_ns(
-                                "lock.wait.ns",
-                                wait.elapsed().as_nanos() as u64,
-                            );
-                            let t0 = Instant::now();
-                            let step = guard.step(model.as_deref(), &pkt);
-                            drop(guard);
-                            match &step {
-                                Ok(_) => turn.store(seq + 1, Ordering::Release),
-                                Err(_) => turn.store(u64::MAX, Ordering::Release),
-                            }
-                            let (outs, dropped) = step?;
-                            busy_ns += t0.elapsed().as_nanos() as u64;
-                            pkts += 1;
-                            outputs.push(SeqOutput {
-                                seq,
-                                shard: w,
-                                outputs: outs,
-                                dropped,
-                            });
-                        }
-                        poison.armed = false;
-                        tracer.count(&format!("shard.{w}.pkts"), pkts);
-                        Ok(WorkerOut {
-                            outputs,
-                            snapshot: BTreeMap::new(),
-                            pkts,
-                            busy_ns,
+                            poison.armed = false;
+                            tracer.count(&format!("shard.{w}.pkts"), pkts);
+                            let (quarantined, quarantined_seqs) = quarantine.into_parts();
+                            Ok(WorkerOut {
+                                outputs,
+                                snapshot: BTreeMap::new(),
+                                pkts,
+                                busy_ns,
+                                quarantined,
+                                quarantined_seqs,
+                                restarts,
+                                fallbacks,
+                            })
                         })
-                    })
-                    .map_err(|e| ShardError::Thread(e.to_string()))?;
-                handles.push(handle);
-            }
-            for (i, pkt) in packets.iter().enumerate() {
-                // Round-robin: the ticket serialises processing anyway.
-                if producers[i % n].send((i as u64, pkt.clone())).is_err() {
-                    break;
+                        .map_err(|e| ShardError::Thread(e.to_string()))?;
+                    handles.push(handle);
                 }
-            }
-            drop(producers);
-            // Join everything, then report the root cause rather than a
-            // bystander's abort.
-            let mut outs = Vec::with_capacity(n);
-            let mut aborted = false;
-            let mut failure: Option<ShardError> = None;
-            for handle in handles {
-                match handle.join() {
-                    Ok(Ok(out)) => outs.push(out),
-                    Ok(Err(e)) if e == ABORTED => aborted = true,
-                    Ok(Err(e)) => failure = failure.or(Some(ShardError::Runtime(e))),
-                    Err(_) => {
-                        turn.store(u64::MAX, Ordering::Release);
-                        failure =
-                            failure.or(Some(ShardError::Thread("worker panicked".into())));
+                let mut steered = vec![0u64; n];
+                let mut retries = vec![0u64; n];
+                let mut dropped_seqs = Vec::new();
+                let mut dropped_per_shard = vec![0u64; n];
+                for (i, pkt) in packets.iter().enumerate() {
+                    // Round-robin: the ticket serialises processing anyway.
+                    let w = i % n;
+                    let nth = steered[w];
+                    steered[w] += 1;
+                    let (forced, garbage) = dispatch_faults(faults, w, nth);
+                    let mut pkt = pkt.clone();
+                    if garbage {
+                        scramble_packet(&mut pkt, i as u64);
+                    }
+                    match send_with_retry(
+                        &producers[w],
+                        (i as u64, nth, pkt),
+                        forced,
+                        &policy,
+                        &mut retries[w],
+                    ) {
+                        Ok(true) => {}
+                        Ok(false) => {
+                            // Record the hole in the ticket sequence
+                            // before accounting, so waiters can skip it.
+                            skipped
+                                .lock()
+                                .unwrap_or_else(|e| e.into_inner())
+                                .insert(i as u64);
+                            let _ = turn.compare_exchange(
+                                i as u64,
+                                i as u64 + 1,
+                                Ordering::AcqRel,
+                                Ordering::Acquire,
+                            );
+                            dropped_seqs.push(i as u64);
+                            dropped_per_shard[w] += 1;
+                        }
+                        Err(()) => break,
                     }
                 }
-            }
-            if let Some(err) = failure {
-                return Err(err);
-            }
-            if aborted {
-                return Err(ShardError::Thread("worker aborted without a cause".into()));
-            }
-            Ok(outs)
-        })?;
+                drop(producers);
+                // Join everything, then report the root cause rather than
+                // a bystander's abort.
+                let mut outs = Vec::with_capacity(n);
+                let mut aborted = false;
+                let mut failure: Option<ShardError> = None;
+                for (i, handle) in handles.into_iter().enumerate() {
+                    match handle.join() {
+                        Ok(Ok(out)) => outs.push(out),
+                        Ok(Err(e)) if e == ABORTED => aborted = true,
+                        Ok(Err(e)) => failure = failure.or(Some(ShardError::Runtime(e))),
+                        Err(payload) => {
+                            turn.store(u64::MAX, Ordering::Release);
+                            failure = failure.or(Some(ShardError::Thread(format!(
+                                "shard {i} panicked: {}",
+                                panic_message(payload.as_ref())
+                            ))));
+                        }
+                    }
+                }
+                if let Some(err) = failure {
+                    return Err(err);
+                }
+                if aborted {
+                    return Err(ShardError::Thread(
+                        "worker aborted without a cause".into(),
+                    ));
+                }
+                Ok((outs, retries, dropped_seqs, dropped_per_shard))
+            })?;
         let mut outputs: Vec<SeqOutput> = outs.iter().flat_map(|o| o.outputs.clone()).collect();
         outputs.sort_by_key(|o| o.seq);
         let merged = shared.lock().unwrap_or_else(|e| e.into_inner()).snapshot();
+        let per_shard_pkts = outs.iter().map(|o| o.pkts).collect();
+        let busy_ns = outs.iter().map(|o| o.busy_ns).collect();
+        let (quarantined, quarantined_seqs, restarts, fallbacks) =
+            self.fold_faults(&mut outs, &retries, &dropped_per_shard);
+        dropped_seqs.sort_unstable();
         Ok(ShardRun {
             outputs,
             merged,
-            per_shard_pkts: outs.iter().map(|o| o.pkts).collect(),
-            busy_ns: outs.iter().map(|o| o.busy_ns).collect(),
+            per_shard_pkts,
+            busy_ns,
             partitioned: false,
+            quarantined,
+            quarantined_seqs,
+            dropped_seqs,
+            restarts,
+            retries: retries.iter().sum(),
+            fallbacks,
         })
     }
 
@@ -599,93 +1191,245 @@ impl ShardEngine {
         mut pick: impl FnMut(&Packet) -> usize,
         partitioned: bool,
         packets: &[Packet],
+        faults: &FaultPlan,
     ) -> Result<ShardRun, ShardError> {
-        let mut states: Vec<BackendState> = (0..n).map(|_| self.proto.clone()).collect();
+        let mut workers: Vec<ShardWorker> =
+            (0..n).map(|w| self.shard_worker(w, faults)).collect();
         let mut outputs = Vec::with_capacity(packets.len());
         let mut pkts = vec![0u64; n];
         let mut busy = vec![0u64; n];
+        let mut steered = vec![0u64; n];
+        let mut retries = vec![0u64; n];
+        let mut dropped_seqs = Vec::new();
+        let mut dropped_per_shard = vec![0u64; n];
         for (i, pkt) in packets.iter().enumerate() {
             let w = pick(pkt).min(n - 1);
+            let nth = steered[w];
+            steered[w] += 1;
+            let (forced, garbage) = dispatch_faults(faults, w, nth);
+            if !simulate_dispatch(forced, &self.policy, &mut retries[w]) {
+                dropped_seqs.push(i as u64);
+                dropped_per_shard[w] += 1;
+                continue;
+            }
+            let scrambled;
+            let pkt = if garbage {
+                let mut p = pkt.clone();
+                scramble_packet(&mut p, i as u64);
+                scrambled = p;
+                &scrambled
+            } else {
+                pkt
+            };
             let t0 = Instant::now();
-            let (outs, dropped) = states[w]
-                .step(self.model.as_deref(), pkt)
-                .map_err(ShardError::Runtime)?;
-            busy[w] += t0.elapsed().as_nanos() as u64;
-            pkts[w] += 1;
-            outputs.push(SeqOutput {
-                seq: i as u64,
-                shard: w,
-                outputs: outs,
-                dropped,
-            });
+            if let Some((outs, dropped)) = workers[w].process(i as u64, nth, pkt) {
+                busy[w] += t0.elapsed().as_nanos() as u64;
+                pkts[w] += 1;
+                outputs.push(SeqOutput {
+                    seq: i as u64,
+                    shard: w,
+                    outputs: outs,
+                    dropped,
+                });
+            } else {
+                busy[w] += t0.elapsed().as_nanos() as u64;
+            }
         }
         for (w, count) in pkts.iter().enumerate() {
             self.tracer.count(&format!("shard.{w}.pkts"), *count);
         }
-        let outs: Vec<WorkerOut> = states
+        let outs: Vec<WorkerOut> = workers
             .into_iter()
             .zip(pkts)
             .zip(busy)
-            .map(|((state, pkts), busy_ns)| WorkerOut {
-                outputs: Vec::new(),
-                snapshot: state.snapshot(),
-                pkts,
-                busy_ns,
-            })
+            .map(|((worker, pkts), busy_ns)| worker.into_out(Vec::new(), pkts, busy_ns))
             .collect();
-        let mut run = self.assemble(outs, partitioned)?;
+        let mut run =
+            self.assemble(outs, partitioned, retries, dropped_seqs, dropped_per_shard)?;
         run.outputs = outputs;
         Ok(run)
     }
 
-    fn run_global_sequential(&self, packets: &[Packet]) -> Result<ShardRun, ShardError> {
+    fn run_global_sequential(
+        &self,
+        packets: &[Packet],
+        faults: &FaultPlan,
+    ) -> Result<ShardRun, ShardError> {
         let n = self.shards;
-        let mut state = self.proto.clone();
+        // One shared evaluator; the worker's shard index is rewritten
+        // per packet so faults and quarantine records land on the right
+        // virtual shard.
+        let mut worker = self.shard_worker(0, faults);
         let mut outputs = Vec::with_capacity(packets.len());
         let mut pkts = vec![0u64; n];
         let mut busy = vec![0u64; n];
+        let mut steered = vec![0u64; n];
+        let mut retries = vec![0u64; n];
+        let mut quarantined_per_shard = vec![0u64; n];
+        let mut dropped_seqs = Vec::new();
+        let mut dropped_per_shard = vec![0u64; n];
         for (i, pkt) in packets.iter().enumerate() {
             let w = i % n;
+            let nth = steered[w];
+            steered[w] += 1;
+            let (forced, garbage) = dispatch_faults(faults, w, nth);
+            if !simulate_dispatch(forced, &self.policy, &mut retries[w]) {
+                dropped_seqs.push(i as u64);
+                dropped_per_shard[w] += 1;
+                continue;
+            }
+            let scrambled;
+            let pkt = if garbage {
+                let mut p = pkt.clone();
+                scramble_packet(&mut p, i as u64);
+                scrambled = p;
+                &scrambled
+            } else {
+                pkt
+            };
+            worker.shard = w;
             let t0 = Instant::now();
-            let (outs, dropped) = state
-                .step(self.model.as_deref(), pkt)
-                .map_err(ShardError::Runtime)?;
-            busy[w] += t0.elapsed().as_nanos() as u64;
-            pkts[w] += 1;
-            outputs.push(SeqOutput {
-                seq: i as u64,
-                shard: w,
-                outputs: outs,
-                dropped,
-            });
+            if let Some((outs, dropped)) = worker.process(i as u64, nth, pkt) {
+                busy[w] += t0.elapsed().as_nanos() as u64;
+                pkts[w] += 1;
+                outputs.push(SeqOutput {
+                    seq: i as u64,
+                    shard: w,
+                    outputs: outs,
+                    dropped,
+                });
+            } else {
+                busy[w] += t0.elapsed().as_nanos() as u64;
+                quarantined_per_shard[w] += 1;
+            }
         }
         for (w, count) in pkts.iter().enumerate() {
             self.tracer.count(&format!("shard.{w}.pkts"), *count);
         }
+        for (w, q) in quarantined_per_shard.iter().enumerate() {
+            if *q > 0 {
+                self.tracer.count(&format!("shard.{w}.quarantined"), *q);
+            }
+        }
+        for (w, r) in retries.iter().enumerate() {
+            if *r > 0 {
+                self.tracer.count(&format!("shard.{w}.retries"), *r);
+            }
+        }
+        for (w, d) in dropped_per_shard.iter().enumerate() {
+            if *d > 0 {
+                self.tracer.count(&format!("shard.{w}.dropped"), *d);
+            }
+        }
+        if worker.restarts > 0 {
+            self.tracer.count("shard.0.restarts", worker.restarts);
+        }
+        if worker.fallbacks > 0 {
+            self.tracer.count("backend.fallbacks", worker.fallbacks);
+        }
+        let restarts = worker.restarts;
+        let fallbacks = worker.fallbacks;
+        let merged = worker.state.snapshot();
+        let (mut quarantined, mut quarantined_seqs) = worker.quarantine.into_parts();
+        quarantined.sort_by_key(|r| r.seq);
+        quarantined.truncate(self.policy.quarantine_cap);
+        quarantined_seqs.sort_unstable();
+        dropped_seqs.sort_unstable();
         Ok(ShardRun {
             outputs,
-            merged: state.snapshot(),
+            merged,
             per_shard_pkts: pkts,
             busy_ns: busy,
             partitioned: false,
+            quarantined,
+            quarantined_seqs,
+            dropped_seqs,
+            restarts,
+            retries: retries.iter().sum(),
+            fallbacks,
         })
     }
 
-    /// Sort outputs and merge per-shard snapshots.
-    fn assemble(&self, outs: Vec<WorkerOut>, partitioned: bool) -> Result<ShardRun, ShardError> {
+    /// Sort outputs, merge per-shard snapshots, and fold the workers'
+    /// fault accounting into the run.
+    fn assemble(
+        &self,
+        mut outs: Vec<WorkerOut>,
+        partitioned: bool,
+        retries: Vec<u64>,
+        mut dropped_seqs: Vec<u64>,
+        dropped_per_shard: Vec<u64>,
+    ) -> Result<ShardRun, ShardError> {
         let mut outputs: Vec<SeqOutput> = outs.iter().flat_map(|o| o.outputs.clone()).collect();
         outputs.sort_by_key(|o| o.seq);
         let initial = self.proto.snapshot();
         let snapshots: Vec<&BTreeMap<String, Value>> =
             outs.iter().map(|o| &o.snapshot).collect();
         let merged = merge_states(&self.report, &initial, &snapshots)?;
+        let per_shard_pkts = outs.iter().map(|o| o.pkts).collect();
+        let busy_ns = outs.iter().map(|o| o.busy_ns).collect();
+        let (quarantined, quarantined_seqs, restarts, fallbacks) =
+            self.fold_faults(&mut outs, &retries, &dropped_per_shard);
+        dropped_seqs.sort_unstable();
         Ok(ShardRun {
             outputs,
             merged,
-            per_shard_pkts: outs.iter().map(|o| o.pkts).collect(),
-            busy_ns: outs.iter().map(|o| o.busy_ns).collect(),
+            per_shard_pkts,
+            busy_ns,
             partitioned,
+            quarantined,
+            quarantined_seqs,
+            dropped_seqs,
+            restarts,
+            retries: retries.iter().sum(),
+            fallbacks,
         })
+    }
+
+    /// Drain the workers' quarantine/restart/fallback accounting,
+    /// emitting nonzero per-shard supervision metrics along the way.
+    /// Returns (records sorted by seq and capped, sorted seqs, restarts,
+    /// fallbacks).
+    fn fold_faults(
+        &self,
+        outs: &mut [WorkerOut],
+        retries: &[u64],
+        dropped_per_shard: &[u64],
+    ) -> (Vec<QuarantineRecord>, Vec<u64>, u64, u64) {
+        let mut records = Vec::new();
+        let mut seqs = Vec::new();
+        let mut restarts = 0u64;
+        let mut fallbacks = 0u64;
+        for (w, out) in outs.iter_mut().enumerate() {
+            let q = out.quarantined_seqs.len() as u64;
+            if q > 0 {
+                self.tracer.count(&format!("shard.{w}.quarantined"), q);
+            }
+            if out.restarts > 0 {
+                self.tracer.count(&format!("shard.{w}.restarts"), out.restarts);
+            }
+            records.append(&mut out.quarantined);
+            seqs.append(&mut out.quarantined_seqs);
+            restarts += out.restarts;
+            fallbacks += out.fallbacks;
+        }
+        for (w, r) in retries.iter().enumerate() {
+            if *r > 0 {
+                self.tracer.count(&format!("shard.{w}.retries"), *r);
+            }
+        }
+        for (w, d) in dropped_per_shard.iter().enumerate() {
+            if *d > 0 {
+                self.tracer.count(&format!("shard.{w}.dropped"), *d);
+            }
+        }
+        if fallbacks > 0 {
+            self.tracer.count("backend.fallbacks", fallbacks);
+        }
+        records.sort_by_key(|r| r.seq);
+        records.truncate(self.policy.quarantine_cap);
+        seqs.sort_unstable();
+        (records, seqs, restarts, fallbacks)
     }
 }
 
@@ -965,5 +1709,152 @@ mod tests {
             .filter_map(|w| metrics.counter(&format!("shard.{w}.pkts")))
             .sum();
         assert_eq!(total, 50);
+    }
+
+    /// The chaos oracle: everything the faulted run did not exclude
+    /// (quarantine or dispatch drop) must match, positionally, a
+    /// fault-free reference run over the surviving packets — outputs
+    /// and merged state alike.
+    fn assert_matches_reference(engine: &ShardEngine, packets: &[Packet], run: &ShardRun) {
+        let excluded = run.excluded_seqs();
+        let kept: Vec<Packet> = packets
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| excluded.binary_search(&(*i as u64)).is_err())
+            .map(|(_, p)| p.clone())
+            .collect();
+        let reference = engine.run_single(&kept).unwrap();
+        assert_eq!(run.outputs.len(), reference.outputs.len());
+        for (got, want) in run.outputs.iter().zip(&reference.outputs) {
+            assert_eq!(got.outputs, want.outputs);
+            assert_eq!(got.dropped, want.dropped);
+        }
+        assert_eq!(run.merged, reference.merged);
+    }
+
+    #[test]
+    fn injected_panic_is_quarantined_not_fatal() {
+        // Before supervision this run died with `ShardError::Thread`;
+        // now the packet is quarantined and everything else proceeds.
+        let engine =
+            ShardEngine::from_source(&pipeline("rl", 4), RATELIMITER_ISH, Backend::Interp)
+                .unwrap();
+        let packets = PacketGen::new(42).batch(300);
+        let faults = FaultPlan::parse("panic@1:3").unwrap();
+        let run = engine.run_faulted(&packets, &faults).unwrap();
+        assert_eq!(run.quarantined_seqs.len(), 1);
+        assert_eq!(run.quarantined.len(), 1);
+        assert_eq!(run.quarantined[0].shard, 1);
+        assert!(run.quarantined[0].error.contains("injected fault: panic"));
+        assert_eq!(run.offered(), 300);
+        assert_matches_reference(&engine, &packets, &run);
+    }
+
+    #[test]
+    fn organic_mid_fire_error_rolls_back_partial_writes() {
+        // `total` is bumped before the missing-key read faults; without
+        // journal rollback the counter would leak one per bad packet.
+        let src = r#"
+            state total = 0;
+            state m = map();
+            fn cb(pkt: packet) {
+                total = total + 1;
+                if m[pkt.ip.src] > 0 { send(pkt); } else { drop(pkt); }
+            }
+            fn main() { sniff(cb); }
+        "#;
+        let engine =
+            ShardEngine::from_source(&pipeline("leak", 1), src, Backend::Interp).unwrap();
+        let packets = PacketGen::new(8).batch(10);
+        let run = engine.run_single(&packets).unwrap();
+        assert_eq!(run.total_pkts(), 0);
+        assert_eq!(run.quarantined_seqs.len(), 10);
+        assert_eq!(run.offered(), 10);
+        assert_eq!(run.merged.get("total"), Some(&Value::Int(0)));
+        // Every third consecutive failure trips a supervised restart.
+        assert_eq!(run.restarts, 3);
+    }
+
+    #[test]
+    fn consecutive_injected_errors_trip_a_restart() {
+        let engine =
+            ShardEngine::from_source(&pipeline("rl", 2), RATELIMITER_ISH, Backend::Interp)
+                .unwrap();
+        let packets = PacketGen::new(7).batch(200);
+        let faults = FaultPlan::parse("err@0:0,err@0:1,err@0:2").unwrap();
+        let run = engine.run_faulted(&packets, &faults).unwrap();
+        assert_eq!(run.quarantined_seqs.len(), 3);
+        assert_eq!(run.restarts, 1);
+        assert_matches_reference(&engine, &packets, &run);
+    }
+
+    #[test]
+    fn compiled_error_falls_back_to_model_and_continues() {
+        let engine =
+            ShardEngine::from_source(&pipeline("rl", 2), RATELIMITER_ISH, Backend::Compiled)
+                .unwrap();
+        let packets = PacketGen::new(11).batch(120);
+        let faults = FaultPlan::parse("err@0:2,err@1:5").unwrap();
+        let run = engine.run_faulted(&packets, &faults).unwrap();
+        // The compiled engine's injected errors retried on the model
+        // evaluator: nothing quarantined, outputs exactly fault-free.
+        assert_eq!(run.fallbacks, 2);
+        assert!(run.quarantined_seqs.is_empty());
+        let clean = engine.run(&packets).unwrap();
+        assert_eq!(run.output_signature(), clean.output_signature());
+        assert_eq!(run.merged, clean.merged);
+    }
+
+    #[test]
+    fn global_lock_quarantine_advances_the_ticket() {
+        // A quarantined seq under the ticket lock must hand the turn to
+        // the next seq or the run deadlocks.
+        let src = r#"
+            state next = 0;
+            state m = map();
+            fn cb(pkt: packet) {
+                if pkt.ip.src in m { send(pkt); } else {
+                    m[pkt.ip.src] = next;
+                    next = next + 1;
+                    drop(pkt);
+                }
+            }
+            fn main() { sniff(cb); }
+        "#;
+        let engine =
+            ShardEngine::from_source(&pipeline("alloc", 4), src, Backend::Interp).unwrap();
+        assert!(!engine.plan().partitioned());
+        let packets = PacketGen::new(3).batch(100);
+        // Round-robin: shard 1's packet 0 is seq 1, shard 2's packet 5
+        // is seq 2 + 4*5 = 22.
+        let faults = FaultPlan::parse("panic@1:0,err@2:5").unwrap();
+        let run = engine.run_faulted(&packets, &faults).unwrap();
+        assert_eq!(run.quarantined_seqs, vec![1, 22]);
+        assert_matches_reference(&engine, &packets, &run);
+        let seq = engine.run_sequential_faulted(&packets, &faults).unwrap();
+        assert_eq!(run.output_signature(), seq.output_signature());
+        assert_eq!(run.merged, seq.merged);
+    }
+
+    #[test]
+    fn ring_overflow_drops_past_deadline_with_accounting() {
+        let engine =
+            ShardEngine::from_source(&pipeline("rl", 2), RATELIMITER_ISH, Backend::Interp)
+                .unwrap();
+        let packets = PacketGen::new(5).batch(100);
+        // The default overflow burst outlasts the injected deadline:
+        // the packet drops, with retry accounting.
+        let plan = FaultPlan::parse("ring-overflow@0:1").unwrap();
+        let run = engine.run_faulted(&packets, &plan).unwrap();
+        assert_eq!(run.dropped_seqs.len(), 1);
+        assert_eq!(run.offered(), 100);
+        assert!(run.retries > u64::from(INJECTED_RING_DEADLINE));
+        assert_matches_reference(&engine, &packets, &run);
+        // A bounded burst is absorbed by backoff retries instead.
+        let plan = FaultPlan::parse("ring-overflow@0:1:64").unwrap();
+        let run = engine.run_faulted(&packets, &plan).unwrap();
+        assert!(run.dropped_seqs.is_empty());
+        assert!(run.retries >= 64);
+        assert_eq!(run.total_pkts(), 100);
     }
 }

@@ -26,6 +26,15 @@
 //! its hash-assigned shard would abandon the flow-state locality the
 //! dispatch exists to provide.
 //!
+//! The runtime is **supervised** ([`supervise`]): each packet's eval is
+//! isolated behind `catch_unwind` with journal-based state rollback, a
+//! failing packet is quarantined instead of aborting the run, a shard
+//! that fails repeatedly is rebuilt with state handoff, and a
+//! deterministic [`nf_support::fault`] plan can inject
+//! panic/error/delay/ring-overflow/garbage faults at chosen
+//! `(shard, nth-packet)` points — the chaos differential suite's
+//! substrate.
+//!
 //! ```no_run
 //! use nfactor_core::Pipeline;
 //! use nf_shard::{Backend, ShardEngine};
@@ -42,7 +51,9 @@
 pub mod dispatch;
 pub mod engine;
 pub mod plan;
+pub mod supervise;
 
 pub use dispatch::{dispatch_values, shard_of};
 pub use engine::{Backend, SeqOutput, ShardEngine, ShardError, ShardRun};
 pub use plan::{Placement, RunMode, ShardPlan};
+pub use supervise::{panic_message, quarantine_to_json, QuarantineRecord, SupervisorPolicy};

@@ -20,6 +20,9 @@
 //!   through the pipeline for graceful degradation under a deadline.
 //! * [`spsc`] — a bounded single-producer/single-consumer ring buffer
 //!   (the `nf-shard` dispatcher→worker queues).
+//! * [`fault`] — a seeded, deterministic fault-injection plan
+//!   (panic/error/delay/ring-overflow/garbage points) consumed by the
+//!   `nf-shard` supervisor and the chaos differential suite.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -28,10 +31,12 @@ pub mod bench;
 pub mod budget;
 pub mod bytes;
 pub mod check;
+pub mod fault;
 pub mod json;
 pub mod rng;
 pub mod spsc;
 
 pub use budget::Budget;
+pub use fault::{FaultKind, FaultPlan};
 pub use json::{FromJson, JsonError, ToJson, Value};
 pub use rng::Rng;

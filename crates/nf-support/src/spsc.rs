@@ -65,16 +65,59 @@ fn lock<T>(m: &Mutex<Option<T>>) -> std::sync::MutexGuard<'_, Option<T>> {
     m.lock().unwrap_or_else(|e| e.into_inner())
 }
 
-/// Spin-then-yield backoff used by the blocking operations.
-fn backoff(round: u32) {
-    if round < 6 {
-        for _ in 0..(1 << round) {
-            std::hint::spin_loop();
+/// Bounded exponential backoff: spin with doubling pause lengths for
+/// the first few rounds, then yield the thread on every further round.
+///
+/// Shared by the ring's blocking `send`/`recv` loops and the shard
+/// supervisor's bounded retry path (`nf-shard`): the *pause* is bounded
+/// (it never grows past a thread yield, so a waiting side reacts
+/// quickly once the other side makes progress), while the caller
+/// decides how many rounds to spend before giving up — the ring's
+/// blocking operations retry forever, the supervisor's dispatch retry
+/// drops with accounting past its deadline.
+#[derive(Debug, Default)]
+pub struct Backoff {
+    round: u32,
+}
+
+impl Backoff {
+    /// A fresh backoff at round 0.
+    pub fn new() -> Backoff {
+        Backoff { round: 0 }
+    }
+
+    /// Rounds spent so far.
+    pub fn rounds(&self) -> u32 {
+        self.round
+    }
+
+    /// Whether the next [`snooze`](Backoff::snooze) will yield the
+    /// thread rather than spin.
+    pub fn yields(&self) -> bool {
+        self.round >= SPIN_ROUNDS
+    }
+
+    /// Wait one round: spin `2^round` times while `round <
+    /// SPIN_ROUNDS`, otherwise yield.
+    pub fn snooze(&mut self) {
+        if self.round < SPIN_ROUNDS {
+            for _ in 0..(1u32 << self.round) {
+                std::hint::spin_loop();
+            }
+        } else {
+            std::thread::yield_now();
         }
-    } else {
-        std::thread::yield_now();
+        self.round = self.round.saturating_add(1);
+    }
+
+    /// Back to round 0 (progress was made).
+    pub fn reset(&mut self) {
+        self.round = 0;
     }
 }
+
+/// Rounds spent spinning before [`Backoff`] switches to yielding.
+const SPIN_ROUNDS: u32 = 6;
 
 /// The sending half; exactly one per ring.
 pub struct Producer<T> {
@@ -125,15 +168,14 @@ impl<T> Producer<T> {
     /// Publish `value`, blocking (spin + yield) while the ring is full.
     /// Fails only when the consumer has been dropped.
     pub fn send(&self, mut value: T) -> Result<(), T> {
-        let mut round = 0;
+        let mut backoff = Backoff::new();
         loop {
             match self.try_send(value) {
                 Ok(()) => return Ok(()),
                 Err((v, TrySendError::Disconnected)) => return Err(v),
                 Err((v, TrySendError::Full)) => {
                     value = v;
-                    backoff(round);
-                    round = round.saturating_add(1);
+                    backoff.snooze();
                 }
             }
         }
@@ -195,15 +237,12 @@ impl<T> Consumer<T> {
     /// the ring is empty. Returns `None` once the producer is gone and
     /// the ring is drained.
     pub fn recv(&self) -> Option<T> {
-        let mut round = 0;
+        let mut backoff = Backoff::new();
         loop {
             match self.try_recv() {
                 Ok(v) => return Some(v),
                 Err(TryRecvError::Disconnected) => return None,
-                Err(TryRecvError::Empty) => {
-                    backoff(round);
-                    round = round.saturating_add(1);
-                }
+                Err(TryRecvError::Empty) => backoff.snooze(),
             }
         }
     }
@@ -300,6 +339,45 @@ mod tests {
         }
         assert_eq!(expect, N);
         producer.join().unwrap();
+    }
+
+    #[test]
+    fn backoff_spins_then_yields() {
+        let mut b = Backoff::new();
+        assert_eq!(b.rounds(), 0);
+        assert!(!b.yields());
+        for _ in 0..SPIN_ROUNDS {
+            b.snooze();
+        }
+        assert!(b.yields());
+        b.snooze();
+        assert_eq!(b.rounds(), SPIN_ROUNDS + 1);
+        b.reset();
+        assert_eq!(b.rounds(), 0);
+        assert!(!b.yields());
+    }
+
+    /// A consumer that sleeps between takes must not starve the
+    /// producer forever: the producer's full-ring backoff yields, the
+    /// consumer eventually drains a slot, and every value arrives in
+    /// order. Pinned for the supervisor's bounded-retry path, which
+    /// reuses the same [`Backoff`].
+    #[test]
+    fn slow_consumer_never_permanently_starves_producer() {
+        const N: u64 = 100;
+        let (tx, rx) = ring(2);
+        let producer = std::thread::spawn(move || {
+            for i in 0..N {
+                tx.send(i).unwrap();
+            }
+        });
+        let mut got = Vec::new();
+        while let Some(v) = rx.recv() {
+            std::thread::sleep(std::time::Duration::from_micros(200));
+            got.push(v);
+        }
+        producer.join().unwrap();
+        assert_eq!(got, (0..N).collect::<Vec<_>>());
     }
 
     #[test]

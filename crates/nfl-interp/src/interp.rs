@@ -160,6 +160,17 @@ impl Interp {
         self.packets_seen
     }
 
+    /// Reset the processed-packet counter to an earlier value.
+    ///
+    /// Used by the shard supervisor's per-packet rollback: `process`
+    /// bumps the counter before executing, so undoing a failed packet
+    /// means restoring both the touched globals *and* this counter
+    /// (otherwise a rolled-back run would diverge from a clean one on
+    /// `set_config`'s traffic-started check and in accounting).
+    pub fn rewind_packets_seen(&mut self, n: u64) {
+        self.packets_seen = self.packets_seen.min(n);
+    }
+
     /// Read a global (state inspection for tests and the verifier).
     pub fn global(&self, name: &str) -> Option<&Value> {
         self.globals.get(name)

@@ -65,6 +65,28 @@ echo "==> three-way differential: interp == model == compiled"
 cargo test -q --offline --test differential three_way:: > /dev/null
 echo "    interp == model == compiled for all corpus NFs: ok"
 
+echo "==> chaos smoke: injected panic is quarantined, not fatal"
+# One deterministic panic on shard 1's 4th packet: the run must exit 0
+# with exactly one quarantined packet and every packet accounted for.
+out=$(./target/release/nfactor run --corpus fig1-lb --shards 4 --fault-plan 'panic@1:3')
+quarantined=$(printf '%s\n' "$out" | awk '/^quarantined/ {print $3}')
+offered=$(printf '%s\n' "$out" | awk '/^offered/ {print $3}')
+pkts=$(printf '%s\n' "$out" | awk '/^packets/ {print $3}')
+if [ "$quarantined" != "1" ]; then
+    echo "    expected exactly 1 quarantined packet, got '$quarantined':"; echo "$out"; exit 1
+fi
+if [ -z "$pkts" ] || [ "$((pkts + quarantined))" -ne "$offered" ]; then
+    echo "    packets ($pkts) + quarantined ($quarantined) != offered ($offered)"; exit 1
+fi
+echo "    1 packet quarantined, $pkts of $offered processed: ok"
+
+echo "==> chaos differential: faulted runs match fault-free references"
+# Every corpus NF x backend x shards {1,4} x fixed fault plans: the
+# surviving packets and merged state must be byte-identical to a
+# fault-free run over the surviving input.
+cargo test -q --offline --test differential chaos:: > /dev/null
+echo "    survivors unaffected by contained faults for all corpus NFs: ok"
+
 echo "==> graceful degradation: snort under a 10 ms deadline"
 # Must return a *partial* model (exit 0) with the truncation visible,
 # not hang, panic, or error out.

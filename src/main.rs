@@ -30,6 +30,14 @@
 //! interpreter; `--backend compiled` runs the model lowered to the
 //! `nf-compile` decision-tree engine.
 //!
+//! The run is supervised: a packet whose eval panics or errors is
+//! quarantined (with journal rollback of partial state writes) instead
+//! of aborting the run. `--fault-plan SPEC` injects deterministic
+//! faults (`panic@1:3,delay@*:2:500,...`) for chaos testing, and
+//! `--quarantine-out FILE` dumps the quarantined packets as JSON whose
+//! `trace` key is itself a valid `--workload` file — a ready-made
+//! replay/ddmin input.
+//!
 //! Synthesis-based commands accept `--timeout-ms N` and `--max-paths N`,
 //! which bound the run with a [`Budget`](nfactor::support::budget::Budget);
 //! on exhaustion the model is returned partial and stamped `Truncated`
@@ -118,6 +126,13 @@ RUN OPTIONS
   --workload FILE   JSON workload: {\"seed\": S, \"packets\": N} for a
                     generated stream, or {\"trace\": [{\"ip.src\": A,
                     \"tcp.dport\": 80, ...}, ...]} for explicit packets
+  --fault-plan SPEC comma-separated fault points `kind@shard:nth[:arg]`
+                    with kind panic | err | delay | ring-overflow |
+                    garbage and shard `*` for any shard, injected at the
+                    nth packet steered to that shard (chaos testing)
+  --quarantine-out FILE
+                    write quarantined packets as JSON; the `trace` key
+                    is a valid --workload file for direct replay
 
 LINT OPTIONS
   --watch              poll the file and re-lint on change, printing only
@@ -243,8 +258,15 @@ fn run_shards(
     base: &Pipeline,
     backend: Backend,
     workload: Option<&str>,
+    fault_plan: Option<&str>,
+    quarantine_out: Option<&str>,
 ) -> Result<(), String> {
     let (name, src) = load_source(args)?;
+    let faults = match fault_plan {
+        Some(spec) => nfactor::support::fault::FaultPlan::parse(spec)
+            .map_err(|e| format!("--fault-plan: {e}"))?,
+        None => nfactor::support::fault::FaultPlan::new(),
+    };
     let pipeline = Pipeline::builder()
         .name(&name)
         .shards(base.shards())
@@ -255,7 +277,7 @@ fn run_shards(
     let engine =
         ShardEngine::from_source(&pipeline, &src, backend).map_err(|e| e.to_string())?;
     let packets = load_workload(workload)?;
-    let run = engine.run(&packets).map_err(|e| e.to_string())?;
+    let run = engine.run_faulted(&packets, &faults).map_err(|e| e.to_string())?;
 
     let backend_name = match backend {
         Backend::Interp => "interp",
@@ -273,6 +295,16 @@ fn run_shards(
     outln(format!("packets        : {total}"));
     outln(format!("forwarded      : {forwarded}"));
     outln(format!("dropped        : {}", total as usize - forwarded));
+    // Supervision accounting: shown whenever faults were injected or
+    // something actually went wrong, silent on a clean default run.
+    if !faults.is_empty() || run.offered() != total || run.restarts + run.fallbacks > 0 {
+        outln(format!("offered        : {}", run.offered()));
+        outln(format!("quarantined    : {}", run.quarantined_seqs.len()));
+        outln(format!("ring-dropped   : {}", run.dropped_seqs.len()));
+        outln(format!("restarts       : {}", run.restarts));
+        outln(format!("retries        : {}", run.retries));
+        outln(format!("fallbacks      : {}", run.fallbacks));
+    }
     outln(format!("per-shard pkts : {:?}", run.per_shard_pkts));
     let makespan = run.makespan_ns();
     outln(format!(
@@ -295,6 +327,14 @@ fn run_shards(
             }
             other => outln(format!("{var} = {other}")),
         }
+    }
+    if let Some(path) = quarantine_out {
+        let dump = nfactor::shard::quarantine_to_json(
+            &run.quarantined,
+            run.quarantined_seqs.len() as u64,
+        );
+        std::fs::write(path, dump.render_pretty() + "\n")
+            .map_err(|e| format!("{path}: {e}"))?;
     }
     Ok(())
 }
@@ -492,7 +532,18 @@ fn main() -> ExitCode {
                 .map_err(|e| format!("{path}: {e}"))?;
             Ok(())
         })(),
-        "run" => run_shards(&rest, &pipeline, backend, workload.as_deref()),
+        "run" => (|| {
+            let fault_plan = take_str_flag(&mut rest, "--fault-plan")?;
+            let quarantine_out = take_str_flag(&mut rest, "--quarantine-out")?;
+            run_shards(
+                &rest,
+                &pipeline,
+                backend,
+                workload.as_deref(),
+                fault_plan.as_deref(),
+                quarantine_out.as_deref(),
+            )
+        })(),
         "synthesize" => run_synthesis(&rest, &pipeline).map(|syn| {
             if json {
                 use nfactor::support::json::ToJson;

@@ -9,7 +9,11 @@
 //!   the pinned known divergence for mirror-pair single-field keys.
 //! * [`three_way`] — interpreter ≡ model ≡ compiled for every corpus
 //!   NF, across shard counts {1, 4} and both run modes.
+//! * [`chaos`] — under deterministic fault injection, the packets a run
+//!   does not quarantine or drop behave byte-identically to a
+//!   fault-free run over the surviving input.
 
+mod chaos;
 mod harness;
 mod sharded;
 mod three_way;

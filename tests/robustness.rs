@@ -1,12 +1,16 @@
 //! Robustness properties: fuzz-run determinism, budget monotonicity,
-//! truncated-model round-trips, and graceful degradation under a
-//! wall-clock deadline on the paper-scale snort NF.
+//! truncated-model round-trips, graceful degradation under a
+//! wall-clock deadline on the paper-scale snort NF, and fault-plan
+//! accounting on the supervised shard runtime.
 
 use nfactor::core::{Pipeline, Synthesis};
 use nfactor::fuzz::{run, FuzzConfig};
 use nfactor::model::Completeness;
+use nfactor::packet::PacketGen;
+use nfactor::shard::{Backend, ShardEngine};
 use nfactor::support::budget::Budget;
-use nfactor::support::check::{check, uint_range, Config};
+use nfactor::support::check::{check, tuple3, uint_range, Config};
+use nfactor::support::fault::FaultPlan;
 use nfactor::support::json::{FromJson, ToJson, Value};
 
 fn corpus_source(name: &str) -> String {
@@ -142,6 +146,52 @@ fn snort_with_10ms_deadline_returns_truncated_model() {
     let counters = parsed.get("counters").expect("counters object");
     assert_eq!(counters.get("pipeline.truncated"), Some(&Value::Int(1)));
     assert!(mjson.contains(reason), "{mjson}");
+}
+
+/// Property: whatever deterministic faults are injected into whichever
+/// corpus NF at whatever shard count, the supervised runtime never
+/// loses a packet without a ledger entry (`processed + quarantined +
+/// dropped == offered`) and never trips a merge-time
+/// partitioning-violation or resurrection check — containment must not
+/// corrupt state placement.
+#[test]
+fn random_fault_plans_never_break_accounting_or_merge() {
+    let corpus = nfactor::corpus::default_corpus();
+    let cfg = Config::with_cases(12);
+    let gen = tuple3(
+        uint_range(0, u64::MAX),
+        uint_range(0, corpus.len() as u64 - 1),
+        uint_range(1, 4),
+    );
+    check("random_fault_accounting", &cfg, &gen, |&(seed, which, shards)| {
+        let nf = &corpus[which as usize];
+        let pipeline = Pipeline::builder()
+            .name(nf.name)
+            .shards(shards as usize)
+            .build()
+            .unwrap();
+        let engine = ShardEngine::from_source(&pipeline, &nf.source, Backend::Interp)
+            .unwrap_or_else(|e| panic!("{}: {e}", nf.name));
+        let packets = PacketGen::new(seed).batch(120);
+        let faults = FaultPlan::random(seed, shards as usize, 120, 6);
+        for run in [
+            engine.run_faulted(&packets, &faults),
+            engine.run_sequential_faulted(&packets, &faults),
+        ] {
+            // A fault plan must never surface as an engine error: the
+            // merge checks stay silent and the run completes.
+            let run = run.unwrap_or_else(|e| {
+                panic!("{} under `{}`: {e}", nf.name, faults.render())
+            });
+            assert_eq!(
+                run.offered(),
+                packets.len() as u64,
+                "{} under `{}`: accounting leak",
+                nf.name,
+                faults.render()
+            );
+        }
+    });
 }
 
 /// An unlimited budget still yields a Full model on every corpus NF —
