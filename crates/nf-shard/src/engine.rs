@@ -39,8 +39,9 @@
 //! differential suite can prove that non-quarantined behaviour is
 //! byte-identical to the fault-free run.
 
-use crate::dispatch::shard_of;
+use crate::dispatch::{dispatch_values, shard_of};
 use crate::plan::{RunMode, ShardPlan};
+use crate::telemetry::{FlightOutcome, RunStats, ShardStats, TelemetryConfig, WorkerTelemetry};
 use crate::supervise::{
     panic_message, quiet_catch_unwind, scramble_packet, Quarantine, QuarantineRecord,
     SupervisorPolicy, INJECTED_RING_DEADLINE,
@@ -49,6 +50,7 @@ use nf_compile::{CompiledProgram, CompiledState};
 use nf_model::{Model, ModelState};
 use nf_packet::Packet;
 use nf_support::fault::{FaultKind, FaultPlan};
+use nf_support::sketch::TopK;
 use nf_support::spsc::{Backoff, Producer, TrySendError};
 use nf_trace::Tracer;
 use nfactor_core::{Pipeline, Synthesis};
@@ -503,7 +505,13 @@ impl ShardWorker {
         }
     }
 
-    fn into_out(self, outputs: Vec<SeqOutput>, pkts: u64, busy_ns: u64) -> WorkerOut {
+    fn into_out(
+        self,
+        outputs: Vec<SeqOutput>,
+        pkts: u64,
+        busy_ns: u64,
+        stats: Option<ShardStats>,
+    ) -> WorkerOut {
         let snapshot = self.state.snapshot();
         let (quarantined, quarantined_seqs) = self.quarantine.into_parts();
         WorkerOut {
@@ -515,6 +523,7 @@ impl ShardWorker {
             quarantined_seqs,
             restarts: self.restarts,
             fallbacks: self.fallbacks,
+            stats,
         }
     }
 }
@@ -560,6 +569,10 @@ pub struct ShardRun {
     /// Per-packet compiled→model fallbacks (each is a recorded
     /// divergence; the run continues).
     pub fallbacks: u64,
+    /// Telemetry-plane summary: per-shard latency/occupancy histograms,
+    /// hot keys, and the flight recorder. `None` when telemetry is off
+    /// (disabled config or disabled tracer).
+    pub stats: Option<RunStats>,
 }
 
 impl ShardRun {
@@ -608,6 +621,30 @@ impl ShardRun {
         seqs.sort_unstable();
         seqs
     }
+
+    /// The `--stats-json` document: run-level accounting plus the
+    /// telemetry plane's per-shard detail. `None` when telemetry was
+    /// off for the run.
+    pub fn stats_json(&self) -> Option<nf_support::json::Value> {
+        use nf_support::json::Value as J;
+        let stats = self.stats.as_ref()?;
+        let int = |v: u64| J::Int(i64::try_from(v).unwrap_or(i64::MAX));
+        Some(J::Object(vec![
+            ("packets".into(), int(self.total_pkts())),
+            ("offered".into(), int(self.offered())),
+            (
+                "partitioned".into(),
+                J::Str(if self.partitioned { "true" } else { "false" }.into()),
+            ),
+            ("quarantined".into(), int(self.quarantined_seqs.len() as u64)),
+            ("dropped".into(), int(self.dropped_seqs.len() as u64)),
+            ("restarts".into(), int(self.restarts)),
+            ("retries".into(), int(self.retries)),
+            ("fallbacks".into(), int(self.fallbacks)),
+            ("makespan_ns".into(), int(self.makespan_ns())),
+            ("telemetry".into(), stats.to_json(&self.per_shard_pkts, &self.busy_ns)),
+        ]))
+    }
 }
 
 /// What one worker hands back at join time.
@@ -620,6 +657,7 @@ struct WorkerOut {
     quarantined_seqs: Vec<u64>,
     restarts: u64,
     fallbacks: u64,
+    stats: Option<ShardStats>,
 }
 
 /// A sharded runtime instance for one NF.
@@ -635,6 +673,7 @@ pub struct ShardEngine {
     /// model plus the t=0 `ModelState` it was compiled against.
     fallback: Option<Arc<(Model, ModelState)>>,
     policy: SupervisorPolicy,
+    telemetry: TelemetryConfig,
 }
 
 impl ShardEngine {
@@ -668,6 +707,7 @@ impl ShardEngine {
                     model: None,
                     fallback: None,
                     policy: SupervisorPolicy::default(),
+                    telemetry: TelemetryConfig::default(),
                 })
             }
             Backend::Model | Backend::Compiled => {
@@ -734,6 +774,7 @@ impl ShardEngine {
             model,
             fallback,
             policy: SupervisorPolicy::default(),
+            telemetry: TelemetryConfig::default(),
         })
     }
 
@@ -766,6 +807,23 @@ impl ShardEngine {
     /// cap, ring retry deadline).
     pub fn set_policy(&mut self, policy: SupervisorPolicy) {
         self.policy = policy;
+    }
+
+    /// The telemetry configuration in force.
+    pub fn telemetry(&self) -> TelemetryConfig {
+        self.telemetry
+    }
+
+    /// Replace the telemetry configuration (hot-key sketch capacity,
+    /// flight-recorder depth, flush cadence, master switch).
+    pub fn set_telemetry(&mut self, telemetry: TelemetryConfig) {
+        self.telemetry = telemetry;
+    }
+
+    /// Whether runs collect telemetry: the config switch is on *and*
+    /// the tracer records (a disabled tracer has no sink to flush to).
+    fn telemetry_on(&self) -> bool {
+        self.telemetry.enabled && self.tracer.is_enabled()
     }
 
     /// Run threaded: one `std::thread` worker per shard, fed over SPSC
@@ -856,8 +914,17 @@ impl ShardEngine {
     ) -> Result<ShardRun, ShardError> {
         let n = self.shards;
         let policy = self.policy;
-        type ScopeOut = (Vec<WorkerOut>, Vec<u64>, Vec<u64>, Vec<u64>);
-        let (outs, retries, dropped_seqs, dropped_per_shard) =
+        let telemetry_on = self.telemetry_on();
+        let cfg = self.telemetry;
+        type ScopeOut = (
+            Vec<WorkerOut>,
+            Vec<u64>,
+            Vec<u64>,
+            Vec<u64>,
+            Vec<TopK<Vec<u64>>>,
+            u64,
+        );
+        let (outs, retries, dropped_seqs, dropped_per_shard, sketches, dispatch_ns) =
             std::thread::scope(|scope| -> Result<ScopeOut, ShardError> {
                 let mut producers = Vec::with_capacity(n);
                 let mut handles = Vec::with_capacity(n);
@@ -866,22 +933,44 @@ impl ShardEngine {
                     producers.push(tx);
                     let mut worker = self.shard_worker(w, faults);
                     let tracer = self.tracer.clone();
+                    let label = self.proto.label();
                     let handle = std::thread::Builder::new()
                         .name(format!("nf-shard-{w}"))
                         .spawn_scoped(scope, move || -> WorkerOut {
                             let mut outputs = Vec::new();
                             let (mut pkts, mut busy_ns) = (0u64, 0u64);
+                            let wait_name = format!("shard.{w}.ring.wait.ns");
+                            let mut tel =
+                                telemetry_on.then(|| WorkerTelemetry::new(w, label, &cfg));
                             loop {
-                                let wait = Instant::now();
+                                let wait = tracer.now();
                                 let Some((seq, nth, pkt)) = rx.recv() else { break };
                                 tracer.observe_ns(
-                                    &format!("shard.{w}.ring.wait.ns"),
-                                    wait.elapsed().as_nanos() as u64,
+                                    &wait_name,
+                                    tracer.now().saturating_duration_since(wait).as_nanos()
+                                        as u64,
                                 );
-                                let t0 = Instant::now();
-                                if let Some((outs, dropped)) = worker.process(seq, nth, &pkt)
-                                {
-                                    busy_ns += t0.elapsed().as_nanos() as u64;
+                                if let Some(tel) = tel.as_mut() {
+                                    // Ring depth left behind after this
+                                    // dequeue — the backlog signal.
+                                    tel.occupancy(rx.len() as u64);
+                                }
+                                let t0 = tracer.now();
+                                let step = worker.process(seq, nth, &pkt);
+                                let step_ns =
+                                    tracer.now().saturating_duration_since(t0).as_nanos()
+                                        as u64;
+                                busy_ns += step_ns;
+                                if let Some(tel) = tel.as_mut() {
+                                    let outcome = match &step {
+                                        Some((_, false)) => FlightOutcome::Forwarded,
+                                        Some((_, true)) => FlightOutcome::Dropped,
+                                        None => FlightOutcome::Quarantined,
+                                    };
+                                    tel.record(seq, step_ns, outcome, &pkt);
+                                    tel.maybe_flush(&tracer);
+                                }
+                                if let Some((outs, dropped)) = step {
                                     pkts += 1;
                                     outputs.push(SeqOutput {
                                         seq,
@@ -889,12 +978,11 @@ impl ShardEngine {
                                         outputs: outs,
                                         dropped,
                                     });
-                                } else {
-                                    busy_ns += t0.elapsed().as_nanos() as u64;
                                 }
                             }
                             tracer.count(&format!("shard.{w}.pkts"), pkts);
-                            worker.into_out(outputs, pkts, busy_ns)
+                            let stats = tel.map(|t| t.finish(&tracer));
+                            worker.into_out(outputs, pkts, busy_ns, stats)
                         })
                         .map_err(|e| ShardError::Thread(e.to_string()))?;
                     handles.push(handle);
@@ -903,8 +991,18 @@ impl ShardEngine {
                 let mut retries = vec![0u64; n];
                 let mut dropped_seqs = Vec::new();
                 let mut dropped_per_shard = vec![0u64; n];
+                let mut sketches: Vec<TopK<Vec<u64>>> = if telemetry_on {
+                    (0..n).map(|_| TopK::new(cfg.hotkeys_k)).collect()
+                } else {
+                    Vec::new()
+                };
+                let dispatch_span = self.tracer.span("shard.dispatch");
+                let d0 = self.tracer.now();
                 for (i, pkt) in packets.iter().enumerate() {
                     let w = shard_of(key, pkt, n);
+                    if telemetry_on {
+                        sketches[w].offer(dispatch_values(key, pkt));
+                    }
                     let nth = steered[w];
                     steered[w] += 1;
                     let (forced, garbage) = dispatch_faults(faults, w, nth);
@@ -930,6 +1028,9 @@ impl ShardEngine {
                     }
                 }
                 drop(producers);
+                let dispatch_ns =
+                    self.tracer.now().saturating_duration_since(d0).as_nanos() as u64;
+                dispatch_span.end();
                 let mut outs = Vec::with_capacity(n);
                 for (i, handle) in handles.into_iter().enumerate() {
                     match handle.join() {
@@ -942,9 +1043,17 @@ impl ShardEngine {
                         }
                     }
                 }
-                Ok((outs, retries, dropped_seqs, dropped_per_shard))
+                Ok((outs, retries, dropped_seqs, dropped_per_shard, sketches, dispatch_ns))
             })?;
-        self.assemble(outs, true, retries, dropped_seqs, dropped_per_shard)
+        self.assemble(
+            outs,
+            true,
+            retries,
+            dropped_seqs,
+            dropped_per_shard,
+            sketches,
+            dispatch_ns,
+        )
     }
 
     fn run_global_threaded(
@@ -954,14 +1063,16 @@ impl ShardEngine {
     ) -> Result<ShardRun, ShardError> {
         let n = self.shards;
         let policy = self.policy;
+        let telemetry_on = self.telemetry_on();
+        let cfg = self.telemetry;
         let shared = Arc::new(Mutex::new(self.proto.clone()));
         let turn = Arc::new(AtomicU64::new(0));
         // Seqs that will never be processed (dropped at dispatch): a
         // waiter whose turn never comes checks here and advances the
         // ticket past them, so a drop cannot stall the run.
         let skipped = Arc::new(Mutex::new(BTreeSet::<u64>::new()));
-        type ScopeOut = (Vec<WorkerOut>, Vec<u64>, Vec<u64>, Vec<u64>);
-        let (mut outs, retries, mut dropped_seqs, dropped_per_shard) =
+        type ScopeOut = (Vec<WorkerOut>, Vec<u64>, Vec<u64>, Vec<u64>, u64);
+        let (mut outs, retries, mut dropped_seqs, dropped_per_shard, dispatch_ns) =
             std::thread::scope(|scope| -> Result<ScopeOut, ShardError> {
                 let mut producers = Vec::with_capacity(n);
                 let mut handles = Vec::with_capacity(n);
@@ -988,13 +1099,18 @@ impl ShardEngine {
                             let mut quarantine = Quarantine::new(policy.quarantine_cap);
                             let (mut fail_streak, mut restarts) = (0u32, 0u64);
                             let mut fallbacks = 0u64;
+                            let mut tel =
+                                telemetry_on.then(|| WorkerTelemetry::new(w, label, &cfg));
                             while let Some((seq, nth, pkt)) = rx.recv() {
+                                if let Some(tel) = tel.as_mut() {
+                                    tel.occupancy(rx.len() as u64);
+                                }
                                 // Ticket lock: process strictly in arrival
                                 // order so the run is bit-identical to the
                                 // single-threaded reference. `u64::MAX` is
                                 // the poison ticket a failing shard leaves
                                 // behind so nobody spins forever.
-                                let wait = Instant::now();
+                                let wait = tracer.now();
                                 let mut backoff = Backoff::new();
                                 loop {
                                     match turn.load(Ordering::Acquire) {
@@ -1025,9 +1141,10 @@ impl ShardEngine {
                                     shared.lock().unwrap_or_else(|e| e.into_inner());
                                 tracer.observe_ns(
                                     "lock.wait.ns",
-                                    wait.elapsed().as_nanos() as u64,
+                                    tracer.now().saturating_duration_since(wait).as_nanos()
+                                        as u64,
                                 );
-                                let t0 = Instant::now();
+                                let t0 = tracer.now();
                                 let step = supervised_step(
                                     &mut guard,
                                     model.as_deref(),
@@ -1043,7 +1160,21 @@ impl ShardEngine {
                                         fail_streak = 0;
                                         drop(guard);
                                         turn.store(seq + 1, Ordering::Release);
-                                        busy_ns += t0.elapsed().as_nanos() as u64;
+                                        let step_ns = tracer
+                                            .now()
+                                            .saturating_duration_since(t0)
+                                            .as_nanos()
+                                            as u64;
+                                        busy_ns += step_ns;
+                                        if let Some(tel) = tel.as_mut() {
+                                            let outcome = if dropped {
+                                                FlightOutcome::Dropped
+                                            } else {
+                                                FlightOutcome::Forwarded
+                                            };
+                                            tel.record(seq, step_ns, outcome, &pkt);
+                                            tel.maybe_flush(&tracer);
+                                        }
                                         pkts += 1;
                                         outputs.push(SeqOutput {
                                             seq,
@@ -1063,7 +1194,21 @@ impl ShardEngine {
                                         }
                                         drop(guard);
                                         turn.store(seq + 1, Ordering::Release);
-                                        busy_ns += t0.elapsed().as_nanos() as u64;
+                                        let step_ns = tracer
+                                            .now()
+                                            .saturating_duration_since(t0)
+                                            .as_nanos()
+                                            as u64;
+                                        busy_ns += step_ns;
+                                        if let Some(tel) = tel.as_mut() {
+                                            tel.record(
+                                                seq,
+                                                step_ns,
+                                                FlightOutcome::Quarantined,
+                                                &pkt,
+                                            );
+                                            tel.maybe_flush(&tracer);
+                                        }
                                         quarantine.push(QuarantineRecord {
                                             seq,
                                             shard: w,
@@ -1077,6 +1222,7 @@ impl ShardEngine {
                             poison.armed = false;
                             tracer.count(&format!("shard.{w}.pkts"), pkts);
                             let (quarantined, quarantined_seqs) = quarantine.into_parts();
+                            let stats = tel.map(|t| t.finish(&tracer));
                             Ok(WorkerOut {
                                 outputs,
                                 snapshot: BTreeMap::new(),
@@ -1086,6 +1232,7 @@ impl ShardEngine {
                                 quarantined_seqs,
                                 restarts,
                                 fallbacks,
+                                stats,
                             })
                         })
                         .map_err(|e| ShardError::Thread(e.to_string()))?;
@@ -1095,6 +1242,8 @@ impl ShardEngine {
                 let mut retries = vec![0u64; n];
                 let mut dropped_seqs = Vec::new();
                 let mut dropped_per_shard = vec![0u64; n];
+                let dispatch_span = self.tracer.span("shard.dispatch");
+                let d0 = self.tracer.now();
                 for (i, pkt) in packets.iter().enumerate() {
                     // Round-robin: the ticket serialises processing anyway.
                     let w = i % n;
@@ -1133,6 +1282,9 @@ impl ShardEngine {
                     }
                 }
                 drop(producers);
+                let dispatch_ns =
+                    self.tracer.now().saturating_duration_since(d0).as_nanos() as u64;
+                dispatch_span.end();
                 // Join everything, then report the root cause rather than
                 // a bystander's abort.
                 let mut outs = Vec::with_capacity(n);
@@ -1160,16 +1312,32 @@ impl ShardEngine {
                         "worker aborted without a cause".into(),
                     ));
                 }
-                Ok((outs, retries, dropped_seqs, dropped_per_shard))
+                Ok((outs, retries, dropped_seqs, dropped_per_shard, dispatch_ns))
             })?;
         let mut outputs: Vec<SeqOutput> = outs.iter().flat_map(|o| o.outputs.clone()).collect();
         outputs.sort_by_key(|o| o.seq);
+        let merge_span = self.tracer.span("shard.merge");
+        let m0 = self.tracer.now();
         let merged = shared.lock().unwrap_or_else(|e| e.into_inner()).snapshot();
+        let merge_ns = self.tracer.now().saturating_duration_since(m0).as_nanos() as u64;
+        merge_span.end();
         let per_shard_pkts = outs.iter().map(|o| o.pkts).collect();
         let busy_ns = outs.iter().map(|o| o.busy_ns).collect();
+        let shard_stats: Vec<ShardStats> =
+            outs.iter_mut().filter_map(|o| o.stats.take()).collect();
         let (quarantined, quarantined_seqs, restarts, fallbacks) =
             self.fold_faults(&mut outs, &retries, &dropped_per_shard);
         dropped_seqs.sort_unstable();
+        let stats = (!shard_stats.is_empty()).then(|| {
+            RunStats::assemble(
+                shard_stats,
+                Vec::new(),
+                None,
+                dispatch_ns,
+                merge_ns,
+                &self.tracer,
+            )
+        });
         Ok(ShardRun {
             outputs,
             merged,
@@ -1182,6 +1350,7 @@ impl ShardEngine {
             restarts,
             retries: retries.iter().sum(),
             fallbacks,
+            stats,
         })
     }
 
@@ -1193,8 +1362,23 @@ impl ShardEngine {
         packets: &[Packet],
         faults: &FaultPlan,
     ) -> Result<ShardRun, ShardError> {
+        let telemetry_on = self.telemetry_on();
         let mut workers: Vec<ShardWorker> =
             (0..n).map(|w| self.shard_worker(w, faults)).collect();
+        let mut tels: Vec<Option<WorkerTelemetry>> = (0..n)
+            .map(|w| {
+                telemetry_on
+                    .then(|| WorkerTelemetry::new(w, self.proto.label(), &self.telemetry))
+            })
+            .collect();
+        // Hot keys are a property of the dispatch key; a global-lock
+        // plan has none, so its profile is naturally empty.
+        let key = self.plan.dispatch().cloned();
+        let mut sketches: Vec<TopK<Vec<u64>>> = if telemetry_on && key.is_some() {
+            (0..n).map(|_| TopK::new(self.telemetry.hotkeys_k)).collect()
+        } else {
+            Vec::new()
+        };
         let mut outputs = Vec::with_capacity(packets.len());
         let mut pkts = vec![0u64; n];
         let mut busy = vec![0u64; n];
@@ -1204,6 +1388,11 @@ impl ShardEngine {
         let mut dropped_per_shard = vec![0u64; n];
         for (i, pkt) in packets.iter().enumerate() {
             let w = pick(pkt).min(n - 1);
+            if !sketches.is_empty() {
+                if let Some(key) = &key {
+                    sketches[w].offer(dispatch_values(key, pkt));
+                }
+            }
             let nth = steered[w];
             steered[w] += 1;
             let (forced, garbage) = dispatch_faults(faults, w, nth);
@@ -1221,9 +1410,21 @@ impl ShardEngine {
             } else {
                 pkt
             };
-            let t0 = Instant::now();
-            if let Some((outs, dropped)) = workers[w].process(i as u64, nth, pkt) {
-                busy[w] += t0.elapsed().as_nanos() as u64;
+            let t0 = self.tracer.now();
+            let step = workers[w].process(i as u64, nth, pkt);
+            let step_ns =
+                self.tracer.now().saturating_duration_since(t0).as_nanos() as u64;
+            busy[w] += step_ns;
+            if let Some(tel) = tels[w].as_mut() {
+                let outcome = match &step {
+                    Some((_, false)) => FlightOutcome::Forwarded,
+                    Some((_, true)) => FlightOutcome::Dropped,
+                    None => FlightOutcome::Quarantined,
+                };
+                tel.record(i as u64, step_ns, outcome, pkt);
+                tel.maybe_flush(&self.tracer);
+            }
+            if let Some((outs, dropped)) = step {
                 pkts[w] += 1;
                 outputs.push(SeqOutput {
                     seq: i as u64,
@@ -1231,8 +1432,6 @@ impl ShardEngine {
                     outputs: outs,
                     dropped,
                 });
-            } else {
-                busy[w] += t0.elapsed().as_nanos() as u64;
             }
         }
         for (w, count) in pkts.iter().enumerate() {
@@ -1242,10 +1441,21 @@ impl ShardEngine {
             .into_iter()
             .zip(pkts)
             .zip(busy)
-            .map(|((worker, pkts), busy_ns)| worker.into_out(Vec::new(), pkts, busy_ns))
+            .zip(tels)
+            .map(|(((worker, pkts), busy_ns), tel)| {
+                let stats = tel.map(|t| t.finish(&self.tracer));
+                worker.into_out(Vec::new(), pkts, busy_ns, stats)
+            })
             .collect();
-        let mut run =
-            self.assemble(outs, partitioned, retries, dropped_seqs, dropped_per_shard)?;
+        let mut run = self.assemble(
+            outs,
+            partitioned,
+            retries,
+            dropped_seqs,
+            dropped_per_shard,
+            sketches,
+            0,
+        )?;
         run.outputs = outputs;
         Ok(run)
     }
@@ -1256,10 +1466,17 @@ impl ShardEngine {
         faults: &FaultPlan,
     ) -> Result<ShardRun, ShardError> {
         let n = self.shards;
+        let telemetry_on = self.telemetry_on();
         // One shared evaluator; the worker's shard index is rewritten
         // per packet so faults and quarantine records land on the right
         // virtual shard.
         let mut worker = self.shard_worker(0, faults);
+        let mut tels: Vec<Option<WorkerTelemetry>> = (0..n)
+            .map(|w| {
+                telemetry_on
+                    .then(|| WorkerTelemetry::new(w, self.proto.label(), &self.telemetry))
+            })
+            .collect();
         let mut outputs = Vec::with_capacity(packets.len());
         let mut pkts = vec![0u64; n];
         let mut busy = vec![0u64; n];
@@ -1288,9 +1505,21 @@ impl ShardEngine {
                 pkt
             };
             worker.shard = w;
-            let t0 = Instant::now();
-            if let Some((outs, dropped)) = worker.process(i as u64, nth, pkt) {
-                busy[w] += t0.elapsed().as_nanos() as u64;
+            let t0 = self.tracer.now();
+            let step = worker.process(i as u64, nth, pkt);
+            let step_ns =
+                self.tracer.now().saturating_duration_since(t0).as_nanos() as u64;
+            busy[w] += step_ns;
+            if let Some(tel) = tels[w].as_mut() {
+                let outcome = match &step {
+                    Some((_, false)) => FlightOutcome::Forwarded,
+                    Some((_, true)) => FlightOutcome::Dropped,
+                    None => FlightOutcome::Quarantined,
+                };
+                tel.record(i as u64, step_ns, outcome, pkt);
+                tel.maybe_flush(&self.tracer);
+            }
+            if let Some((outs, dropped)) = step {
                 pkts[w] += 1;
                 outputs.push(SeqOutput {
                     seq: i as u64,
@@ -1299,7 +1528,6 @@ impl ShardEngine {
                     dropped,
                 });
             } else {
-                busy[w] += t0.elapsed().as_nanos() as u64;
                 quarantined_per_shard[w] += 1;
             }
         }
@@ -1329,7 +1557,19 @@ impl ShardEngine {
         }
         let restarts = worker.restarts;
         let fallbacks = worker.fallbacks;
+        let merge_span = self.tracer.span("shard.merge");
+        let m0 = self.tracer.now();
         let merged = worker.state.snapshot();
+        let merge_ns = self.tracer.now().saturating_duration_since(m0).as_nanos() as u64;
+        merge_span.end();
+        let shard_stats: Vec<ShardStats> = tels
+            .into_iter()
+            .flatten()
+            .map(|t| t.finish(&self.tracer))
+            .collect();
+        let stats = (!shard_stats.is_empty()).then(|| {
+            RunStats::assemble(shard_stats, Vec::new(), None, 0, merge_ns, &self.tracer)
+        });
         let (mut quarantined, mut quarantined_seqs) = worker.quarantine.into_parts();
         quarantined.sort_by_key(|r| r.seq);
         quarantined.truncate(self.policy.quarantine_cap);
@@ -1347,11 +1587,13 @@ impl ShardEngine {
             restarts,
             retries: retries.iter().sum(),
             fallbacks,
+            stats,
         })
     }
 
-    /// Sort outputs, merge per-shard snapshots, and fold the workers'
-    /// fault accounting into the run.
+    /// Sort outputs, merge per-shard snapshots, fold the workers' fault
+    /// accounting into the run, and assemble the telemetry plane's
+    /// [`RunStats`] (hot-key sketches come from the dispatcher).
     fn assemble(
         &self,
         mut outs: Vec<WorkerOut>,
@@ -1359,18 +1601,36 @@ impl ShardEngine {
         retries: Vec<u64>,
         mut dropped_seqs: Vec<u64>,
         dropped_per_shard: Vec<u64>,
+        sketches: Vec<TopK<Vec<u64>>>,
+        dispatch_ns: u64,
     ) -> Result<ShardRun, ShardError> {
         let mut outputs: Vec<SeqOutput> = outs.iter().flat_map(|o| o.outputs.clone()).collect();
         outputs.sort_by_key(|o| o.seq);
         let initial = self.proto.snapshot();
+        let merge_span = self.tracer.span("shard.merge");
+        let m0 = self.tracer.now();
         let snapshots: Vec<&BTreeMap<String, Value>> =
             outs.iter().map(|o| &o.snapshot).collect();
         let merged = merge_states(&self.report, &initial, &snapshots)?;
+        let merge_ns = self.tracer.now().saturating_duration_since(m0).as_nanos() as u64;
+        merge_span.end();
         let per_shard_pkts = outs.iter().map(|o| o.pkts).collect();
         let busy_ns = outs.iter().map(|o| o.busy_ns).collect();
+        let shard_stats: Vec<ShardStats> =
+            outs.iter_mut().filter_map(|o| o.stats.take()).collect();
         let (quarantined, quarantined_seqs, restarts, fallbacks) =
             self.fold_faults(&mut outs, &retries, &dropped_per_shard);
         dropped_seqs.sort_unstable();
+        let stats = (!shard_stats.is_empty()).then(|| {
+            RunStats::assemble(
+                shard_stats,
+                sketches,
+                self.plan.dispatch(),
+                dispatch_ns,
+                merge_ns,
+                &self.tracer,
+            )
+        });
         Ok(ShardRun {
             outputs,
             merged,
@@ -1383,6 +1643,7 @@ impl ShardEngine {
             restarts,
             retries: retries.iter().sum(),
             fallbacks,
+            stats,
         })
     }
 

@@ -35,6 +35,14 @@
 //! `(shard, nth-packet)` points — the chaos differential suite's
 //! substrate.
 //!
+//! The runtime is also **observable** ([`telemetry`]): workers record
+//! eval latency, ring occupancy, and a bounded per-packet flight
+//! recorder into private buffers merged at join, the dispatcher
+//! profiles hot dispatch keys with a space-saving sketch, and the run
+//! surfaces it all as `shard.N.*` histograms/labels (the `nfactor top`
+//! live view) and a [`RunStats`] document (`--stats-json`,
+//! `--flight-out`). Telemetry never changes what a run computes.
+//!
 //! ```no_run
 //! use nfactor_core::Pipeline;
 //! use nf_shard::{Backend, ShardEngine};
@@ -52,8 +60,12 @@ pub mod dispatch;
 pub mod engine;
 pub mod plan;
 pub mod supervise;
+pub mod telemetry;
 
 pub use dispatch::{dispatch_values, shard_of};
 pub use engine::{Backend, SeqOutput, ShardEngine, ShardError, ShardRun};
 pub use plan::{Placement, RunMode, ShardPlan};
 pub use supervise::{panic_message, quarantine_to_json, QuarantineRecord, SupervisorPolicy};
+pub use telemetry::{
+    render_top, FlightEvent, FlightOutcome, RunStats, ShardStats, TelemetryConfig,
+};

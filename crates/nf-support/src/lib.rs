@@ -23,6 +23,10 @@
 //! * [`fault`] — a seeded, deterministic fault-injection plan
 //!   (panic/error/delay/ring-overflow/garbage points) consumed by the
 //!   `nf-shard` supervisor and the chaos differential suite.
+//! * [`sketch`] — a space-saving top-K frequency sketch (the `nf-shard`
+//!   hot-key profiler behind `shard.N.hotkeys`).
+//! * [`ring`] — a bounded overwrite-oldest ring log (the `nf-shard`
+//!   flight recorder's storage).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -33,7 +37,9 @@ pub mod bytes;
 pub mod check;
 pub mod fault;
 pub mod json;
+pub mod ring;
 pub mod rng;
+pub mod sketch;
 pub mod spsc;
 
 pub use budget::Budget;

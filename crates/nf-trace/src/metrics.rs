@@ -38,6 +38,9 @@ pub struct Histogram {
     pub count: u64,
     /// Sum of all observed values (saturating).
     pub sum: u64,
+    /// Largest observed value (0 when empty); also the upper edge used
+    /// when interpolating quantiles inside the overflow bucket.
+    pub max: u64,
 }
 
 impl Histogram {
@@ -48,6 +51,7 @@ impl Histogram {
             counts: vec![0; bounds.len() + 1],
             count: 0,
             sum: 0,
+            max: 0,
         }
     }
 
@@ -63,6 +67,35 @@ impl Histogram {
         }
         self.count += 1;
         self.sum = self.sum.saturating_add(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Fold another histogram into this one. Matching bucket bounds
+    /// merge count-for-count; mismatched bounds are re-bucketed at each
+    /// source bucket's upper edge (overflow at the source maximum), so
+    /// the merge never loses observations either way.
+    pub fn merge(&mut self, other: &Histogram) {
+        if self.bounds == other.bounds {
+            for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+                *a += b;
+            }
+        } else {
+            for (i, &c) in other.counts.iter().enumerate() {
+                if c == 0 {
+                    continue;
+                }
+                let v = other.bounds.get(i).copied().unwrap_or(other.max);
+                let idx = self
+                    .bounds
+                    .iter()
+                    .position(|&b| v <= b)
+                    .unwrap_or(self.bounds.len());
+                self.counts[idx] += c;
+            }
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
     }
 
     /// Mean observed value, or 0 when empty.
@@ -70,7 +103,58 @@ impl Histogram {
         if self.count == 0 { 0 } else { self.sum / self.count }
     }
 
-    fn to_json(&self) -> Value {
+    /// Bucket-interpolated quantile estimate for `q` in `[0, 1]`
+    /// (clamped); 0 when empty.
+    ///
+    /// The observation of rank `ceil(q * count)` is located in its
+    /// bucket and linearly interpolated between the bucket's edges
+    /// (the overflow bucket's upper edge is the observed maximum). The
+    /// estimate is therefore always bounded by the edges of the bucket
+    /// the rank falls in, and monotone in `q` — both pinned by property
+    /// tests.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if rank <= seen + c {
+                let lo = if i == 0 { 0 } else { self.bounds[i - 1] };
+                let hi = self.bounds.get(i).copied().unwrap_or(self.max);
+                // The true values in this bucket never exceed the
+                // observed maximum, so tighten the upper edge.
+                let hi = hi.min(self.max).max(lo);
+                let within = (rank - seen) as f64 / c as f64;
+                return lo + ((hi - lo) as f64 * within).round() as u64;
+            }
+            seen += c;
+        }
+        self.max
+    }
+
+    /// Median estimate (`quantile(0.50)`).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th-percentile estimate (`quantile(0.90)`).
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th-percentile estimate (`quantile(0.99)`).
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// JSON summary: totals, interpolated percentiles, and the raw
+    /// bucket layout (`bounds`/`counts`) for downstream tooling.
+    pub fn to_json(&self) -> Value {
         let buckets = self
             .bounds
             .iter()
@@ -86,6 +170,10 @@ impl Histogram {
         Value::Object(vec![
             ("count".into(), int_json(self.count)),
             ("sum".into(), int_json(self.sum)),
+            ("max".into(), int_json(self.max)),
+            ("p50".into(), int_json(self.p50())),
+            ("p90".into(), int_json(self.p90())),
+            ("p99".into(), int_json(self.p99())),
             ("bounds".into(), Value::Array(buckets)),
             ("counts".into(), Value::Array(counts)),
         ])
@@ -123,10 +211,46 @@ impl MetricsSnapshot {
         self.counters.get(name).copied()
     }
 
+    /// The change since `earlier`: counters and histogram counts are
+    /// subtracted (saturating), gauges and labels keep their current
+    /// values (they are last-write-wins, so a delta is meaningless).
+    ///
+    /// This is what the live `nfactor top` view renders each poll to
+    /// turn cumulative totals into interval rates. A metric absent from
+    /// `earlier` — or a histogram whose bounds changed — passes through
+    /// unchanged. A delta histogram's `max` keeps the cumulative
+    /// maximum (the interval maximum is not recoverable from buckets).
+    pub fn delta(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        let mut out = MetricsSnapshot::default();
+        for (k, v) in &self.counters {
+            let prev = earlier.counters.get(k).copied().unwrap_or(0);
+            out.counters.insert(k.clone(), v.saturating_sub(prev));
+        }
+        out.gauges = self.gauges.clone();
+        out.labels = self.labels.clone();
+        for (k, h) in &self.histograms {
+            let d = match earlier.histograms.get(k) {
+                Some(p) if p.bounds == h.bounds && p.count <= h.count => {
+                    let mut d = h.clone();
+                    for (a, b) in d.counts.iter_mut().zip(&p.counts) {
+                        *a = a.saturating_sub(*b);
+                    }
+                    d.count = h.count - p.count;
+                    d.sum = h.sum.saturating_sub(p.sum);
+                    d
+                }
+                _ => h.clone(),
+            };
+            out.histograms.insert(k.clone(), d);
+        }
+        out
+    }
+
     /// Render a sorted `name  value` table, one metric per line.
     ///
-    /// Histograms are flattened to `<name>.count/.sum/.mean` rows so the
-    /// table stays one scalar per line.
+    /// Histograms are flattened to `<name>.count/.mean/.p50/.p99/.max`
+    /// rows so the table stays one scalar per line while still reading
+    /// as a latency summary.
     pub fn render_table(&self) -> String {
         let mut rows: Vec<(String, String)> = Vec::new();
         for (k, v) in &self.counters {
@@ -140,8 +264,10 @@ impl MetricsSnapshot {
         }
         for (k, h) in &self.histograms {
             rows.push((format!("{k}.count"), h.count.to_string()));
-            rows.push((format!("{k}.sum"), h.sum.to_string()));
             rows.push((format!("{k}.mean"), h.mean().to_string()));
+            rows.push((format!("{k}.p50"), h.p50().to_string()));
+            rows.push((format!("{k}.p99"), h.p99().to_string()));
+            rows.push((format!("{k}.max"), h.max.to_string()));
         }
         rows.sort();
         let width = rows.iter().map(|(k, _)| k.len()).max().unwrap_or(0);
@@ -198,6 +324,81 @@ mod tests {
         assert_eq!(h.count, 4);
         assert_eq!(h.sum, 222);
         assert_eq!(h.mean(), 55);
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_buckets() {
+        let mut h = Histogram::new(&[100, 200]);
+        for v in [50, 100, 150, 200] {
+            h.observe(v);
+        }
+        // rank(0.5) = 2 → second of two observations in bucket (0,100]:
+        // interpolation reaches the bucket's upper edge.
+        assert_eq!(h.p50(), 100);
+        // rank(0.99) = 4 → top of bucket (100,200].
+        assert_eq!(h.p99(), 200);
+        assert_eq!(h.max, 200);
+        assert_eq!(h.quantile(0.0), h.quantile(0.001));
+        let empty = Histogram::new(&[100]);
+        assert_eq!(empty.quantile(0.5), 0);
+    }
+
+    #[test]
+    fn quantile_overflow_bucket_uses_observed_max() {
+        let mut h = Histogram::new(&[10]);
+        h.observe(5_000); // overflow
+        assert_eq!(h.p99(), 5_000);
+        assert_eq!(h.p50(), 5_000);
+    }
+
+    #[test]
+    fn merge_matching_bounds_adds_counts() {
+        let mut a = Histogram::new(&[10, 100]);
+        a.observe(5);
+        let mut b = Histogram::new(&[10, 100]);
+        b.observe(50);
+        b.observe(500);
+        a.merge(&b);
+        assert_eq!(a.counts, vec![1, 1, 1]);
+        assert_eq!(a.count, 3);
+        assert_eq!(a.sum, 555);
+        assert_eq!(a.max, 500);
+    }
+
+    #[test]
+    fn merge_mismatched_bounds_rebuckets_at_upper_edges() {
+        let mut a = Histogram::new(&[1_000]);
+        let mut b = Histogram::new(&[10, 100]);
+        b.observe(5); // folded at edge 10
+        b.observe(2_000); // overflow, folded at b.max = 2000
+        a.merge(&b);
+        assert_eq!(a.counts, vec![1, 1]);
+        assert_eq!(a.count, 2);
+        assert_eq!(a.max, 2_000);
+    }
+
+    #[test]
+    fn delta_subtracts_counters_and_histograms() {
+        let mut before = MetricsSnapshot::default();
+        before.counters.insert("pkts".into(), 10);
+        let mut h0 = Histogram::new(&[100]);
+        h0.observe(50);
+        before.histograms.insert("lat".into(), h0);
+
+        let mut after = before.clone();
+        *after.counters.get_mut("pkts").unwrap() = 25;
+        after.counters.insert("fresh".into(), 3);
+        after.histograms.get_mut("lat").unwrap().observe(70);
+        after.gauges.insert("depth".into(), 4);
+
+        let d = after.delta(&before);
+        assert_eq!(d.counter("pkts"), Some(15));
+        assert_eq!(d.counter("fresh"), Some(3));
+        assert_eq!(d.gauges.get("depth"), Some(&4));
+        let lat = &d.histograms["lat"];
+        assert_eq!(lat.count, 1);
+        assert_eq!(lat.sum, 70);
+        assert_eq!(lat.counts, vec![1, 0]);
     }
 
     #[test]

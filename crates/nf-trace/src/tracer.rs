@@ -32,6 +32,10 @@ pub struct TraceEvent {
     pub dur_ns: Option<u64>,
     /// Nesting depth at the time the event was recorded (0 = top level).
     pub depth: usize,
+    /// Dense index of the recording thread (0 = first thread to record;
+    /// single-threaded runs therefore always read 0). Maps into
+    /// [`Tracer::thread_names`].
+    pub tid: usize,
     /// Optional integer arguments (path index, constraint count, …).
     pub args: Vec<(String, i64)>,
 }
@@ -41,7 +45,25 @@ struct Sink {
     events: Vec<TraceEvent>,
     /// Stack of currently-open spans: (name, start_ns).
     open: Vec<(String, u64)>,
+    /// Recording threads in first-record order; the position is the
+    /// event `tid` and the name (when the thread has one) feeds the
+    /// Chrome `thread_name` metadata.
+    threads: Vec<(std::thread::ThreadId, Option<String>)>,
     metrics: MetricsSnapshot,
+}
+
+impl Sink {
+    /// The dense tid for the calling thread, registering it on first
+    /// use.
+    fn tid_for_current(&mut self) -> usize {
+        let cur = std::thread::current();
+        let id = cur.id();
+        if let Some(i) = self.threads.iter().position(|(t, _)| *t == id) {
+            return i;
+        }
+        self.threads.push((id, cur.name().map(String::from)));
+        self.threads.len() - 1
+    }
 }
 
 /// The tracing handle. See the [module docs](self) for the threading
@@ -147,7 +169,8 @@ impl Tracer {
         let args: Vec<(String, i64)> = args.iter().map(|(k, v)| (k.to_string(), *v)).collect();
         self.with_sink(|s| {
             let depth = s.open.len();
-            s.events.push(TraceEvent { name: name.to_string(), ts_ns: ts, dur_ns: None, depth, args });
+            let tid = s.tid_for_current();
+            s.events.push(TraceEvent { name: name.to_string(), ts_ns: ts, dur_ns: None, depth, tid, args });
         });
     }
 
@@ -184,6 +207,26 @@ impl Tracer {
         });
     }
 
+    /// Fold a locally-accumulated histogram into the registry under
+    /// `name` in one lock acquisition.
+    ///
+    /// This is the off-hot-path flush: shard workers batch observations
+    /// into a private [`Histogram`] and merge it here every few dozen
+    /// packets, instead of taking the sink lock per packet. A no-op for
+    /// an empty histogram or a disabled tracer.
+    pub fn merge_histogram(&self, name: &str, h: &Histogram) {
+        if h.count == 0 {
+            return;
+        }
+        self.with_sink(|s| {
+            s.metrics
+                .histograms
+                .entry(name.to_string())
+                .or_insert_with(|| Histogram::new(&h.bounds))
+                .merge(h);
+        });
+    }
+
     /// Snapshot of all metrics recorded so far (empty when disabled).
     pub fn metrics(&self) -> MetricsSnapshot {
         self.with_sink(|s| s.metrics.clone()).unwrap_or_default()
@@ -204,9 +247,22 @@ impl Tracer {
         self.open_spans() == 0
     }
 
+    /// Display names of every thread that has recorded an event, in
+    /// `tid` order. Unnamed threads render as `thread-<tid>`.
+    pub fn thread_names(&self) -> Vec<String> {
+        self.with_sink(|s| {
+            s.threads
+                .iter()
+                .enumerate()
+                .map(|(i, (_, name))| name.clone().unwrap_or_else(|| format!("thread-{i}")))
+                .collect()
+        })
+        .unwrap_or_default()
+    }
+
     /// Chrome trace-event-format JSON for everything recorded so far.
     pub fn trace_json(&self) -> Value {
-        crate::chrome::trace_json(&self.events())
+        crate::chrome::trace_json(&self.events(), &self.thread_names())
     }
 }
 
@@ -246,11 +302,13 @@ impl Span {
                     }
                     None => (self.tracer.ns_since_origin(self.start), 0),
                 };
+                let tid = s.tid_for_current();
                 s.events.push(TraceEvent {
                     name: name.clone(),
                     ts_ns,
                     dur_ns: Some(dur_ns),
                     depth,
+                    tid,
                     args: Vec::new(),
                 });
                 *s.metrics.counters.entry(format!("{name}.ns")).or_insert(0) += dur_ns;

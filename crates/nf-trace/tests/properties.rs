@@ -88,11 +88,19 @@ fn prop_chrome_json_round_trips_with_expected_shape() {
         let (tracer, opens, instants) = interpret(ops);
         let text = tracer.trace_json().render_pretty();
         let parsed = Value::parse(&text).expect("trace JSON must re-parse");
-        let events = match parsed.get("traceEvents") {
+        let all = match parsed.get("traceEvents") {
             Some(Value::Array(es)) => es.clone(),
             other => panic!("traceEvents must be an array, got {other:?}"),
         };
+        // `thread_name` metadata events lead; timed events follow.
+        let (meta, events): (Vec<_>, Vec<_>) = all
+            .iter()
+            .partition(|ev| ev.get("ph") == Some(&Value::Str("M".into())));
         assert_eq!(events.len(), opens + instants);
+        if opens + instants > 0 {
+            assert_eq!(meta.len(), 1, "single-threaded run names exactly one thread");
+            assert_eq!(events[0].get("tid"), Some(&Value::Int(0)));
+        }
         for ev in &events {
             assert!(matches!(ev.get("name"), Some(Value::Str(_))));
             assert!(matches!(ev.get("ts"), Some(Value::Float(_))));

@@ -1,0 +1,107 @@
+#!/usr/bin/env bash
+# Metrics gate: the README's observability table and the metric names
+# in the code must not drift apart.
+#
+# Direction 1 — every name in the README's "stable metric names" table
+# must resolve to a string literal in non-test library code. Dynamic
+# components (`N`, `<label>`-style placeholders, `{a,b,c}`
+# alternations, `*`) match any single dotted component, so
+# `shard.N.eval.ns` in the README is satisfied by `"shard.{w}.eval.ns"`
+# in the code. A name ending in `.ns` also matches its bare span name
+# (`shard.dispatch.ns` <- `tracer.span("shard.dispatch")`), because
+# span close records the `.ns` counter. Continuation shorthand in the
+# table (`.restarts` following `shard.N.quarantined`) inherits the
+# previous name's prefix — replacing its last component or appending.
+#
+# Direction 2 — every `shard.*` metric literal in library code must be
+# documented: verbatim in the README (with `{var}` components
+# normalised to `N`), as a backticked `.suffix` continuation, or listed
+# with a reason in scripts/metrics_allowlist.txt. This is the tripwire
+# that keeps new telemetry names from shipping undocumented.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ALLOWLIST=scripts/metrics_allowlist.txt
+fail=0
+LITS=$(mktemp)
+trap 'rm -f "$LITS"' EXIT
+
+# Every dotted string literal in non-test library code (test modules
+# sit at the bottom of each file by repo convention — same convention
+# panic_gate.sh relies on).
+{ find crates -path '*/src/*' -name '*.rs'; find src -name '*.rs'; } | sort |
+    while IFS= read -r f; do
+        awk '/#\[cfg\(test\)\]/{exit} {print}' "$f"
+    done |
+    { grep -oE '"[A-Za-z0-9_.{}<>*-]+"' || true; } |
+    tr -d '"' | grep -F . | sort -u > "$LITS"
+
+# First-column backticked names of the README observability table, in
+# row order (order matters: continuation tokens bind to the previous
+# full name).
+readme_names() {
+    awk '/^## Observability$/{o=1;next} o&&/^## /{exit} o&&/^\|/&&/`/{
+        split($0, c, "|"); print c[2] }' README.md |
+        { grep -oE '`[^`]+`' || true; } | tr -d '`'
+}
+
+# Turn a README name into an ERE over code literals: dots are literal,
+# each dynamic component matches one code-side component (which may
+# itself be a `{}` format placeholder).
+D='[A-Za-z0-9_{}]+'
+to_regex() {
+    printf '%s\n' "$1" | sed -E \
+        -e 's/\./\\./g' \
+        -e 's/\{[^}]*\}/@D@/g' \
+        -e 's/<[^>]*>/@D@/g' \
+        -e 's/\*/@D@/g' \
+        -e 's/(^|\\\.)N(\\\.|$)/\1@D@\2/' \
+        -e "s/@D@/$D/g"
+}
+
+has_lit() {
+    grep -qE "^$1\$" "$LITS"
+}
+
+check_name() {
+    if has_lit "$(to_regex "$1")"; then return 0; fi
+    case "$1" in
+        *.ns) if has_lit "$(to_regex "${1%.ns}")"; then return 0; fi ;;
+    esac
+    return 1
+}
+
+prev=""
+while IFS= read -r tok; do
+    [ -z "$tok" ] && continue
+    case "$tok" in
+        .*) # continuation shorthand off the previous full name
+            if check_name "${prev%.*}$tok" || check_name "$prev$tok"; then
+                continue
+            fi
+            printf '    README metric %s (continuing %s) has no code literal\n' "$tok" "$prev"
+            fail=1 ;;
+        *)
+            prev="$tok"
+            if check_name "$tok"; then continue; fi
+            printf '    README metric %s has no code literal\n' "$tok"
+            fail=1 ;;
+    esac
+done < <(readme_names)
+
+for lit in $(grep -E '^shard\.' "$LITS" || true); do
+    case "$lit" in *.) continue ;; esac # prefix fragments, not names
+    name=$(printf '%s\n' "$lit" | sed -E 's/\{[A-Za-z0-9_]*\}/N/g')
+    if grep -qF "\`$name\`" README.md; then continue; fi
+    suffix=".${name##*.}"
+    if grep -qF "\`$suffix\`" README.md; then continue; fi
+    if grep -qxF "$name" "$ALLOWLIST"; then continue; fi
+    printf '    undocumented shard metric literal "%s" (README needs `%s`)\n' "$lit" "$name"
+    fail=1
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "    metrics gate: FAIL (sync README.md, the code, or $ALLOWLIST)"
+    exit 1
+fi
+echo "    metrics gate: README table and code literals in sync: ok"

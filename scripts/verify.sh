@@ -117,6 +117,26 @@ grep -q '"symex.paths.explored"' "$tracedir/metrics.json"
 grep -q '"pipeline.stage.slice.ns"' "$tracedir/metrics.json"
 echo "    metrics JSON carries the stable names: ok"
 
+echo "==> telemetry smoke: per-shard stats JSON, flight dump, top --once"
+# The shard telemetry plane must report per-shard latency percentiles
+# and the dispatcher's hot-key profile, and the flight recorder's dump
+# must carry a replayable `trace` key — all as valid JSON.
+./target/release/nfactor run --corpus firewall --shards 4 \
+    --stats-json "$tracedir/stats.json" --flight-out "$tracedir/flight.json" > /dev/null
+./target/release/nfactor json-check "$tracedir/stats.json" > /dev/null
+grep -q '"p99"' "$tracedir/stats.json"
+grep -q '"hotkeys"' "$tracedir/stats.json"
+grep -q '"ring_occupancy"' "$tracedir/stats.json"
+echo "    stats JSON carries percentiles, occupancy, hot keys: ok"
+./target/release/nfactor json-check "$tracedir/flight.json" > /dev/null
+grep -q '"trace"' "$tracedir/flight.json"
+echo "    flight dump valid with a replayable trace: ok"
+out=$(./target/release/nfactor top --corpus firewall --shards 4 --once)
+case "$out" in
+    *"p99"*"hot["*) echo "    top --once rendered the per-shard snapshot: ok" ;;
+    *) echo "    top --once missing percentile columns or hot-key rows:"; echo "$out"; exit 1 ;;
+esac
+
 echo "==> incremental lint smoke: --watch re-lints the edit, metrics show cache hits"
 # First poll lints cold; the appended trailing comment re-parses but
 # early-cuts, so the diagnostic set must not change (no +/- lines), and
@@ -162,5 +182,8 @@ esac
 
 echo "==> panic gate"
 ./scripts/panic_gate.sh
+
+echo "==> metrics gate: README observability table vs code"
+./scripts/metrics_gate.sh
 
 echo "==> verify OK"

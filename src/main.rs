@@ -109,6 +109,8 @@ SYNTHESIS COMMANDS
 
 EXECUTION COMMANDS
   run          execute the NF on a packet workload across worker shards
+  top          per-shard live telemetry view of a run (--once for a
+               single scriptable snapshot)
   test         model-guided compliance tests against the NF itself
   lint         NFL0xx diagnostics + cross-flow sharding report (--json)
   lsp          stdio JSON-RPC language server (diagnostics + hover)
@@ -133,6 +135,18 @@ RUN OPTIONS
   --quarantine-out FILE
                     write quarantined packets as JSON; the `trace` key
                     is a valid --workload file for direct replay
+  --stats-json FILE write the telemetry plane's run stats as JSON:
+                    per-shard eval-latency percentiles, ring occupancy,
+                    hot dispatch keys, dispatch/merge timing
+  --flight-out FILE write the flight recorder (last N per-packet events)
+                    as JSON; its `trace` key is a valid --workload file
+
+TOP OPTIONS
+  --once               run the workload to completion, print one final
+                       per-shard telemetry table, exit (scriptable)
+  --poll-ms N          live-view refresh interval in ms (default 500)
+  --watch-max-polls N  stop refreshing after N polls (0 = until the run
+                       finishes); the run itself always completes
 
 LINT OPTIONS
   --watch              poll the file and re-lint on change, printing only
@@ -260,6 +274,8 @@ fn run_shards(
     workload: Option<&str>,
     fault_plan: Option<&str>,
     quarantine_out: Option<&str>,
+    stats_out: Option<&str>,
+    flight_out: Option<&str>,
 ) -> Result<(), String> {
     let (name, src) = load_source(args)?;
     let faults = match fault_plan {
@@ -336,6 +352,114 @@ fn run_shards(
         std::fs::write(path, dump.render_pretty() + "\n")
             .map_err(|e| format!("{path}: {e}"))?;
     }
+    if let Some(path) = stats_out {
+        let doc = run.stats_json().ok_or_else(|| {
+            "--stats-json: telemetry is disabled for this run".to_string()
+        })?;
+        std::fs::write(path, doc.render_pretty() + "\n")
+            .map_err(|e| format!("{path}: {e}"))?;
+    }
+    if let Some(path) = flight_out {
+        let stats = run.stats.as_ref().ok_or_else(|| {
+            "--flight-out: telemetry is disabled for this run".to_string()
+        })?;
+        let dump = stats.flight_json(engine.telemetry().flight_cap);
+        std::fs::write(path, dump.render_pretty() + "\n")
+            .map_err(|e| format!("{path}: {e}"))?;
+    } else if !run.quarantined_seqs.is_empty() {
+        // Faults with no dump file requested: surface the flight
+        // recorder's tail on stderr so the crash context isn't lost.
+        if let Some(stats) = &run.stats {
+            let (events, recorded) = stats.flight(8);
+            eprintln!(
+                "flight recorder: last {} of {recorded} events (rerun with --flight-out FILE for the full ring)",
+                events.len()
+            );
+            for e in &events {
+                eprintln!(
+                    "  seq {:>6}  shard {}  {:<8} {:<11} {} ns",
+                    e.seq,
+                    e.shard,
+                    e.backend,
+                    e.outcome.as_str(),
+                    e.latency_ns
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The `top` command: run the workload and render the telemetry plane's
+/// per-shard table — once at the end (`--once`), or live by polling the
+/// tracer's metrics at `--poll-ms` while the run progresses and
+/// printing interval deltas ([`MetricsSnapshot::delta`]-based, so rates
+/// are per-refresh, not cumulative).
+fn run_top(
+    mut args: Vec<String>,
+    base: &Pipeline,
+    backend: Backend,
+    workload: Option<&str>,
+) -> Result<(), String> {
+    let once = if let Some(i) = args.iter().position(|a| a == "--once") {
+        args.remove(i);
+        true
+    } else {
+        false
+    };
+    let poll_ms = take_num_flag(&mut args, "--poll-ms")?.unwrap_or(500).max(1);
+    let max_polls = take_num_flag(&mut args, "--watch-max-polls")?.unwrap_or(0);
+    let (name, src) = load_source(&args)?;
+    let pipeline = Pipeline::builder()
+        .name(&name)
+        .shards(base.shards())
+        .budget(base.budget().clone())
+        .tracer(base.tracer().clone())
+        .build()
+        .map_err(|e| e.to_string())?;
+    let engine =
+        ShardEngine::from_source(&pipeline, &src, backend).map_err(|e| e.to_string())?;
+    let packets = load_workload(workload)?;
+    let tracer = pipeline.tracer().clone();
+    let run = if once {
+        engine.run(&packets).map_err(|e| e.to_string())?
+    } else {
+        std::thread::scope(|scope| {
+            let handle = scope.spawn(|| engine.run(&packets));
+            let mut prev = tracer.metrics();
+            let mut polls: u64 = 0;
+            while !handle.is_finished() && (max_polls == 0 || polls < max_polls) {
+                std::thread::sleep(std::time::Duration::from_millis(poll_ms));
+                let cur = tracer.metrics();
+                out(nfactor::shard::render_top(&cur.delta(&prev), Some(poll_ms)));
+                outln("");
+                prev = cur;
+                polls += 1;
+            }
+            // The scope joins the run either way; a poll cap only stops
+            // the refreshes, never abandons the workload.
+            handle.join()
+        })
+        .map_err(|p| {
+            format!(
+                "run panicked: {}",
+                nfactor::shard::panic_message(p.as_ref())
+            )
+        })?
+        .map_err(|e| e.to_string())?
+    };
+    outln(format!(
+        "== {name}: {} shard(s), totals ==",
+        engine.shards()
+    ));
+    out(nfactor::shard::render_top(&tracer.metrics(), None));
+    outln(format!(
+        "packets {}  quarantined {}  dropped {}  makespan {:.3} ms",
+        run.total_pkts(),
+        run.quarantined_seqs.len(),
+        run.dropped_seqs.len(),
+        run.makespan_ns() as f64 / 1e6
+    ));
     Ok(())
 }
 
@@ -455,12 +579,21 @@ fn main() -> ExitCode {
         .filter(|a| *a != "--orig" && *a != "--json" && *a != "--metrics")
         .cloned()
         .collect();
-    let (pipeline, backend, workload, trace_path, metrics_path) = match (|| -> Result<
-        (Pipeline, Backend, Option<String>, Option<String>, Option<String>),
-        String,
-    > {
+    type Parsed = (
+        Pipeline,
+        Backend,
+        Option<String>,
+        Option<String>,
+        Option<String>,
+        Option<String>,
+        Option<String>,
+    );
+    let (pipeline, backend, workload, trace_path, metrics_path, stats_path, flight_path) =
+        match (|| -> Result<Parsed, String> {
         let trace_path = take_str_flag(&mut rest, "--trace-json")?;
         let metrics_path = take_str_flag(&mut rest, "--metrics-json")?;
+        let stats_path = take_str_flag(&mut rest, "--stats-json")?;
+        let flight_path = take_str_flag(&mut rest, "--flight-out")?;
         let workload = take_str_flag(&mut rest, "--workload")?;
         let shards = take_num_flag(&mut rest, "--shards")?.unwrap_or(1) as usize;
         let backend = match take_str_flag(&mut rest, "--backend")?.as_deref() {
@@ -481,8 +614,16 @@ fn main() -> ExitCode {
             budget = budget.with_max_paths(n as usize);
         }
         // Only attach a sink when some output was requested; otherwise
-        // the pipeline runs with the (near-free) disabled tracer.
-        let tracer = if trace_path.is_some() || metrics_path.is_some() || show_metrics {
+        // the pipeline runs with the (near-free) disabled tracer. The
+        // telemetry outputs (`--stats-json`, `--flight-out`, `top`)
+        // need the sink too — that's where workers flush.
+        let tracer = if trace_path.is_some()
+            || metrics_path.is_some()
+            || show_metrics
+            || stats_path.is_some()
+            || flight_path.is_some()
+            || cmd.as_str() == "top"
+        {
             nfactor::trace::Tracer::enabled()
         } else {
             nfactor::trace::Tracer::disabled()
@@ -494,7 +635,15 @@ fn main() -> ExitCode {
             .shards(shards)
             .build()
             .map_err(|e| e.to_string())?;
-        Ok((pipeline, backend, workload, trace_path, metrics_path))
+        Ok((
+            pipeline,
+            backend,
+            workload,
+            trace_path,
+            metrics_path,
+            stats_path,
+            flight_path,
+        ))
     })() {
         Ok(parsed) => parsed,
         Err(e) => {
@@ -542,8 +691,11 @@ fn main() -> ExitCode {
                 workload.as_deref(),
                 fault_plan.as_deref(),
                 quarantine_out.as_deref(),
+                stats_path.as_deref(),
+                flight_path.as_deref(),
             )
         })(),
+        "top" => run_top(rest.clone(), &pipeline, backend, workload.as_deref()),
         "synthesize" => run_synthesis(&rest, &pipeline).map(|syn| {
             if json {
                 use nfactor::support::json::ToJson;
