@@ -3,7 +3,7 @@
 //! dispatcher's hot-key sketch) must cost at most 10% of run time.
 //!
 //! Two configurations run the same firewall corpus workload through
-//! `run_sequential` (the deterministic single-host mode the other shard
+//! `RunMode::Sequential` (the deterministic single-host mode the other shard
 //! benches use): *off* pairs a disabled tracer with a disabled
 //! telemetry config — the zero-instrumentation baseline — and *on* is
 //! the `run --stats-json` configuration: recording tracer, default
@@ -12,7 +12,7 @@
 //! locking), interleaving the two arms to decorrelate drift.
 
 use nf_packet::PacketGen;
-use nf_shard::{Backend, ShardEngine, TelemetryConfig};
+use nf_shard::{Backend, RunConfig, ShardEngine, SliceSource, TelemetryConfig};
 use nf_support::json::Value;
 use nf_trace::Tracer;
 use nfactor_core::Pipeline;
@@ -55,8 +55,12 @@ fn main() {
     let on = build(&src, Tracer::enabled(), TelemetryConfig::default());
 
     // Warm both arms before timing anything.
-    let base = off.run_sequential(&packets).expect("warmup off");
-    let inst = on.run_sequential(&packets).expect("warmup on");
+    let base = off
+        .run_with(SliceSource::new(&packets), &RunConfig::sequential())
+        .expect("warmup off");
+    let inst = on
+        .run_with(SliceSource::new(&packets), &RunConfig::sequential())
+        .expect("warmup on");
     assert_eq!(
         base.output_signature(),
         inst.output_signature(),
@@ -67,12 +71,16 @@ fn main() {
     let (mut t_off, mut t_on) = (Vec::new(), Vec::new());
     for _ in 0..REPEATS {
         let t0 = Instant::now();
-        let run = off.run_sequential(&packets).expect("off run");
+        let run = off
+            .run_with(SliceSource::new(&packets), &RunConfig::sequential())
+            .expect("off run");
         t_off.push(t0.elapsed().as_nanos() as u64);
         assert_eq!(run.total_pkts(), PACKETS as u64);
 
         let t0 = Instant::now();
-        let run = on.run_sequential(&packets).expect("on run");
+        let run = on
+            .run_with(SliceSource::new(&packets), &RunConfig::sequential())
+            .expect("on run");
         t_on.push(t0.elapsed().as_nanos() as u64);
         assert_eq!(run.total_pkts(), PACKETS as u64);
     }
@@ -96,7 +104,7 @@ fn main() {
         (
             "mode".into(),
             Value::Str(
-                "run_sequential wall clock, telemetry-disabled baseline vs \
+                "RunMode::Sequential wall clock, telemetry-disabled baseline vs \
                  recording tracer + default TelemetryConfig, interleaved repeats"
                     .into(),
             ),

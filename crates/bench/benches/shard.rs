@@ -2,7 +2,7 @@
 //! with a symmetric 4-tuple dispatch key) at 1/2/4/8 worker shards.
 //!
 //! The container this runs in has one CPU, so the numbers come from
-//! `run_sequential` — the simulated-parallel mode that executes every
+//! `RunMode::Sequential` — the simulated-parallel mode that executes every
 //! shard's work on one host thread while accounting busy nanoseconds
 //! per shard. The reported makespan is the slowest shard's busy time,
 //! i.e. the critical path a truly parallel run would have; the JSON is
@@ -12,7 +12,7 @@
 //! single-shard throughput, or the bench aborts loudly.
 
 use nf_packet::PacketGen;
-use nf_shard::{Backend, ShardEngine};
+use nf_shard::{Backend, RunConfig, ShardEngine, SliceSource};
 use nf_support::json::Value;
 use nfactor_core::Pipeline;
 
@@ -40,10 +40,14 @@ fn main() {
             .expect("pipeline");
         let engine =
             ShardEngine::from_source(&pipeline, &src, Backend::Interp).expect("engine");
-        let _ = engine.run_sequential(&packets).expect("warmup");
+        let _ = engine
+            .run_with(SliceSource::new(&packets), &RunConfig::sequential())
+            .expect("warmup");
         let mut spans = Vec::with_capacity(REPEATS);
         for _ in 0..REPEATS {
-            let run = engine.run_sequential(&packets).expect("run");
+            let run = engine
+                .run_with(SliceSource::new(&packets), &RunConfig::sequential())
+                .expect("run");
             assert!(run.partitioned, "firewall must run partitioned");
             assert_eq!(run.total_pkts(), PACKETS as u64);
             spans.push(run.makespan_ns());
@@ -79,7 +83,7 @@ fn main() {
         (
             "mode".into(),
             Value::Str(
-                "simulated-parallel (run_sequential: per-shard busy-ns accounting \
+                "simulated-parallel (RunMode::Sequential: per-shard busy-ns accounting \
                  on one host thread; makespan = slowest shard)"
                     .into(),
             ),

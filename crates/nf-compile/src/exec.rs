@@ -42,6 +42,16 @@ pub struct CompiledState {
     memo: Vec<(u64, bool)>,
     /// Current packet generation (bumped per step).
     generation: u64,
+    /// Pre-images of everything the most recent [`step`](Self::step)
+    /// committed, in commit order. [`revert`](Self::revert) replays it
+    /// backwards, so a supervisor can undo a packet in O(entries it
+    /// touched) instead of cloning the whole state up front — the flow
+    /// maps hold one entry per live flow, and a per-packet full clone
+    /// would make every packet cost O(flows).
+    undo_slots: Vec<(usize, Option<Value>)>,
+    /// Map-entry pre-images of the most recent step:
+    /// `(map, key, previous value, was materialised)`.
+    undo_maps: Vec<(usize, ValueKey, Option<Value>, bool)>,
 }
 
 impl CompiledState {
@@ -53,6 +63,39 @@ impl CompiledState {
             materialized: prog.init_materialized.clone(),
             memo: vec![(0, false); prog.state_preds.len()],
             generation: 0,
+            undo_slots: Vec::new(),
+            undo_maps: Vec::new(),
+        }
+    }
+
+    /// The step generation: bumped at the start of every
+    /// [`step`](Self::step), so a caller can tell whether a failure
+    /// happened before or after a step began (only the latter has a
+    /// live undo log to replay).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Undo the most recent [`step`](Self::step): restore every slot
+    /// and map entry it committed to its pre-image, in reverse commit
+    /// order. A no-op when the last step committed nothing (dropped
+    /// packet, eval error before the commit phase, or a fresh state).
+    /// The predicate memo is left alone — it is keyed by generation,
+    /// so entries from the undone packet can never be read again.
+    pub fn revert(&mut self) {
+        while let Some((map, k, prev, was)) = self.undo_maps.pop() {
+            match prev {
+                Some(v) => {
+                    self.maps[map].insert(k, v);
+                }
+                None => {
+                    self.maps[map].remove(&k);
+                }
+            }
+            self.materialized[map] = was;
+        }
+        while let Some((slot, prev)) = self.undo_slots.pop() {
+            self.slots[slot] = prev;
         }
     }
 
@@ -63,6 +106,8 @@ impl CompiledState {
     /// entry, and post-state.
     pub fn step(&mut self, prog: &CompiledProgram, pkt: &Packet) -> Result<CompiledStep, EvalError> {
         self.generation += 1;
+        self.undo_slots.clear();
+        self.undo_maps.clear();
         // Walk the tree to a leaf.
         let mut node = prog.root;
         let cands = loop {
@@ -230,19 +275,21 @@ impl CompiledState {
                 }
             }
         }
+        // Commit phase: nothing below can fail, so a step either
+        // commits fully or (on any eval error above) not at all. Each
+        // write banks its pre-image so `revert` can undo the packet.
         for (slot, v) in new_scalars {
-            self.slots[slot] = Some(v);
+            let prev = std::mem::replace(&mut self.slots[slot], Some(v));
+            self.undo_slots.push((slot, prev));
         }
         for (map, k, v) in map_commits {
+            let was = self.materialized[map];
             self.materialized[map] = true;
-            match v {
-                Some(v) => {
-                    self.maps[map].insert(k, v);
-                }
-                None => {
-                    self.maps[map].remove(&k);
-                }
-            }
+            let prev = match v {
+                Some(v) => self.maps[map].insert(k.clone(), v),
+                None => self.maps[map].remove(&k),
+            };
+            self.undo_maps.push((map, k, prev, was));
         }
         Ok(output)
     }

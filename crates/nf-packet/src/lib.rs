@@ -23,9 +23,11 @@ pub mod frag;
 pub mod gen;
 pub mod packet;
 pub mod wire;
+pub mod workload;
 
 pub use field::Field;
 pub use flow::{FiveTuple, FlowKey};
 pub use gen::PacketGen;
 pub use packet::{Packet, PacketError};
 pub use wire::{EtherType, EthernetFrame, IpProtocol, Ipv4Header, TcpFlags, TcpHeader, UdpHeader};
+pub use workload::{GenSource, JsonTraceSource, NfwReader, NfwWriter};

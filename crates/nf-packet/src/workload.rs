@@ -1,0 +1,768 @@
+//! Packet workload sources for the sharded runtime's streaming path.
+//!
+//! Three [`WorkloadSource`] implementations over [`Packet`]:
+//!
+//! * [`GenSource`] — the seeded [`PacketGen`] as a bounded stream.
+//! * [`NfwReader`] — the compact `.nfw` binary trace format: a 20-byte
+//!   header (`NFW1` magic, seed, packet count) followed by
+//!   length-prefixed packet records, written by [`NfwWriter`]. The
+//!   reader is a plain chunked `BufReader` (no mmap), so a
+//!   million-packet trace streams at constant memory.
+//! * [`JsonTraceSource`] — the CLI's JSON `{"trace": [{...}, ...]}`
+//!   workload files, scanned record by record instead of materializing
+//!   the whole document; a malformed record is reported with its byte
+//!   offset.
+//!
+//! The in-memory case is covered by `nf_support::workload::SliceSource`.
+//!
+//! The `.nfw` record codec encodes every [`Packet`] field directly
+//! (big-endian), unlike `to_wire`/`from_wire` which round-trip through
+//! real headers and so cannot represent non-IPv4 ethertypes or
+//! `Transport::Other` losslessly.
+
+use crate::field::Field;
+use crate::gen::PacketGen;
+use crate::packet::{Packet, Transport};
+use crate::wire::TcpFlags;
+use nf_support::bytes::PutBytes;
+use nf_support::json::Value;
+use nf_support::workload::{read_record, write_record, WorkloadError, WorkloadSource};
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Seek, SeekFrom, Write};
+
+/// `.nfw` file magic, first 4 bytes of the header.
+pub const NFW_MAGIC: &[u8; 4] = b"NFW1";
+
+/// `.nfw` header length: magic (4) + seed (8) + count (8).
+pub const NFW_HEADER_LEN: u64 = 20;
+
+const TAG_TCP: u8 = 0;
+const TAG_UDP: u8 = 1;
+const TAG_OTHER: u8 = 2;
+
+/// Append the lossless `.nfw` record encoding of `pkt` to `buf`.
+pub fn encode_packet(pkt: &Packet, buf: &mut Vec<u8>) {
+    buf.put_u64(pkt.eth_src);
+    buf.put_u64(pkt.eth_dst);
+    buf.put_u16(pkt.eth_type);
+    buf.put_u32(pkt.ip_src);
+    buf.put_u32(pkt.ip_dst);
+    buf.put_u8(pkt.ip_proto);
+    buf.put_u8(pkt.ip_ttl);
+    buf.put_u16(pkt.ip_id);
+    match &pkt.transport {
+        Transport::Tcp { sport, dport, seq, ack, flags } => {
+            buf.put_u8(TAG_TCP);
+            buf.put_u16(*sport);
+            buf.put_u16(*dport);
+            buf.put_u32(*seq);
+            buf.put_u32(*ack);
+            buf.put_u8(*flags);
+        }
+        Transport::Udp { sport, dport } => {
+            buf.put_u8(TAG_UDP);
+            buf.put_u16(*sport);
+            buf.put_u16(*dport);
+        }
+        Transport::Other => buf.put_u8(TAG_OTHER),
+    }
+    buf.put_u32(pkt.payload.len() as u32);
+    buf.put_slice(&pkt.payload);
+}
+
+/// Decode one `.nfw` record produced by [`encode_packet`]. The record
+/// must be consumed exactly; trailing bytes are an error.
+pub fn decode_packet(mut b: &[u8]) -> Result<Packet, String> {
+    fn take<'a>(b: &mut &'a [u8], n: usize) -> Result<&'a [u8], String> {
+        if b.len() < n {
+            return Err(format!("record short: wanted {n} more bytes, have {}", b.len()));
+        }
+        let (head, tail) = b.split_at(n);
+        *b = tail;
+        Ok(head)
+    }
+    fn u8_(b: &mut &[u8]) -> Result<u8, String> {
+        Ok(take(b, 1)?[0])
+    }
+    // `take` returns exactly `n` bytes, so the array conversions
+    // cannot fail; fold the impossible case into the short-record
+    // error rather than panicking.
+    fn u16_(b: &mut &[u8]) -> Result<u16, String> {
+        let s = take(b, 2)?;
+        Ok(u16::from_be_bytes(s.try_into().map_err(|_| "bad u16 slice")?))
+    }
+    fn u32_(b: &mut &[u8]) -> Result<u32, String> {
+        let s = take(b, 4)?;
+        Ok(u32::from_be_bytes(s.try_into().map_err(|_| "bad u32 slice")?))
+    }
+    fn u64_(b: &mut &[u8]) -> Result<u64, String> {
+        let s = take(b, 8)?;
+        Ok(u64::from_be_bytes(s.try_into().map_err(|_| "bad u64 slice")?))
+    }
+    let mut pkt = Packet {
+        eth_src: u64_(&mut b)?,
+        eth_dst: u64_(&mut b)?,
+        eth_type: u16_(&mut b)?,
+        ip_src: u32_(&mut b)?,
+        ip_dst: u32_(&mut b)?,
+        ip_proto: u8_(&mut b)?,
+        ip_ttl: u8_(&mut b)?,
+        ip_id: u16_(&mut b)?,
+        transport: Transport::Other,
+        payload: Vec::new(),
+    };
+    pkt.transport = match u8_(&mut b)? {
+        TAG_TCP => Transport::Tcp {
+            sport: u16_(&mut b)?,
+            dport: u16_(&mut b)?,
+            seq: u32_(&mut b)?,
+            ack: u32_(&mut b)?,
+            flags: u8_(&mut b)?,
+        },
+        TAG_UDP => Transport::Udp { sport: u16_(&mut b)?, dport: u16_(&mut b)? },
+        TAG_OTHER => Transport::Other,
+        t => return Err(format!("unknown transport tag {t}")),
+    };
+    let plen = u32_(&mut b)? as usize;
+    pkt.payload = take(&mut b, plen)?.to_vec();
+    if !b.is_empty() {
+        return Err(format!("{} trailing bytes after payload", b.len()));
+    }
+    Ok(pkt)
+}
+
+/// Streaming writer for the `.nfw` trace format.
+///
+/// The header's count field is written as a placeholder on
+/// [`create`](Self::create) and patched on [`finish`](Self::finish), so
+/// packets can be pushed one at a time without knowing the total up
+/// front. A file that is dropped without `finish` keeps count 0 and is
+/// rejected by the reader's count check.
+#[derive(Debug)]
+pub struct NfwWriter {
+    w: BufWriter<File>,
+    count: u64,
+    buf: Vec<u8>,
+}
+
+impl NfwWriter {
+    /// Create (truncate) `path` and write the header with `seed` and a
+    /// zero packet count.
+    pub fn create(path: &str, seed: u64) -> std::io::Result<NfwWriter> {
+        let mut w = BufWriter::new(File::create(path)?);
+        w.write_all(NFW_MAGIC)?;
+        w.write_all(&seed.to_be_bytes())?;
+        w.write_all(&0u64.to_be_bytes())?;
+        Ok(NfwWriter { w, count: 0, buf: Vec::with_capacity(64) })
+    }
+
+    /// Append one packet record.
+    pub fn push(&mut self, pkt: &Packet) -> std::io::Result<()> {
+        self.buf.clear();
+        encode_packet(pkt, &mut self.buf);
+        write_record(&mut self.w, &self.buf)?;
+        self.count += 1;
+        Ok(())
+    }
+
+    /// Patch the header's packet count and flush; returns the count.
+    pub fn finish(mut self) -> std::io::Result<u64> {
+        self.w.flush()?;
+        let f = self.w.get_mut();
+        f.seek(SeekFrom::Start(12))?;
+        f.write_all(&self.count.to_be_bytes())?;
+        f.flush()?;
+        Ok(self.count)
+    }
+}
+
+/// Chunked reader for `.nfw` traces; a [`WorkloadSource`] yielding the
+/// recorded packets in order at constant memory.
+#[derive(Debug)]
+pub struct NfwReader {
+    r: BufReader<File>,
+    seed: u64,
+    count: u64,
+    read: u64,
+    offset: u64,
+    buf: Vec<u8>,
+    done: bool,
+}
+
+impl NfwReader {
+    /// Open `path` and validate its header.
+    pub fn open(path: &str) -> Result<NfwReader, WorkloadError> {
+        let f = File::open(path)
+            .map_err(|e| WorkloadError::msg(format!("{path}: {e}")))?;
+        let mut r = BufReader::new(f);
+        let mut header = [0u8; NFW_HEADER_LEN as usize];
+        r.read_exact(&mut header)
+            .map_err(|e| WorkloadError::at(0, format!("short .nfw header: {e}")))?;
+        if &header[..4] != NFW_MAGIC {
+            return Err(WorkloadError::at(0, "not an .nfw file (bad magic)".to_string()));
+        }
+        // The header array is fixed-size, so the range conversions
+        // cannot fail; report rather than panic if they ever do.
+        let word = |range: std::ops::Range<usize>| -> Result<u64, WorkloadError> {
+            Ok(u64::from_be_bytes(header[range].try_into().map_err(
+                |_| WorkloadError::at(0, "malformed .nfw header".to_string()),
+            )?))
+        };
+        let seed = word(4..12)?;
+        let count = word(12..20)?;
+        Ok(NfwReader {
+            r,
+            seed,
+            count,
+            read: 0,
+            offset: NFW_HEADER_LEN,
+            buf: Vec::with_capacity(64),
+            done: false,
+        })
+    }
+
+    /// The seed recorded in the header (provenance of generated traces).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The packet count recorded in the header.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+}
+
+impl WorkloadSource for NfwReader {
+    type Item = Packet;
+
+    fn next_batch(&mut self, out: &mut Vec<Packet>, max: usize) -> Result<usize, WorkloadError> {
+        if self.done {
+            return Ok(0);
+        }
+        let mut n = 0;
+        while n < max {
+            let record_at = self.offset;
+            if !read_record(&mut self.r, &mut self.offset, &mut self.buf)? {
+                self.done = true;
+                if self.read != self.count {
+                    return Err(WorkloadError::at(
+                        record_at,
+                        format!(
+                            "trace ended after {} of {} packets (truncated or unfinished writer)",
+                            self.read, self.count
+                        ),
+                    ));
+                }
+                break;
+            }
+            let pkt = decode_packet(&self.buf)
+                .map_err(|e| WorkloadError::at(record_at, format!("bad packet record: {e}")))?;
+            out.push(pkt);
+            self.read += 1;
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    fn size_hint(&self) -> Option<u64> {
+        Some(self.count)
+    }
+}
+
+/// The seeded [`PacketGen`] as a bounded [`WorkloadSource`].
+#[derive(Debug)]
+pub struct GenSource {
+    gen: PacketGen,
+    remaining: u64,
+    total: u64,
+}
+
+impl GenSource {
+    /// A source yielding `total` packets from `PacketGen::new(seed)`.
+    pub fn new(seed: u64, total: u64) -> GenSource {
+        GenSource { gen: PacketGen::new(seed), remaining: total, total }
+    }
+}
+
+impl WorkloadSource for GenSource {
+    type Item = Packet;
+
+    fn next_batch(&mut self, out: &mut Vec<Packet>, max: usize) -> Result<usize, WorkloadError> {
+        let n = (max as u64).min(self.remaining) as usize;
+        for _ in 0..n {
+            out.push(self.gen.next_packet());
+        }
+        self.remaining -= n as u64;
+        Ok(n)
+    }
+
+    fn size_hint(&self) -> Option<u64> {
+        Some(self.total)
+    }
+}
+
+/// Streaming reader for the CLI's JSON workload traces
+/// (`{"trace": [{"ip.src": 1, ...}, ...]}`).
+///
+/// The file is scanned byte by byte: once the top-level `"trace"` array
+/// is located, each balanced `{...}` element is extracted and parsed
+/// individually, so packets reach the engine in batches instead of as
+/// one materialized vector — and a malformed or truncated trailing
+/// record is diagnosed with the byte offset where it starts.
+#[derive(Debug)]
+pub struct JsonTraceSource {
+    r: BufReader<File>,
+    offset: u64,
+    peeked: Option<u8>,
+    index: u64,
+    done: bool,
+}
+
+impl JsonTraceSource {
+    /// Open `path` and scan to the start of its top-level `"trace"`
+    /// array. Returns `Ok(None)` when the document has no such key (the
+    /// caller falls back to the small seed/packets form).
+    pub fn open(path: &str) -> Result<Option<JsonTraceSource>, WorkloadError> {
+        let f = File::open(path)
+            .map_err(|e| WorkloadError::msg(format!("{path}: {e}")))?;
+        let mut src = JsonTraceSource {
+            r: BufReader::new(f),
+            offset: 0,
+            peeked: None,
+            index: 0,
+            done: false,
+        };
+        if !src.seek_trace_array()? {
+            return Ok(None);
+        }
+        Ok(Some(src))
+    }
+
+    fn next_byte(&mut self) -> Result<Option<u8>, WorkloadError> {
+        if let Some(b) = self.peeked.take() {
+            self.offset += 1;
+            return Ok(Some(b));
+        }
+        let mut one = [0u8; 1];
+        loop {
+            match self.r.read(&mut one) {
+                Ok(0) => return Ok(None),
+                Ok(_) => {
+                    self.offset += 1;
+                    return Ok(Some(one[0]));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => {
+                    return Err(WorkloadError::at(self.offset, format!("read failed: {e}")));
+                }
+            }
+        }
+    }
+
+    fn peek_byte(&mut self) -> Result<Option<u8>, WorkloadError> {
+        if self.peeked.is_none() {
+            if let Some(b) = self.next_byte()? {
+                self.peeked = Some(b);
+                self.offset -= 1;
+            }
+        }
+        Ok(self.peeked)
+    }
+
+    fn skip_ws(&mut self) -> Result<(), WorkloadError> {
+        while let Some(b) = self.peek_byte()? {
+            if b.is_ascii_whitespace() {
+                self.next_byte()?;
+            } else {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    /// Scan for a depth-1 `"trace"` key followed by `:` and `[`,
+    /// consuming through the opening bracket. Tracks string/escape
+    /// state so `"trace"` inside values or nested objects never
+    /// matches.
+    fn seek_trace_array(&mut self) -> Result<bool, WorkloadError> {
+        let mut depth: u32 = 0;
+        loop {
+            self.skip_ws()?;
+            let Some(b) = self.next_byte()? else { return Ok(false) };
+            match b {
+                b'{' | b'[' => depth += 1,
+                b'}' | b']' => depth = depth.saturating_sub(1),
+                b'"' => {
+                    let s = self.read_string_body()?;
+                    if depth == 1 && s == "trace" {
+                        self.skip_ws()?;
+                        if self.peek_byte()? == Some(b':') {
+                            self.next_byte()?;
+                            self.skip_ws()?;
+                            let at = self.offset;
+                            match self.next_byte()? {
+                                Some(b'[') => return Ok(true),
+                                _ => {
+                                    return Err(WorkloadError::at(
+                                        at,
+                                        "`trace` must be an array of packet objects".to_string(),
+                                    ));
+                                }
+                            }
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Consume a JSON string body (opening quote already consumed),
+    /// returning its raw content with escapes left intact — good enough
+    /// for key matching, which never needs unescaping for `trace`.
+    fn read_string_body(&mut self) -> Result<String, WorkloadError> {
+        let start = self.offset;
+        let mut out = Vec::new();
+        loop {
+            let Some(b) = self.next_byte()? else {
+                return Err(WorkloadError::at(start, "unterminated string".to_string()));
+            };
+            match b {
+                b'"' => break,
+                b'\\' => {
+                    out.push(b);
+                    if let Some(esc) = self.next_byte()? {
+                        out.push(esc);
+                    }
+                }
+                _ => out.push(b),
+            }
+        }
+        String::from_utf8(out)
+            .map_err(|_| WorkloadError::at(start, "non-UTF-8 string".to_string()))
+    }
+
+    /// Extract the next balanced `{...}` element of the trace array as
+    /// text; `Ok(None)` when the closing `]` is reached.
+    fn next_object_text(&mut self) -> Result<Option<(u64, String)>, WorkloadError> {
+        self.skip_ws()?;
+        if self.peek_byte()? == Some(b',') {
+            self.next_byte()?;
+            self.skip_ws()?;
+        }
+        let at = self.offset;
+        match self.peek_byte()? {
+            Some(b']') => {
+                self.next_byte()?;
+                self.done = true;
+                return Ok(None);
+            }
+            Some(b'{') => {}
+            Some(b) => {
+                return Err(WorkloadError::at(
+                    at,
+                    format!("trace[{}] must be an object, found `{}`", self.index, b as char),
+                ));
+            }
+            None => {
+                return Err(WorkloadError::at(
+                    at,
+                    format!("trace array truncated before trace[{}] closed", self.index),
+                ));
+            }
+        }
+        let mut text = Vec::new();
+        let mut depth: u32 = 0;
+        let mut in_string = false;
+        loop {
+            let Some(b) = self.next_byte()? else {
+                return Err(WorkloadError::at(
+                    at,
+                    format!("trace[{}] truncated mid-record", self.index),
+                ));
+            };
+            text.push(b);
+            if in_string {
+                match b {
+                    b'\\' => {
+                        if let Some(esc) = self.next_byte()? {
+                            text.push(esc);
+                        }
+                    }
+                    b'"' => in_string = false,
+                    _ => {}
+                }
+                continue;
+            }
+            match b {
+                b'"' => in_string = true,
+                b'{' => depth += 1,
+                b'}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        let text = String::from_utf8(text)
+            .map_err(|_| WorkloadError::at(at, format!("trace[{}] is not UTF-8", self.index)))?;
+        Ok(Some((at, text)))
+    }
+}
+
+/// Convert one parsed trace object into a [`Packet`], mirroring the
+/// CLI's historical field semantics (TCP base packet, `Field` paths as
+/// keys, integer values).
+fn trace_object_to_packet(index: u64, v: &Value) -> Result<Packet, String> {
+    let Value::Object(fields) = v else {
+        return Err(format!("trace[{index}] must be an object"));
+    };
+    let mut pkt = Packet::tcp(0, 0, 0, 0, TcpFlags(0));
+    for (key, fv) in fields {
+        let field = Field::from_path(key)
+            .ok_or_else(|| format!("trace[{index}]: unknown field `{key}`"))?;
+        let Value::Int(n) = fv else {
+            return Err(format!("trace[{index}].{key} must be an integer"));
+        };
+        pkt.set(field, *n as u64)
+            .map_err(|e| format!("trace[{index}].{key}: {e}"))?;
+    }
+    Ok(pkt)
+}
+
+impl WorkloadSource for JsonTraceSource {
+    type Item = Packet;
+
+    fn next_batch(&mut self, out: &mut Vec<Packet>, max: usize) -> Result<usize, WorkloadError> {
+        if self.done {
+            return Ok(0);
+        }
+        let mut n = 0;
+        while n < max {
+            let Some((at, text)) = self.next_object_text()? else { break };
+            let v = Value::parse(&text).map_err(|e| {
+                WorkloadError::at(at, format!("trace[{}]: {e}", self.index))
+            })?;
+            let pkt = trace_object_to_packet(self.index, &v)
+                .map_err(|e| WorkloadError::at(at, e))?;
+            out.push(pkt);
+            self.index += 1;
+            n += 1;
+        }
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nf_support::check::{self, Config, Gen};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn temp_path(tag: &str) -> String {
+        static N: AtomicU64 = AtomicU64::new(0);
+        let n = N.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir()
+            .join(format!("nfw-test-{}-{tag}-{n}", std::process::id()))
+            .to_string_lossy()
+            .into_owned()
+    }
+
+    fn arb_packet() -> Gen<Packet> {
+        Gen::new(|rng| {
+            let mut pkt = Packet {
+                eth_src: rng.next_u64() & 0xffff_ffff_ffff,
+                eth_dst: rng.next_u64() & 0xffff_ffff_ffff,
+                eth_type: rng.next_u64() as u16,
+                ip_src: rng.next_u64() as u32,
+                ip_dst: rng.next_u64() as u32,
+                ip_proto: rng.next_u64() as u8,
+                ip_ttl: rng.next_u64() as u8,
+                ip_id: rng.next_u64() as u16,
+                transport: Transport::Other,
+                payload: (0..rng.gen_below(32)).map(|_| rng.next_u64() as u8).collect(),
+            };
+            pkt.transport = match rng.gen_below(3) {
+                0 => Transport::Tcp {
+                    sport: rng.next_u64() as u16,
+                    dport: rng.next_u64() as u16,
+                    seq: rng.next_u64() as u32,
+                    ack: rng.next_u64() as u32,
+                    flags: rng.next_u64() as u8,
+                },
+                1 => Transport::Udp {
+                    sport: rng.next_u64() as u16,
+                    dport: rng.next_u64() as u16,
+                },
+                _ => Transport::Other,
+            };
+            pkt
+        })
+    }
+
+    #[test]
+    fn record_codec_round_trips_any_packet() {
+        check::check(
+            "nfw_record_round_trip",
+            &Config::with_cases(200),
+            &check::vec_of(arb_packet(), 0, 8),
+            |pkts| {
+                for pkt in pkts {
+                    let mut buf = Vec::new();
+                    encode_packet(pkt, &mut buf);
+                    assert_eq!(&decode_packet(&buf).unwrap(), pkt);
+                }
+            },
+        );
+    }
+
+    #[test]
+    fn nfw_file_round_trips_and_reports_header() {
+        let path = temp_path("roundtrip");
+        let pkts = PacketGen::new(42).batch(257);
+        let mut w = NfwWriter::create(&path, 42).unwrap();
+        for p in &pkts {
+            w.push(p).unwrap();
+        }
+        assert_eq!(w.finish().unwrap(), 257);
+
+        let mut r = NfwReader::open(&path).unwrap();
+        assert_eq!(r.seed(), 42);
+        assert_eq!(r.count(), 257);
+        assert_eq!(r.size_hint(), Some(257));
+        let mut out = Vec::new();
+        loop {
+            if r.next_batch(&mut out, 32).unwrap() == 0 {
+                break;
+            }
+        }
+        assert_eq!(out, pkts);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncated_nfw_reports_byte_offset() {
+        let path = temp_path("trunc");
+        let pkts = PacketGen::new(7).batch(10);
+        let mut w = NfwWriter::create(&path, 7).unwrap();
+        for p in &pkts {
+            w.push(p).unwrap();
+        }
+        w.finish().unwrap();
+        // Chop the tail off mid-record.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 5]).unwrap();
+        let mut r = NfwReader::open(&path).unwrap();
+        let mut out = Vec::new();
+        let err = loop {
+            match r.next_batch(&mut out, 4) {
+                Ok(0) => panic!("truncation must surface as an error"),
+                Ok(_) => continue,
+                Err(e) => break e,
+            }
+        };
+        assert!(err.offset.is_some(), "{err}");
+        assert!(err.msg.contains("truncated"), "{err}");
+        assert!(out.len() < 10, "the bad record never reaches the engine");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn unfinished_writer_is_detected_by_count_check() {
+        let path = temp_path("unfinished");
+        let mut w = NfwWriter::create(&path, 0).unwrap();
+        for p in &PacketGen::new(0).batch(3) {
+            w.push(p).unwrap();
+        }
+        // Simulate a crash: flush records but never patch the count.
+        w.w.flush().unwrap();
+        drop(w);
+        let mut r = NfwReader::open(&path).unwrap();
+        let mut out = Vec::new();
+        let err = loop {
+            match r.next_batch(&mut out, 8) {
+                Ok(0) => panic!("count mismatch must surface as an error"),
+                Ok(_) => continue,
+                Err(e) => break e,
+            }
+        };
+        assert!(err.msg.contains("unfinished"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn gen_source_matches_batch() {
+        let mut src = GenSource::new(5, 100);
+        assert_eq!(src.size_hint(), Some(100));
+        let mut out = Vec::new();
+        while src.next_batch(&mut out, 33).unwrap() > 0 {}
+        assert_eq!(out, PacketGen::new(5).batch(100));
+    }
+
+    #[test]
+    fn json_trace_streams_records() {
+        let path = temp_path("json");
+        std::fs::write(
+            &path,
+            r#"{ "comment": "trace",
+                "trace": [
+                  {"ip.src": 1, "tcp.dport": 80},
+                  {"ip.src": 2, "ip.proto": 17}
+                ] }"#,
+        )
+        .unwrap();
+        let mut src = JsonTraceSource::open(&path).unwrap().expect("has trace");
+        let mut out = Vec::new();
+        while src.next_batch(&mut out, 1).unwrap() > 0 {}
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].ip_src, 1);
+        assert!(matches!(out[0].transport, Transport::Tcp { dport: 80, .. }));
+        assert_eq!(out[1].ip_src, 2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn json_without_trace_falls_back() {
+        let path = temp_path("seed");
+        std::fs::write(&path, r#"{"seed": 3, "packets": 10}"#).unwrap();
+        assert!(JsonTraceSource::open(&path).unwrap().is_none());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn malformed_trailing_record_names_its_byte_offset() {
+        let path = temp_path("badjson");
+        let text = r#"{"trace": [{"ip.src": 1}, {"ip.src": "oops"}]}"#;
+        std::fs::write(&path, text).unwrap();
+        let bad_at = text.find(r#"{"ip.src": "oops"#).unwrap() as u64;
+        let mut src = JsonTraceSource::open(&path).unwrap().expect("has trace");
+        let mut out = Vec::new();
+        let err = loop {
+            match src.next_batch(&mut out, 8) {
+                Ok(0) => panic!("malformed record must error"),
+                Ok(_) => continue,
+                Err(e) => break e,
+            }
+        };
+        assert_eq!(err.offset, Some(bad_at), "{err}");
+        assert!(err.msg.contains("trace[1]"), "{err}");
+        assert_eq!(out.len(), 1, "the good leading record still streamed");
+
+        // A trace cut off mid-record diagnoses the truncation point.
+        let cut = &text[..text.len() - 10];
+        std::fs::write(&path, cut).unwrap();
+        let mut src = JsonTraceSource::open(&path).unwrap().expect("has trace");
+        let mut out = Vec::new();
+        let err = loop {
+            match src.next_batch(&mut out, 8) {
+                Ok(0) => panic!("truncated trace must error"),
+                Ok(_) => continue,
+                Err(e) => break e,
+            }
+        };
+        assert!(err.offset.is_some() && err.msg.contains("truncated"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -18,8 +18,16 @@
 use nf_packet::{Field, Packet};
 use nfl_lint::{mirror_field, DispatchKey};
 
-/// 64-bit FNV-1a over a sequence of field values.
+/// 64-bit FNV-1a over a sequence of field values — the reference form
+/// the tests pin [`dispatch_hash`]'s allocation-free path against.
+#[cfg(test)]
 fn fnv1a(values: &[u64]) -> u64 {
+    fnv1a_fold(values.iter().copied())
+}
+
+/// [`fnv1a`] over an iterator, so the per-packet hash path never
+/// materialises the value sequence (see [`dispatch_hash`]).
+fn fnv1a_fold(values: impl Iterator<Item = u64>) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for v in values {
         for b in v.to_le_bytes() {
@@ -55,12 +63,43 @@ pub fn dispatch_values(key: &DispatchKey, pkt: &Packet) -> Vec<u64> {
     }
 }
 
+/// The full 64-bit dispatch hash of `pkt` under `key` — the quantity
+/// [`shard_of`] reduces modulo the shard count. The skew-aware
+/// rebalancer keys its seen-flow table on this, so two packets steer
+/// together iff they hash identically.
+pub fn dispatch_hash(key: &DispatchKey, pkt: &Packet) -> u64 {
+    // Allocation-free equivalent of `fnv1a(&dispatch_values(..))`:
+    // this runs once per packet on the dispatcher thread, so the
+    // `Vec`s behind `dispatch_values` would be the hot path's only
+    // heap traffic. The canonical-direction choice compares the two
+    // orientations field by field, exactly as the `Vec` comparison
+    // would (`reverse < forward` lexicographically).
+    let fields = key.fields();
+    if !key.symmetric() {
+        return fnv1a_fold(fields.iter().map(|f| field_value(pkt, *f)));
+    }
+    let mut reversed = false;
+    for f in fields {
+        let fw = field_value(pkt, *f);
+        let rv = field_value(pkt, mirror_field(*f));
+        if rv != fw {
+            reversed = rv < fw;
+            break;
+        }
+    }
+    if reversed {
+        fnv1a_fold(fields.iter().map(|f| field_value(pkt, mirror_field(*f))))
+    } else {
+        fnv1a_fold(fields.iter().map(|f| field_value(pkt, *f)))
+    }
+}
+
 /// The shard (in `0..shards`) that owns `pkt` under `key`.
 pub fn shard_of(key: &DispatchKey, pkt: &Packet, shards: usize) -> usize {
     if shards <= 1 {
         return 0;
     }
-    (fnv1a(&dispatch_values(key, pkt)) % shards as u64) as usize
+    (dispatch_hash(key, pkt) % shards as u64) as usize
 }
 
 #[cfg(test)]
@@ -94,6 +133,33 @@ mod tests {
             pkt.set(Field::IpTtl, 1).unwrap();
             let _ = pkt.set(Field::TcpDport, 9999);
             assert_eq!(before, shard_of(&key, &pkt, 8));
+        }
+    }
+
+    /// The allocation-free hash path must agree bit-for-bit with
+    /// hashing the materialised [`dispatch_values`] sequence — the
+    /// rebalancer's seen-flow table and the telemetry hot-key sketches
+    /// both key on these values, so the two views must never drift.
+    #[test]
+    fn hash_matches_materialized_values() {
+        let keys = [
+            plain(vec![Field::IpSrc, Field::TcpSport]),
+            DispatchKey::new(
+                vec![Field::IpSrc, Field::TcpSport, Field::IpDst, Field::TcpDport],
+                true,
+            ),
+            DispatchKey::new(vec![Field::IpSrc, Field::IpDst], true),
+        ];
+        let mut gen = PacketGen::new(0xD15);
+        for _ in 0..300 {
+            let pkt = gen.next_packet();
+            for key in &keys {
+                assert_eq!(
+                    dispatch_hash(key, &pkt),
+                    fnv1a(&dispatch_values(key, &pkt)),
+                    "hash diverges from materialised values"
+                );
+            }
         }
     }
 

@@ -22,25 +22,39 @@
 //! bug), log-only counters sum their per-shard deltas, and replicated
 //! state is checked untouched.
 //!
-//! Three run modes support the differential oracle and the bench:
-//! [`ShardEngine::run`] (real `std::thread` workers over SPSC rings),
-//! [`ShardEngine::run_sequential`] (same dispatch, executed on one
+//! All execution goes through one entry point,
+//! [`ShardEngine::run_with`], which pulls packets from a streaming
+//! [`WorkloadSource`] in configurable batches ([`BatchConfig`]): the
+//! dispatcher hashes and bins a whole batch before a single ring push
+//! per shard, and workers drain whole bins between telemetry flushes.
+//! [`RunMode`] selects threaded execution (real `std::thread` workers
+//! over SPSC rings), sequential (the same dispatch executed on one
 //! thread with per-shard busy-time accounting — deterministic
-//! makespan measurement for single-core hosts), and
-//! [`ShardEngine::run_single`] (the one-shard reference).
+//! makespan measurement for single-core hosts), or the one-shard
+//! reference run.
+//!
+//! With [`BatchConfig::rebalance`] a partitioned dispatcher also
+//! counters skew: when a shard's queue stays above the high-water mark
+//! and the dispatcher-side hot-key sketch confirms a guaranteed heavy
+//! hitter there, genuinely *new* flows that hash to the hot shard are
+//! pinned to the least-loaded shard through an epoch-stamped seen-flow
+//! table. Flows that have been seen before are never moved, so every
+//! flow keeps exactly one owner for the whole run — which is why the
+//! sharded≡single differential invariant survives rebalancing
+//! unconditionally.
 //!
 //! Every mode runs **supervised**: each packet's eval is wrapped in
 //! `catch_unwind` behind a pre-image journal, so a panic or runtime
 //! error rolls partial state writes back and quarantines the packet
 //! ([`crate::supervise`]) instead of aborting the run; the compiled
 //! backend additionally falls back to the model evaluator per packet
-//! on a compiled-engine error. The `run*_faulted` variants thread a
-//! deterministic [`FaultPlan`] through dispatch and eval so the chaos
+//! on a compiled-engine error. A deterministic [`FaultPlan`] in the
+//! [`RunConfig`] threads through dispatch and eval so the chaos
 //! differential suite can prove that non-quarantined behaviour is
 //! byte-identical to the fault-free run.
 
-use crate::dispatch::{dispatch_values, shard_of};
-use crate::plan::{RunMode, ShardPlan};
+use crate::dispatch::{dispatch_hash, dispatch_values};
+use crate::plan::{PlanMode, ShardPlan};
 use crate::telemetry::{FlightOutcome, RunStats, ShardStats, TelemetryConfig, WorkerTelemetry};
 use crate::supervise::{
     panic_message, quiet_catch_unwind, scramble_packet, Quarantine, QuarantineRecord,
@@ -52,7 +66,8 @@ use nf_packet::Packet;
 use nf_support::fault::{FaultKind, FaultPlan};
 use nf_support::sketch::TopK;
 use nf_support::spsc::{Backoff, Producer, TrySendError};
-use nf_trace::Tracer;
+use nf_support::workload::{SliceSource, WorkloadSource};
+use nf_trace::{Histogram, Tracer};
 use nfactor_core::{Pipeline, Synthesis};
 use nfl_interp::{Interp, Value, ValueKey};
 use nfl_lint::{ShardingReport, StateShard};
@@ -64,6 +79,15 @@ use std::time::{Duration, Instant};
 /// Ring capacity per worker; deep enough to absorb dispatch bursts,
 /// shallow enough to bound memory.
 const RING_CAP: usize = 1024;
+
+/// Bounds for the `shard.N.batch.fill` histogram: how full dispatch
+/// bins are when pushed over a ring (1 = degenerate per-packet
+/// dispatch).
+const BATCH_FILL_BOUNDS: [u64; 9] = [1, 2, 4, 8, 16, 32, 64, 128, 256];
+
+/// One dispatch bin: `(arrival seq, per-shard ordinal, packet)` rows
+/// pushed over the ring as a unit.
+type Bin = Vec<(u64, u64, Packet)>;
 
 /// Sentinel error a global-lock worker returns when it bailed out
 /// because *another* shard poisoned the ticket; filtered at join time
@@ -111,6 +135,9 @@ pub enum ShardError {
     /// State merge detected an invariant violation (a partitioning or
     /// replication bug).
     Merge(String),
+    /// The workload source failed mid-stream (truncated trace file,
+    /// malformed record).
+    Workload(String),
 }
 
 impl std::fmt::Display for ShardError {
@@ -120,11 +147,150 @@ impl std::fmt::Display for ShardError {
             ShardError::Runtime(m) => write!(f, "runtime: {m}"),
             ShardError::Thread(m) => write!(f, "thread: {m}"),
             ShardError::Merge(m) => write!(f, "merge: {m}"),
+            ShardError::Workload(m) => write!(f, "workload: {m}"),
         }
     }
 }
 
 impl std::error::Error for ShardError {}
+
+/// How [`ShardEngine::run_with`] executes the workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunMode {
+    /// Real `std::thread` workers fed over SPSC rings.
+    Threaded,
+    /// The same dispatch executed on one thread with per-shard
+    /// busy-time accounting — the deterministic way to measure
+    /// partitioned speedup on a host without enough free cores.
+    Sequential,
+    /// The one-shard reference run every sharded run must match.
+    Single,
+}
+
+/// Batched-dispatch tuning for [`RunConfig`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchConfig {
+    /// Packets hashed and binned per dispatch round — and per ring
+    /// push. Clamped up to 1 (1 reproduces per-packet dispatch).
+    pub size: usize,
+    /// Enable skew-aware rebalancing of new flows off overloaded
+    /// shards (partitioned plans only; a no-op under the global lock).
+    pub rebalance: bool,
+    /// Queue-depth high-water mark that opens a divert; `0` picks a
+    /// mode-appropriate default (3/4 of the ring in bins for threaded
+    /// runs, 3/4 of the batch size for sequential ones).
+    pub high_water: u64,
+    /// Seen-flow table capacity. When the table is full, migration
+    /// stops and new flows route by pure hash — bounded memory, still
+    /// sound.
+    pub table_cap: usize,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig {
+            size: 32,
+            rebalance: false,
+            high_water: 0,
+            table_cap: 65_536,
+        }
+    }
+}
+
+/// The unified run configuration for [`ShardEngine::run_with`] — the
+/// one knob surface that replaced the six `run*` entry points.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Execution mode: threaded, sequential, or single-shard.
+    pub mode: RunMode,
+    /// Deterministic fault plan injected into dispatch and eval;
+    /// `None` runs fault-free.
+    pub fault_plan: Option<FaultPlan>,
+    /// Batch size and rebalancing knobs.
+    pub batch: BatchConfig,
+    /// Keep per-packet [`SeqOutput`]s (the differential oracles need
+    /// them). `false` streams at constant memory, counting outcomes
+    /// into [`ShardRun::forwarded`] instead.
+    pub keep_outputs: bool,
+}
+
+impl RunConfig {
+    fn with_mode(mode: RunMode) -> RunConfig {
+        RunConfig {
+            mode,
+            fault_plan: None,
+            batch: BatchConfig::default(),
+            keep_outputs: true,
+        }
+    }
+
+    /// A threaded run with default batching and no faults.
+    pub fn threaded() -> RunConfig {
+        RunConfig::with_mode(RunMode::Threaded)
+    }
+
+    /// A sequential run with default batching and no faults.
+    pub fn sequential() -> RunConfig {
+        RunConfig::with_mode(RunMode::Sequential)
+    }
+
+    /// The single-shard reference run.
+    pub fn single() -> RunConfig {
+        RunConfig::with_mode(RunMode::Single)
+    }
+
+    /// Inject a deterministic fault plan.
+    pub fn with_faults(mut self, faults: FaultPlan) -> RunConfig {
+        self.fault_plan = Some(faults);
+        self
+    }
+
+    /// Replace the batching knobs.
+    pub fn with_batch(mut self, batch: BatchConfig) -> RunConfig {
+        self.batch = batch;
+        self
+    }
+
+    /// Toggle skew-aware rebalancing.
+    pub fn with_rebalance(mut self, on: bool) -> RunConfig {
+        self.batch.rebalance = on;
+        self
+    }
+}
+
+/// One view over a run's fault/supervision counters — the single home
+/// the CLI's fault-summary block and `stats_json` read, so new
+/// counters (rebalance migrations) have exactly one place to land.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultSummary {
+    /// Packets quarantined at eval.
+    pub quarantined: u64,
+    /// Packets dropped at dispatch past the ring retry deadline.
+    pub dropped: u64,
+    /// Worker restarts performed by the supervisor.
+    pub restarts: u64,
+    /// Failed enqueue attempts (ring full) absorbed by dispatch
+    /// backoff.
+    pub retries: u64,
+    /// Per-packet compiled→model fallbacks.
+    pub fallbacks: u64,
+    /// New flows the skew-aware rebalancer migrated off overloaded
+    /// shards.
+    pub migrations: u64,
+}
+
+impl FaultSummary {
+    /// Whether anything in the summary is nonzero (the CLI prints the
+    /// block only then).
+    pub fn any(&self) -> bool {
+        self.quarantined > 0
+            || self.dropped > 0
+            || self.restarts > 0
+            || self.retries > 0
+            || self.fallbacks > 0
+            || self.migrations > 0
+    }
+}
 
 /// Per-shard program state: an interpreter, a model-state instance, or
 /// a compiled program plus its dense state arena (the program itself is
@@ -213,7 +379,9 @@ impl BackendState {
                 scalars: ms.scalars.clone(),
                 maps: ms.maps.clone(),
             },
-            BackendState::Compiled { state, .. } => Journal::Compiled(state.clone()),
+            BackendState::Compiled { state, .. } => Journal::Compiled {
+                generation: state.generation(),
+            },
         }
     }
 
@@ -229,7 +397,11 @@ impl BackendState {
                 ms.scalars = scalars;
                 ms.maps = maps;
             }
-            (BackendState::Compiled { state, .. }, Journal::Compiled(s)) => *state = s,
+            (BackendState::Compiled { state, .. }, Journal::Compiled { generation }) => {
+                if state.generation() != generation {
+                    state.revert();
+                }
+            }
             // A journal is only ever replayed into the state it was
             // captured from; a variant mismatch cannot happen.
             _ => {}
@@ -312,7 +484,17 @@ enum Journal {
         scalars: BTreeMap<String, Value>,
         maps: BTreeMap<String, BTreeMap<ValueKey, Value>>,
     },
-    Compiled(CompiledState),
+    /// The compiled backend journals only its step generation: its
+    /// `step` is two-phase (all fallible evaluation precedes an
+    /// infallible commit) and banks per-entry pre-images as it
+    /// commits, so rollback is `CompiledState::revert` — O(entries
+    /// the packet touched), where a full pre-clone would be O(live
+    /// flows) per packet. The generation tells rollback whether a
+    /// step began at all: an injected fault fails *before* stepping,
+    /// and replaying the previous packet's undo log there would
+    /// un-commit a successful packet. The interpreter mutates state
+    /// mid-eval, so it still needs the full pre-image.
+    Compiled { generation: u64 },
 }
 
 /// One isolated eval: apply eval-side faults, journal, step under
@@ -332,13 +514,15 @@ fn supervised_step(
     fallbacks: &mut u64,
 ) -> Result<(Vec<Packet>, bool), String> {
     let (mut inject_panic, mut inject_err, mut garbage) = (false, false, false);
-    for k in faults.at(shard, nth) {
-        match k {
-            FaultKind::Panic => inject_panic = true,
-            FaultKind::EvalError => inject_err = true,
-            FaultKind::Garbage => garbage = true,
-            FaultKind::Delay(us) => std::thread::sleep(Duration::from_micros(us)),
-            FaultKind::RingOverflow(_) => {} // dispatch-side, handled there
+    if !faults.is_empty() {
+        for k in faults.at(shard, nth) {
+            match k {
+                FaultKind::Panic => inject_panic = true,
+                FaultKind::EvalError => inject_err = true,
+                FaultKind::Garbage => garbage = true,
+                FaultKind::Delay(us) => std::thread::sleep(Duration::from_micros(us)),
+                FaultKind::RingOverflow(_) => {} // dispatch-side, handled there
+            }
         }
     }
     if garbage {
@@ -381,6 +565,10 @@ fn supervised_step(
 /// Dispatch-side faults at `(shard, nth)`: forced ring-full attempts
 /// and whether to scramble the packet.
 fn dispatch_faults(faults: &FaultPlan, shard: usize, nth: u64) -> (u64, bool) {
+    if faults.is_empty() {
+        // Fault-free runs stay off the per-packet lookup path.
+        return (0, false);
+    }
     let (mut forced, mut garbage) = (0u64, false);
     for k in faults.at(shard, nth) {
         match k {
@@ -400,43 +588,230 @@ fn ring_deadline(policy: &SupervisorPolicy, forced: u64) -> Option<u32> {
         .or(if forced > 0 { Some(INJECTED_RING_DEADLINE) } else { None })
 }
 
-/// Enqueue with bounded retry: spin-then-yield backoff on a full ring,
-/// dropping the packet once `deadline` attempts are exhausted.
-/// `Ok(true)` = delivered, `Ok(false)` = dropped past the deadline,
-/// `Err(())` = the worker is gone (its join reports why).
-fn send_with_retry(
-    tx: &Producer<(u64, u64, Packet)>,
-    item: (u64, u64, Packet),
-    forced: u64,
+/// Enqueue one bin with bounded retry: spin-then-yield backoff on a
+/// full ring, dropping the whole bin once the policy deadline is
+/// exhausted (forced ring-full faults are simulated per packet at bin
+/// time, before binning). `Ok(true)` = delivered, `Ok(false)` =
+/// dropped past the deadline, `Err(())` = the worker is gone (its join
+/// reports why).
+fn send_bin(
+    tx: &Producer<Bin>,
+    bin: Bin,
     policy: &SupervisorPolicy,
     retries: &mut u64,
+    wait_ns: &mut u64,
 ) -> Result<bool, ()> {
-    let deadline = ring_deadline(policy, forced);
-    let mut item = item;
+    let mut bin = bin;
     let mut attempts = 0u64;
     let mut backoff = Backoff::new();
-    loop {
-        if attempts >= forced {
-            match tx.try_send(item) {
-                Ok(()) => return Ok(true),
-                Err((_, TrySendError::Disconnected)) => return Err(()),
-                Err((it, TrySendError::Full)) => item = it,
-            }
+    // Time spent in the retry path is ring-full *waiting*, not
+    // dispatch work; it is accounted separately so the dispatch-plane
+    // cost (`dispatch_ns - dispatch_wait_ns`) stays meaningful even
+    // when the workers are the bottleneck. The clock starts only on
+    // the first full ring, so the delivered-first-try fast path never
+    // touches it.
+    let mut waited: Option<std::time::Instant> = None;
+    let result = loop {
+        match tx.try_send(bin) {
+            Ok(()) => break Ok(true),
+            Err((_, TrySendError::Disconnected)) => break Err(()),
+            Err((b, TrySendError::Full)) => bin = b,
         }
+        waited.get_or_insert_with(std::time::Instant::now);
         attempts += 1;
         *retries += 1;
-        if let Some(d) = deadline {
+        if let Some(d) = policy.ring_deadline {
             if attempts > u64::from(d) {
-                return Ok(false);
+                break Ok(false);
             }
         }
         backoff.snooze();
+    };
+    if let Some(t0) = waited {
+        *wait_ns += t0.elapsed().as_nanos() as u64;
+    }
+    result
+}
+
+/// Flush one dispatch bin: record its fill, push it over the ring, and
+/// account a whole-bin drop past the policy deadline. `Err(())` means
+/// the worker is gone.
+#[allow(clippy::too_many_arguments)]
+fn flush_bin(
+    bin: &mut Bin,
+    batch: usize,
+    tx: &Producer<Bin>,
+    policy: &SupervisorPolicy,
+    retries: &mut u64,
+    wait_ns: &mut u64,
+    fill: Option<&mut Histogram>,
+    dropped_seqs: &mut Vec<u64>,
+    dropped_shard: &mut u64,
+) -> Result<(), ()> {
+    if bin.is_empty() {
+        return Ok(());
+    }
+    if let Some(h) = fill {
+        h.observe(bin.len() as u64);
+    }
+    let out = std::mem::replace(bin, Vec::with_capacity(batch));
+    let seqs: Vec<u64> = out.iter().map(|(s, _, _)| *s).collect();
+    match send_bin(tx, out, policy, retries, wait_ns)? {
+        true => Ok(()),
+        false => {
+            *dropped_shard += seqs.len() as u64;
+            dropped_seqs.extend(seqs);
+            Ok(())
+        }
     }
 }
 
-/// The sequential modes simulate the threaded dispatcher's retry loop
-/// (the ring is never genuinely full on one thread, so only forced
-/// fulls count). Returns whether the packet is delivered.
+/// [`flush_bin`] for the global-lock dispatcher, which must also mark
+/// any dropped seq as skipped and advance the ticket turn past it so
+/// later packets are not deadlocked behind a hole in the order.
+#[allow(clippy::too_many_arguments)]
+fn flush_bin_global(
+    bin: &mut Bin,
+    batch: usize,
+    tx: &Producer<Bin>,
+    policy: &SupervisorPolicy,
+    retries: &mut u64,
+    wait_ns: &mut u64,
+    fill: Option<&mut Histogram>,
+    dropped_seqs: &mut Vec<u64>,
+    dropped_shard: &mut u64,
+    skipped: &Mutex<BTreeSet<u64>>,
+    turn: &AtomicU64,
+) -> Result<(), ()> {
+    let before = dropped_seqs.len();
+    flush_bin(bin, batch, tx, policy, retries, wait_ns, fill, dropped_seqs, dropped_shard)?;
+    for &seq in &dropped_seqs[before..] {
+        skipped.lock().unwrap_or_else(|e| e.into_inner()).insert(seq);
+        let _ = turn.compare_exchange(seq, seq + 1, Ordering::AcqRel, Ordering::Acquire);
+    }
+    Ok(())
+}
+
+/// The default divert high-water mark for threaded runs: 3/4 of the
+/// ring depth, measured in bins.
+fn threaded_high_water(cfg: &BatchConfig, ring_bins: usize) -> u64 {
+    if cfg.high_water > 0 {
+        cfg.high_water
+    } else {
+        (ring_bins as u64 * 3 / 4).max(1)
+    }
+}
+
+/// The default divert high-water mark for sequential runs, where the
+/// load signal is per-round bin fill: 3/4 of the batch size.
+fn sequential_high_water(cfg: &BatchConfig, batch: usize) -> u64 {
+    if cfg.high_water > 0 {
+        cfg.high_water
+    } else {
+        (batch as u64 * 3 / 4).max(1)
+    }
+}
+
+/// Whether a shard's hot-key sketch proves a genuine heavy hitter: the
+/// top entry's count lower bound (count − err) must clear the sketch's
+/// tracking guarantee, so mere uniform load never opens a divert.
+fn has_heavy_hitter(sketch: &TopK<Vec<u64>>) -> bool {
+    sketch
+        .entries()
+        .first()
+        .is_some_and(|e| e.count.saturating_sub(e.err) > sketch.guarantee())
+}
+
+/// Dispatcher-side skew rebalancer.
+///
+/// Soundness rests on one rule: **only flows the dispatcher has never
+/// seen migrate**. Every flow hash gets a pinned shard the first time
+/// it appears (usually its hash shard; the divert target while a
+/// divert is open) and keeps it for the whole run, so each flow has
+/// exactly one owner and per-flow partitioned state never splits. When
+/// the seen-flow table hits its capacity, migration simply stops —
+/// flows not in the table route by pure hash, which is the same stable
+/// assignment they would have had anyway.
+struct Rebalancer {
+    enabled: bool,
+    high_water: u64,
+    /// flow hash → (pinned shard, epoch the pin was made in).
+    table: HashMap<u64, (usize, u64)>,
+    cap: usize,
+    /// Open divert per shard: new flows hashing there go to the target.
+    divert: Vec<Option<usize>>,
+    epoch: u64,
+    migrations: u64,
+}
+
+impl Rebalancer {
+    fn new(cfg: &BatchConfig, shards: usize, high_water: u64, allowed: bool) -> Rebalancer {
+        Rebalancer {
+            enabled: cfg.rebalance && allowed && shards > 1,
+            high_water,
+            table: HashMap::new(),
+            cap: cfg.table_cap.max(1),
+            divert: vec![None; shards],
+            epoch: 0,
+            migrations: 0,
+        }
+    }
+
+    /// Route one packet: its hash shard, unless the flow is pinned
+    /// elsewhere or is brand new while a divert is open on its shard.
+    fn route(&mut self, hash: u64, hash_shard: usize) -> usize {
+        if !self.enabled {
+            return hash_shard;
+        }
+        if let Some(&(shard, _)) = self.table.get(&hash) {
+            return shard;
+        }
+        if self.table.len() >= self.cap {
+            // Table full: this flow routes by hash forever — stable,
+            // so still sound. Do not insert.
+            return hash_shard;
+        }
+        let target = self.divert[hash_shard].unwrap_or(hash_shard);
+        self.table.insert(hash, (target, self.epoch));
+        if target != hash_shard {
+            self.migrations += 1;
+        }
+        target
+    }
+
+    /// Batch-boundary control step: close diverts whose shard has
+    /// drained to half the high-water mark, open one (to the
+    /// least-loaded shard) where load is high *and* the sketch proves a
+    /// heavy hitter.
+    fn boundary(&mut self, loads: &[u64], sketches: &[TopK<Vec<u64>>]) {
+        if !self.enabled {
+            return;
+        }
+        for s in 0..self.divert.len() {
+            if self.divert[s].is_some() {
+                if loads[s] <= self.high_water / 2 {
+                    self.divert[s] = None;
+                }
+            } else if loads[s] > self.high_water
+                && sketches.get(s).is_some_and(has_heavy_hitter)
+            {
+                let target = (0..loads.len())
+                    .filter(|&t| t != s)
+                    .min_by_key(|&t| loads[t]);
+                if let Some(t) = target {
+                    self.epoch += 1;
+                    self.divert[s] = Some(t);
+                }
+            }
+        }
+    }
+}
+
+/// Simulate the old per-packet retry loop for *forced* ring-full
+/// faults at bin time, in every mode (bins mean the ring is pushed
+/// once per batch, so a forced per-packet full can no longer collide
+/// with a genuinely full ring). Returns whether the packet is
+/// delivered to its bin.
 fn simulate_dispatch(forced: u64, policy: &SupervisorPolicy, retries: &mut u64) -> bool {
     let deadline = ring_deadline(policy, forced);
     let mut attempts = 0u64;
@@ -510,6 +885,7 @@ impl ShardWorker {
         outputs: Vec<SeqOutput>,
         pkts: u64,
         busy_ns: u64,
+        forwarded: u64,
         stats: Option<ShardStats>,
     ) -> WorkerOut {
         let snapshot = self.state.snapshot();
@@ -519,6 +895,7 @@ impl ShardWorker {
             snapshot,
             pkts,
             busy_ns,
+            forwarded,
             quarantined,
             quarantined_seqs,
             restarts: self.restarts,
@@ -569,6 +946,23 @@ pub struct ShardRun {
     /// Per-packet compiled→model fallbacks (each is a recorded
     /// divergence; the run continues).
     pub fallbacks: u64,
+    /// Packets forwarded (processed and not dropped by the NF) —
+    /// counted even when per-packet outputs are not retained
+    /// ([`RunConfig::keep_outputs`] = false).
+    pub forwarded: u64,
+    /// New flows the skew-aware rebalancer migrated off overloaded
+    /// shards (0 when rebalancing is off).
+    pub migrations: u64,
+    /// Wall-clock nanoseconds the dispatcher thread spent from first
+    /// to last packet (threaded modes; 0 when dispatch is inlined
+    /// into the worker loop, as in sequential and single modes).
+    pub dispatch_ns: u64,
+    /// The share of [`ShardRun::dispatch_ns`] spent in bounded backoff
+    /// on full rings — worker-bound time, not dispatch work.
+    /// `dispatch_ns - dispatch_wait_ns` is the active dispatch-plane
+    /// cost: source pulls, hashing, binning, and ring pushes. This is
+    /// the quantity batched dispatch amortizes (`--bench stream`).
+    pub dispatch_wait_ns: u64,
     /// Telemetry-plane summary: per-shard latency/occupancy histograms,
     /// hot keys, and the flight recorder. `None` when telemetry is off
     /// (disabled config or disabled tracer).
@@ -622,12 +1016,27 @@ impl ShardRun {
         seqs
     }
 
+    /// One view over the run's fault/supervision counters — what the
+    /// CLI fault-summary block and [`stats_json`](Self::stats_json)
+    /// both read.
+    pub fn fault_summary(&self) -> FaultSummary {
+        FaultSummary {
+            quarantined: self.quarantined_seqs.len() as u64,
+            dropped: self.dropped_seqs.len() as u64,
+            restarts: self.restarts,
+            retries: self.retries,
+            fallbacks: self.fallbacks,
+            migrations: self.migrations,
+        }
+    }
+
     /// The `--stats-json` document: run-level accounting plus the
     /// telemetry plane's per-shard detail. `None` when telemetry was
     /// off for the run.
     pub fn stats_json(&self) -> Option<nf_support::json::Value> {
         use nf_support::json::Value as J;
         let stats = self.stats.as_ref()?;
+        let faults = self.fault_summary();
         let int = |v: u64| J::Int(i64::try_from(v).unwrap_or(i64::MAX));
         Some(J::Object(vec![
             ("packets".into(), int(self.total_pkts())),
@@ -636,11 +1045,12 @@ impl ShardRun {
                 "partitioned".into(),
                 J::Str(if self.partitioned { "true" } else { "false" }.into()),
             ),
-            ("quarantined".into(), int(self.quarantined_seqs.len() as u64)),
-            ("dropped".into(), int(self.dropped_seqs.len() as u64)),
-            ("restarts".into(), int(self.restarts)),
-            ("retries".into(), int(self.retries)),
-            ("fallbacks".into(), int(self.fallbacks)),
+            ("quarantined".into(), int(faults.quarantined)),
+            ("dropped".into(), int(faults.dropped)),
+            ("restarts".into(), int(faults.restarts)),
+            ("retries".into(), int(faults.retries)),
+            ("fallbacks".into(), int(faults.fallbacks)),
+            ("migrations".into(), int(faults.migrations)),
             ("makespan_ns".into(), int(self.makespan_ns())),
             ("telemetry".into(), stats.to_json(&self.per_shard_pkts, &self.busy_ns)),
         ]))
@@ -653,6 +1063,7 @@ struct WorkerOut {
     snapshot: BTreeMap<String, Value>,
     pkts: u64,
     busy_ns: u64,
+    forwarded: u64,
     quarantined: Vec<QuarantineRecord>,
     quarantined_seqs: Vec<u64>,
     restarts: u64,
@@ -826,67 +1237,89 @@ impl ShardEngine {
         self.telemetry.enabled && self.tracer.is_enabled()
     }
 
-    /// Run threaded: one `std::thread` worker per shard, fed over SPSC
-    /// rings, packets steered by the plan.
-    pub fn run(&self, packets: &[Packet]) -> Result<ShardRun, ShardError> {
-        self.run_faulted(packets, &FaultPlan::new())
+    /// The unified entry point: pull packets from `source` in
+    /// [`BatchConfig::size`] batches and execute them per `cfg` —
+    /// threaded, sequential, or the single-shard reference; fault-free
+    /// or under a deterministic [`FaultPlan`]; with or without
+    /// per-packet output retention and skew-aware rebalancing.
+    pub fn run_with<S>(&self, source: S, cfg: &RunConfig) -> Result<ShardRun, ShardError>
+    where
+        S: WorkloadSource<Item = Packet>,
+    {
+        let mut source = source;
+        let faults = cfg.fault_plan.clone().unwrap_or_else(FaultPlan::new);
+        match (cfg.mode, self.plan.mode().clone()) {
+            (RunMode::Threaded, PlanMode::Partitioned(key)) => {
+                self.run_partitioned_threaded(&key, &mut source, &faults, cfg)
+            }
+            (RunMode::Threaded, PlanMode::GlobalLock) => {
+                self.run_global_threaded(&mut source, &faults, cfg)
+            }
+            (RunMode::Sequential, PlanMode::Partitioned(_)) => {
+                self.run_sequential_n(self.shards, &mut source, &faults, cfg)
+            }
+            (RunMode::Sequential, PlanMode::GlobalLock) => {
+                self.run_global_sequential(&mut source, &faults, cfg)
+            }
+            (RunMode::Single, _) => self.run_sequential_n(1, &mut source, &faults, cfg),
+        }
     }
 
-    /// [`run`](Self::run) with a deterministic fault plan injected into
-    /// dispatch and eval.
+    /// Run threaded over an in-memory slice.
+    #[deprecated(note = "use run_with(SliceSource::new(packets), &RunConfig::threaded())")]
+    pub fn run(&self, packets: &[Packet]) -> Result<ShardRun, ShardError> {
+        self.run_with(SliceSource::new(packets), &RunConfig::threaded())
+    }
+
+    /// Run threaded under a fault plan.
+    #[deprecated(note = "use run_with with RunConfig::threaded().with_faults(..)")]
     pub fn run_faulted(
         &self,
         packets: &[Packet],
         faults: &FaultPlan,
     ) -> Result<ShardRun, ShardError> {
-        match self.plan.mode().clone() {
-            RunMode::Partitioned(key) => self.run_partitioned_threaded(&key, packets, faults),
-            RunMode::GlobalLock => self.run_global_threaded(packets, faults),
-        }
+        self.run_with(
+            SliceSource::new(packets),
+            &RunConfig::threaded().with_faults(faults.clone()),
+        )
     }
 
-    /// Run the same dispatch on one thread, accounting busy time per
-    /// shard — the deterministic way to measure partitioned speedup on
-    /// a host without `shards` free cores.
+    /// Run the sharded dispatch sequentially on one thread.
+    #[deprecated(note = "use run_with(SliceSource::new(packets), &RunConfig::sequential())")]
     pub fn run_sequential(&self, packets: &[Packet]) -> Result<ShardRun, ShardError> {
-        self.run_sequential_faulted(packets, &FaultPlan::new())
+        self.run_with(SliceSource::new(packets), &RunConfig::sequential())
     }
 
-    /// [`run_sequential`](Self::run_sequential) with a fault plan.
+    /// Run sequentially under a fault plan.
+    #[deprecated(note = "use run_with with RunConfig::sequential().with_faults(..)")]
     pub fn run_sequential_faulted(
         &self,
         packets: &[Packet],
         faults: &FaultPlan,
     ) -> Result<ShardRun, ShardError> {
-        match self.plan.mode().clone() {
-            RunMode::Partitioned(key) => self.run_sequential_n(
-                self.shards,
-                |p| shard_of(&key, p, self.shards),
-                true,
-                packets,
-                faults,
-            ),
-            RunMode::GlobalLock => {
-                // One state instance; round-robin accounting, serialised
-                // critical path.
-                self.run_global_sequential(packets, faults)
-            }
-        }
+        self.run_with(
+            SliceSource::new(packets),
+            &RunConfig::sequential().with_faults(faults.clone()),
+        )
     }
 
-    /// The single-threaded reference run every sharded run must match.
+    /// The one-shard reference run.
+    #[deprecated(note = "use run_with(SliceSource::new(packets), &RunConfig::single())")]
     pub fn run_single(&self, packets: &[Packet]) -> Result<ShardRun, ShardError> {
-        self.run_single_faulted(packets, &FaultPlan::new())
+        self.run_with(SliceSource::new(packets), &RunConfig::single())
     }
 
-    /// [`run_single`](Self::run_single) with a fault plan (shard 0 is
-    /// the only shard, so per-shard ordinals equal arrival seqs).
+    /// The one-shard reference run under a fault plan.
+    #[deprecated(note = "use run_with with RunConfig::single().with_faults(..)")]
     pub fn run_single_faulted(
         &self,
         packets: &[Packet],
         faults: &FaultPlan,
     ) -> Result<ShardRun, ShardError> {
-        self.run_sequential_n(1, |_| 0, true, packets, faults)
+        self.run_with(
+            SliceSource::new(packets),
+            &RunConfig::single().with_faults(faults.clone()),
+        )
     }
 
     /// A fresh supervised worker for shard `shard`.
@@ -909,13 +1342,23 @@ impl ShardEngine {
     fn run_partitioned_threaded(
         &self,
         key: &nfl_lint::DispatchKey,
-        packets: &[Packet],
+        source: &mut dyn WorkloadSource<Item = Packet>,
         faults: &FaultPlan,
+        run_cfg: &RunConfig,
     ) -> Result<ShardRun, ShardError> {
         let n = self.shards;
         let policy = self.policy;
         let telemetry_on = self.telemetry_on();
         let cfg = self.telemetry;
+        let batch = run_cfg.batch.size.max(1);
+        let ring_bins = (RING_CAP / batch).max(2);
+        let keep_outputs = run_cfg.keep_outputs;
+        let mut rebalancer = Rebalancer::new(
+            &run_cfg.batch,
+            n,
+            threaded_high_water(&run_cfg.batch, ring_bins),
+            n > 1,
+        );
         type ScopeOut = (
             Vec<WorkerOut>,
             Vec<u64>,
@@ -923,13 +1366,14 @@ impl ShardEngine {
             Vec<u64>,
             Vec<TopK<Vec<u64>>>,
             u64,
+            u64,
         );
-        let (outs, retries, dropped_seqs, dropped_per_shard, sketches, dispatch_ns) =
+        let (outs, retries, dropped_seqs, dropped_per_shard, sketches, dispatch_ns, dispatch_wait_ns) =
             std::thread::scope(|scope| -> Result<ScopeOut, ShardError> {
                 let mut producers = Vec::with_capacity(n);
                 let mut handles = Vec::with_capacity(n);
                 for w in 0..n {
-                    let (tx, rx) = nf_support::spsc::ring::<(u64, u64, Packet)>(RING_CAP);
+                    let (tx, rx) = nf_support::spsc::ring::<Bin>(ring_bins);
                     producers.push(tx);
                     let mut worker = self.shard_worker(w, faults);
                     let tracer = self.tracer.clone();
@@ -939,98 +1383,177 @@ impl ShardEngine {
                         .spawn_scoped(scope, move || -> WorkerOut {
                             let mut outputs = Vec::new();
                             let (mut pkts, mut busy_ns) = (0u64, 0u64);
+                            let mut forwarded = 0u64;
                             let wait_name = format!("shard.{w}.ring.wait.ns");
                             let mut tel =
                                 telemetry_on.then(|| WorkerTelemetry::new(w, label, &cfg));
                             loop {
                                 let wait = tracer.now();
-                                let Some((seq, nth, pkt)) = rx.recv() else { break };
+                                let Some(bin) = rx.recv() else { break };
                                 tracer.observe_ns(
                                     &wait_name,
                                     tracer.now().saturating_duration_since(wait).as_nanos()
                                         as u64,
                                 );
                                 if let Some(tel) = tel.as_mut() {
-                                    // Ring depth left behind after this
+                                    // Bins still queued after this
                                     // dequeue — the backlog signal.
                                     tel.occupancy(rx.len() as u64);
                                 }
-                                let t0 = tracer.now();
-                                let step = worker.process(seq, nth, &pkt);
-                                let step_ns =
-                                    tracer.now().saturating_duration_since(t0).as_nanos()
-                                        as u64;
-                                busy_ns += step_ns;
-                                if let Some(tel) = tel.as_mut() {
-                                    let outcome = match &step {
-                                        Some((_, false)) => FlightOutcome::Forwarded,
-                                        Some((_, true)) => FlightOutcome::Dropped,
-                                        None => FlightOutcome::Quarantined,
-                                    };
-                                    tel.record(seq, step_ns, outcome, &pkt);
-                                    tel.maybe_flush(&tracer);
-                                }
-                                if let Some((outs, dropped)) = step {
-                                    pkts += 1;
-                                    outputs.push(SeqOutput {
-                                        seq,
-                                        shard: w,
-                                        outputs: outs,
-                                        dropped,
-                                    });
+                                for (seq, nth, pkt) in bin {
+                                    let t0 = tracer.now();
+                                    let step = worker.process(seq, nth, &pkt);
+                                    let step_ns = tracer
+                                        .now()
+                                        .saturating_duration_since(t0)
+                                        .as_nanos() as u64;
+                                    busy_ns += step_ns;
+                                    if let Some(tel) = tel.as_mut() {
+                                        let outcome = match &step {
+                                            Some((_, false)) => FlightOutcome::Forwarded,
+                                            Some((_, true)) => FlightOutcome::Dropped,
+                                            None => FlightOutcome::Quarantined,
+                                        };
+                                        tel.record(seq, step_ns, outcome, &pkt);
+                                        tel.maybe_flush(&tracer);
+                                    }
+                                    if let Some((outs, dropped)) = step {
+                                        pkts += 1;
+                                        if !dropped {
+                                            forwarded += 1;
+                                        }
+                                        if keep_outputs {
+                                            outputs.push(SeqOutput {
+                                                seq,
+                                                shard: w,
+                                                outputs: outs,
+                                                dropped,
+                                            });
+                                        }
+                                    }
                                 }
                             }
                             tracer.count(&format!("shard.{w}.pkts"), pkts);
                             let stats = tel.map(|t| t.finish(&tracer));
-                            worker.into_out(outputs, pkts, busy_ns, stats)
+                            worker.into_out(outputs, pkts, busy_ns, forwarded, stats)
                         })
                         .map_err(|e| ShardError::Thread(e.to_string()))?;
                     handles.push(handle);
                 }
                 let mut steered = vec![0u64; n];
                 let mut retries = vec![0u64; n];
+                let mut dispatch_wait_ns = 0u64;
                 let mut dropped_seqs = Vec::new();
                 let mut dropped_per_shard = vec![0u64; n];
-                let mut sketches: Vec<TopK<Vec<u64>>> = if telemetry_on {
-                    (0..n).map(|_| TopK::new(cfg.hotkeys_k)).collect()
+                // The dispatcher-side hot-key sketches serve both the
+                // telemetry plane and the rebalancer's divert decision.
+                let mut sketches: Vec<TopK<Vec<u64>>> =
+                    if telemetry_on || rebalancer.enabled {
+                        (0..n).map(|_| TopK::new(cfg.hotkeys_k)).collect()
+                    } else {
+                        Vec::new()
+                    };
+                let mut fill: Vec<Histogram> = if telemetry_on {
+                    (0..n).map(|_| Histogram::new(&BATCH_FILL_BOUNDS)).collect()
                 } else {
                     Vec::new()
                 };
+                let mut bins: Vec<Bin> =
+                    (0..n).map(|_| Vec::with_capacity(batch)).collect();
+                let mut batch_buf: Vec<Packet> = Vec::with_capacity(batch);
+                let mut loads = vec![0u64; n];
+                let mut seq = 0u64;
+                let mut source_err: Option<String> = None;
                 let dispatch_span = self.tracer.span("shard.dispatch");
                 let d0 = self.tracer.now();
-                for (i, pkt) in packets.iter().enumerate() {
-                    let w = shard_of(key, pkt, n);
-                    if telemetry_on {
-                        sketches[w].offer(dispatch_values(key, pkt));
+                'dispatch: loop {
+                    batch_buf.clear();
+                    let got = match source.next_batch(&mut batch_buf, batch) {
+                        Ok(g) => g,
+                        Err(e) => {
+                            source_err = Some(e.to_string());
+                            break 'dispatch;
+                        }
+                    };
+                    if got == 0 {
+                        break;
                     }
-                    let nth = steered[w];
-                    steered[w] += 1;
-                    let (forced, garbage) = dispatch_faults(faults, w, nth);
-                    let mut pkt = pkt.clone();
-                    if garbage {
-                        scramble_packet(&mut pkt, i as u64);
+                    for mut pkt in batch_buf.drain(..) {
+                        let i = seq;
+                        seq += 1;
+                        let h = dispatch_hash(key, &pkt);
+                        let hash_shard = if n > 1 { (h % n as u64) as usize } else { 0 };
+                        let w = rebalancer.route(h, hash_shard);
+                        if !sketches.is_empty() {
+                            sketches[w].offer(dispatch_values(key, &pkt));
+                        }
+                        let nth = steered[w];
+                        steered[w] += 1;
+                        let (forced, garbage) = dispatch_faults(faults, w, nth);
+                        if !simulate_dispatch(forced, &policy, &mut retries[w]) {
+                            dropped_seqs.push(i);
+                            dropped_per_shard[w] += 1;
+                            continue;
+                        }
+                        if garbage {
+                            scramble_packet(&mut pkt, i);
+                        }
+                        bins[w].push((i, nth, pkt));
+                        if bins[w].len() >= batch
+                            && flush_bin(
+                                &mut bins[w],
+                                batch,
+                                &producers[w],
+                                &policy,
+                                &mut retries[w],
+                                &mut dispatch_wait_ns,
+                                fill.get_mut(w),
+                                &mut dropped_seqs,
+                                &mut dropped_per_shard[w],
+                            )
+                            .is_err()
+                        {
+                            // The worker exited early; its join below
+                            // reports why.
+                            break 'dispatch;
+                        }
                     }
-                    match send_with_retry(
+                    // Batch boundary: queued bins per ring are the load
+                    // signal the rebalancer watches.
+                    if rebalancer.enabled {
+                        for (l, tx) in loads.iter_mut().zip(&producers) {
+                            *l = tx.len() as u64;
+                        }
+                        rebalancer.boundary(&loads, &sketches);
+                    }
+                }
+                for w in 0..n {
+                    if flush_bin(
+                        &mut bins[w],
+                        batch,
                         &producers[w],
-                        (i as u64, nth, pkt),
-                        forced,
                         &policy,
                         &mut retries[w],
-                    ) {
-                        Ok(true) => {}
-                        Ok(false) => {
-                            dropped_seqs.push(i as u64);
-                            dropped_per_shard[w] += 1;
-                        }
-                        // The worker exited early; its join below
-                        // reports why.
-                        Err(()) => break,
+                        &mut dispatch_wait_ns,
+                        fill.get_mut(w),
+                        &mut dropped_seqs,
+                        &mut dropped_per_shard[w],
+                    )
+                    .is_err()
+                    {
+                        break;
                     }
                 }
                 drop(producers);
                 let dispatch_ns =
                     self.tracer.now().saturating_duration_since(d0).as_nanos() as u64;
                 dispatch_span.end();
+                for (w, h) in fill.iter().enumerate() {
+                    if h.count > 0 {
+                        self.tracer
+                            .merge_histogram(&format!("shard.{w}.batch.fill"), h);
+                    }
+                }
                 let mut outs = Vec::with_capacity(n);
                 for (i, handle) in handles.into_iter().enumerate() {
                     match handle.join() {
@@ -1043,41 +1566,64 @@ impl ShardEngine {
                         }
                     }
                 }
-                Ok((outs, retries, dropped_seqs, dropped_per_shard, sketches, dispatch_ns))
+                if let Some(e) = source_err {
+                    return Err(ShardError::Workload(e));
+                }
+                Ok((
+                    outs,
+                    retries,
+                    dropped_seqs,
+                    dropped_per_shard,
+                    sketches,
+                    dispatch_ns,
+                    dispatch_wait_ns,
+                ))
             })?;
-        self.assemble(
+        if rebalancer.migrations > 0 {
+            self.tracer
+                .count("shard.rebalance.migrations", rebalancer.migrations);
+        }
+        let stats_sketches = if telemetry_on { sketches } else { Vec::new() };
+        let mut run = self.assemble(
             outs,
             true,
             retries,
             dropped_seqs,
             dropped_per_shard,
-            sketches,
+            stats_sketches,
             dispatch_ns,
-        )
+            dispatch_wait_ns,
+        )?;
+        run.migrations = rebalancer.migrations;
+        Ok(run)
     }
 
     fn run_global_threaded(
         &self,
-        packets: &[Packet],
+        source: &mut dyn WorkloadSource<Item = Packet>,
         faults: &FaultPlan,
+        run_cfg: &RunConfig,
     ) -> Result<ShardRun, ShardError> {
         let n = self.shards;
         let policy = self.policy;
         let telemetry_on = self.telemetry_on();
         let cfg = self.telemetry;
+        let batch = run_cfg.batch.size.max(1);
+        let ring_bins = (RING_CAP / batch).max(2);
+        let keep_outputs = run_cfg.keep_outputs;
         let shared = Arc::new(Mutex::new(self.proto.clone()));
         let turn = Arc::new(AtomicU64::new(0));
         // Seqs that will never be processed (dropped at dispatch): a
         // waiter whose turn never comes checks here and advances the
         // ticket past them, so a drop cannot stall the run.
         let skipped = Arc::new(Mutex::new(BTreeSet::<u64>::new()));
-        type ScopeOut = (Vec<WorkerOut>, Vec<u64>, Vec<u64>, Vec<u64>, u64);
-        let (mut outs, retries, mut dropped_seqs, dropped_per_shard, dispatch_ns) =
+        type ScopeOut = (Vec<WorkerOut>, Vec<u64>, Vec<u64>, Vec<u64>, u64, u64);
+        let (mut outs, retries, mut dropped_seqs, dropped_per_shard, dispatch_ns, dispatch_wait_ns) =
             std::thread::scope(|scope| -> Result<ScopeOut, ShardError> {
                 let mut producers = Vec::with_capacity(n);
                 let mut handles = Vec::with_capacity(n);
                 for w in 0..n {
-                    let (tx, rx) = nf_support::spsc::ring::<(u64, u64, Packet)>(RING_CAP);
+                    let (tx, rx) = nf_support::spsc::ring::<Bin>(ring_bins);
                     producers.push(tx);
                     let shared = Arc::clone(&shared);
                     let turn = Arc::clone(&turn);
@@ -1096,15 +1642,17 @@ impl ShardEngine {
                             };
                             let mut outputs = Vec::new();
                             let (mut pkts, mut busy_ns) = (0u64, 0u64);
+                            let mut forwarded = 0u64;
                             let mut quarantine = Quarantine::new(policy.quarantine_cap);
                             let (mut fail_streak, mut restarts) = (0u32, 0u64);
                             let mut fallbacks = 0u64;
                             let mut tel =
                                 telemetry_on.then(|| WorkerTelemetry::new(w, label, &cfg));
-                            while let Some((seq, nth, pkt)) = rx.recv() {
+                            while let Some(bin) = rx.recv() {
                                 if let Some(tel) = tel.as_mut() {
                                     tel.occupancy(rx.len() as u64);
                                 }
+                                for (seq, nth, pkt) in bin {
                                 // Ticket lock: process strictly in arrival
                                 // order so the run is bit-identical to the
                                 // single-threaded reference. `u64::MAX` is
@@ -1176,12 +1724,17 @@ impl ShardEngine {
                                             tel.maybe_flush(&tracer);
                                         }
                                         pkts += 1;
-                                        outputs.push(SeqOutput {
-                                            seq,
-                                            shard: w,
-                                            outputs: outs,
-                                            dropped,
-                                        });
+                                        if !dropped {
+                                            forwarded += 1;
+                                        }
+                                        if keep_outputs {
+                                            outputs.push(SeqOutput {
+                                                seq,
+                                                shard: w,
+                                                outputs: outs,
+                                                dropped,
+                                            });
+                                        }
                                     }
                                     Err(error) => {
                                         // Contained: quarantine, advance
@@ -1218,6 +1771,7 @@ impl ShardEngine {
                                         });
                                     }
                                 }
+                                }
                             }
                             poison.armed = false;
                             tracer.count(&format!("shard.{w}.pkts"), pkts);
@@ -1228,6 +1782,7 @@ impl ShardEngine {
                                 snapshot: BTreeMap::new(),
                                 pkts,
                                 busy_ns,
+                                forwarded,
                                 quarantined,
                                 quarantined_seqs,
                                 restarts,
@@ -1240,51 +1795,112 @@ impl ShardEngine {
                 }
                 let mut steered = vec![0u64; n];
                 let mut retries = vec![0u64; n];
+                let mut dispatch_wait_ns = 0u64;
                 let mut dropped_seqs = Vec::new();
                 let mut dropped_per_shard = vec![0u64; n];
+                let mut fill: Vec<Histogram> = if telemetry_on {
+                    (0..n).map(|_| Histogram::new(&BATCH_FILL_BOUNDS)).collect()
+                } else {
+                    Vec::new()
+                };
+                let mut bins: Vec<Bin> =
+                    (0..n).map(|_| Vec::with_capacity(batch)).collect();
+                let mut batch_buf: Vec<Packet> = Vec::with_capacity(batch);
+                let mut seq = 0u64;
+                let mut source_err: Option<String> = None;
                 let dispatch_span = self.tracer.span("shard.dispatch");
                 let d0 = self.tracer.now();
-                for (i, pkt) in packets.iter().enumerate() {
-                    // Round-robin: the ticket serialises processing anyway.
-                    let w = i % n;
-                    let nth = steered[w];
-                    steered[w] += 1;
-                    let (forced, garbage) = dispatch_faults(faults, w, nth);
-                    let mut pkt = pkt.clone();
-                    if garbage {
-                        scramble_packet(&mut pkt, i as u64);
+                'dispatch: loop {
+                    batch_buf.clear();
+                    let got = match source.next_batch(&mut batch_buf, batch) {
+                        Ok(g) => g,
+                        Err(e) => {
+                            source_err = Some(e.to_string());
+                            break 'dispatch;
+                        }
+                    };
+                    if got == 0 {
+                        break;
                     }
-                    match send_with_retry(
-                        &producers[w],
-                        (i as u64, nth, pkt),
-                        forced,
-                        &policy,
-                        &mut retries[w],
-                    ) {
-                        Ok(true) => {}
-                        Ok(false) => {
+                    for mut pkt in batch_buf.drain(..) {
+                        let i = seq;
+                        seq += 1;
+                        // Round-robin: the ticket serialises processing
+                        // anyway.
+                        let w = (i % n as u64) as usize;
+                        let nth = steered[w];
+                        steered[w] += 1;
+                        let (forced, garbage) = dispatch_faults(faults, w, nth);
+                        if !simulate_dispatch(forced, &policy, &mut retries[w]) {
                             // Record the hole in the ticket sequence
                             // before accounting, so waiters can skip it.
                             skipped
                                 .lock()
                                 .unwrap_or_else(|e| e.into_inner())
-                                .insert(i as u64);
+                                .insert(i);
                             let _ = turn.compare_exchange(
-                                i as u64,
-                                i as u64 + 1,
+                                i,
+                                i + 1,
                                 Ordering::AcqRel,
                                 Ordering::Acquire,
                             );
-                            dropped_seqs.push(i as u64);
+                            dropped_seqs.push(i);
                             dropped_per_shard[w] += 1;
+                            continue;
                         }
-                        Err(()) => break,
+                        if garbage {
+                            scramble_packet(&mut pkt, i);
+                        }
+                        bins[w].push((i, nth, pkt));
+                        if bins[w].len() >= batch
+                            && flush_bin_global(
+                                &mut bins[w],
+                                batch,
+                                &producers[w],
+                                &policy,
+                                &mut retries[w],
+                                &mut dispatch_wait_ns,
+                                fill.get_mut(w),
+                                &mut dropped_seqs,
+                                &mut dropped_per_shard[w],
+                                &skipped,
+                                &turn,
+                            )
+                            .is_err()
+                        {
+                            break 'dispatch;
+                        }
+                    }
+                }
+                for w in 0..n {
+                    if flush_bin_global(
+                        &mut bins[w],
+                        batch,
+                        &producers[w],
+                        &policy,
+                        &mut retries[w],
+                        &mut dispatch_wait_ns,
+                        fill.get_mut(w),
+                        &mut dropped_seqs,
+                        &mut dropped_per_shard[w],
+                        &skipped,
+                        &turn,
+                    )
+                    .is_err()
+                    {
+                        break;
                     }
                 }
                 drop(producers);
                 let dispatch_ns =
                     self.tracer.now().saturating_duration_since(d0).as_nanos() as u64;
                 dispatch_span.end();
+                for (w, h) in fill.iter().enumerate() {
+                    if h.count > 0 {
+                        self.tracer
+                            .merge_histogram(&format!("shard.{w}.batch.fill"), h);
+                    }
+                }
                 // Join everything, then report the root cause rather than
                 // a bystander's abort.
                 let mut outs = Vec::with_capacity(n);
@@ -1312,10 +1928,21 @@ impl ShardEngine {
                         "worker aborted without a cause".into(),
                     ));
                 }
-                Ok((outs, retries, dropped_seqs, dropped_per_shard, dispatch_ns))
+                if let Some(e) = source_err {
+                    return Err(ShardError::Workload(e));
+                }
+                Ok((
+                    outs,
+                    retries,
+                    dropped_seqs,
+                    dropped_per_shard,
+                    dispatch_ns,
+                    dispatch_wait_ns,
+                ))
             })?;
         let mut outputs: Vec<SeqOutput> = outs.iter().flat_map(|o| o.outputs.clone()).collect();
         outputs.sort_by_key(|o| o.seq);
+        let forwarded = outs.iter().map(|o| o.forwarded).sum();
         let merge_span = self.tracer.span("shard.merge");
         let m0 = self.tracer.now();
         let merged = shared.lock().unwrap_or_else(|e| e.into_inner()).snapshot();
@@ -1350,6 +1977,10 @@ impl ShardEngine {
             restarts,
             retries: retries.iter().sum(),
             fallbacks,
+            forwarded,
+            migrations: 0,
+            dispatch_ns,
+            dispatch_wait_ns,
             stats,
         })
     }
@@ -1357,12 +1988,12 @@ impl ShardEngine {
     fn run_sequential_n(
         &self,
         n: usize,
-        mut pick: impl FnMut(&Packet) -> usize,
-        partitioned: bool,
-        packets: &[Packet],
+        source: &mut dyn WorkloadSource<Item = Packet>,
         faults: &FaultPlan,
+        run_cfg: &RunConfig,
     ) -> Result<ShardRun, ShardError> {
         let telemetry_on = self.telemetry_on();
+        let batch = run_cfg.batch.size.max(1);
         let mut workers: Vec<ShardWorker> =
             (0..n).map(|w| self.shard_worker(w, faults)).collect();
         let mut tels: Vec<Option<WorkerTelemetry>> = (0..n)
@@ -1374,68 +2005,119 @@ impl ShardEngine {
         // Hot keys are a property of the dispatch key; a global-lock
         // plan has none, so its profile is naturally empty.
         let key = self.plan.dispatch().cloned();
-        let mut sketches: Vec<TopK<Vec<u64>>> = if telemetry_on && key.is_some() {
-            (0..n).map(|_| TopK::new(self.telemetry.hotkeys_k)).collect()
+        let mut rebalancer = Rebalancer::new(
+            &run_cfg.batch,
+            n,
+            sequential_high_water(&run_cfg.batch, batch),
+            key.is_some() && n > 1,
+        );
+        let mut sketches: Vec<TopK<Vec<u64>>> =
+            if key.is_some() && (telemetry_on || rebalancer.enabled) {
+                (0..n).map(|_| TopK::new(self.telemetry.hotkeys_k)).collect()
+            } else {
+                Vec::new()
+            };
+        let mut fill: Vec<Histogram> = if telemetry_on {
+            (0..n).map(|_| Histogram::new(&BATCH_FILL_BOUNDS)).collect()
         } else {
             Vec::new()
         };
-        let mut outputs = Vec::with_capacity(packets.len());
+        let mut outputs = Vec::new();
+        let mut forwarded = 0u64;
         let mut pkts = vec![0u64; n];
         let mut busy = vec![0u64; n];
         let mut steered = vec![0u64; n];
         let mut retries = vec![0u64; n];
         let mut dropped_seqs = Vec::new();
         let mut dropped_per_shard = vec![0u64; n];
-        for (i, pkt) in packets.iter().enumerate() {
-            let w = pick(pkt).min(n - 1);
-            if !sketches.is_empty() {
-                if let Some(key) = &key {
-                    sketches[w].offer(dispatch_values(key, pkt));
+        let mut seq = 0u64;
+        let mut batch_buf: Vec<Packet> = Vec::with_capacity(batch);
+        // Per-round bin fill doubles as the (deterministic) load signal
+        // the rebalancer watches in sequential mode.
+        let mut round_fill = vec![0u64; n];
+        loop {
+            batch_buf.clear();
+            let got = source
+                .next_batch(&mut batch_buf, batch)
+                .map_err(|e| ShardError::Workload(e.to_string()))?;
+            if got == 0 {
+                break;
+            }
+            round_fill.iter_mut().for_each(|c| *c = 0);
+            for mut pkt in batch_buf.drain(..) {
+                let i = seq;
+                seq += 1;
+                let w = match &key {
+                    Some(k) if n > 1 => {
+                        let h = dispatch_hash(k, &pkt);
+                        rebalancer.route(h, (h % n as u64) as usize)
+                    }
+                    _ => 0,
+                };
+                if !sketches.is_empty() {
+                    if let Some(k) = &key {
+                        sketches[w].offer(dispatch_values(k, &pkt));
+                    }
+                }
+                round_fill[w] += 1;
+                let nth = steered[w];
+                steered[w] += 1;
+                let (forced, garbage) = dispatch_faults(faults, w, nth);
+                if !simulate_dispatch(forced, &self.policy, &mut retries[w]) {
+                    dropped_seqs.push(i);
+                    dropped_per_shard[w] += 1;
+                    continue;
+                }
+                if garbage {
+                    scramble_packet(&mut pkt, i);
+                }
+                let t0 = self.tracer.now();
+                let step = workers[w].process(i, nth, &pkt);
+                let step_ns =
+                    self.tracer.now().saturating_duration_since(t0).as_nanos() as u64;
+                busy[w] += step_ns;
+                if let Some(tel) = tels[w].as_mut() {
+                    let outcome = match &step {
+                        Some((_, false)) => FlightOutcome::Forwarded,
+                        Some((_, true)) => FlightOutcome::Dropped,
+                        None => FlightOutcome::Quarantined,
+                    };
+                    tel.record(i, step_ns, outcome, &pkt);
+                    tel.maybe_flush(&self.tracer);
+                }
+                if let Some((outs, dropped)) = step {
+                    pkts[w] += 1;
+                    if !dropped {
+                        forwarded += 1;
+                    }
+                    if run_cfg.keep_outputs {
+                        outputs.push(SeqOutput {
+                            seq: i,
+                            shard: w,
+                            outputs: outs,
+                            dropped,
+                        });
+                    }
                 }
             }
-            let nth = steered[w];
-            steered[w] += 1;
-            let (forced, garbage) = dispatch_faults(faults, w, nth);
-            if !simulate_dispatch(forced, &self.policy, &mut retries[w]) {
-                dropped_seqs.push(i as u64);
-                dropped_per_shard[w] += 1;
-                continue;
+            for (h, &c) in fill.iter_mut().zip(&round_fill) {
+                if c > 0 {
+                    h.observe(c);
+                }
             }
-            let scrambled;
-            let pkt = if garbage {
-                let mut p = pkt.clone();
-                scramble_packet(&mut p, i as u64);
-                scrambled = p;
-                &scrambled
-            } else {
-                pkt
-            };
-            let t0 = self.tracer.now();
-            let step = workers[w].process(i as u64, nth, pkt);
-            let step_ns =
-                self.tracer.now().saturating_duration_since(t0).as_nanos() as u64;
-            busy[w] += step_ns;
-            if let Some(tel) = tels[w].as_mut() {
-                let outcome = match &step {
-                    Some((_, false)) => FlightOutcome::Forwarded,
-                    Some((_, true)) => FlightOutcome::Dropped,
-                    None => FlightOutcome::Quarantined,
-                };
-                tel.record(i as u64, step_ns, outcome, pkt);
-                tel.maybe_flush(&self.tracer);
-            }
-            if let Some((outs, dropped)) = step {
-                pkts[w] += 1;
-                outputs.push(SeqOutput {
-                    seq: i as u64,
-                    shard: w,
-                    outputs: outs,
-                    dropped,
-                });
-            }
+            rebalancer.boundary(&round_fill, &sketches);
         }
         for (w, count) in pkts.iter().enumerate() {
             self.tracer.count(&format!("shard.{w}.pkts"), *count);
+        }
+        for (w, h) in fill.iter().enumerate() {
+            if h.count > 0 {
+                self.tracer.merge_histogram(&format!("shard.{w}.batch.fill"), h);
+            }
+        }
+        if rebalancer.migrations > 0 {
+            self.tracer
+                .count("shard.rebalance.migrations", rebalancer.migrations);
         }
         let outs: Vec<WorkerOut> = workers
             .into_iter()
@@ -1444,29 +2126,35 @@ impl ShardEngine {
             .zip(tels)
             .map(|(((worker, pkts), busy_ns), tel)| {
                 let stats = tel.map(|t| t.finish(&self.tracer));
-                worker.into_out(Vec::new(), pkts, busy_ns, stats)
+                worker.into_out(Vec::new(), pkts, busy_ns, 0, stats)
             })
             .collect();
+        let stats_sketches = if telemetry_on { sketches } else { Vec::new() };
         let mut run = self.assemble(
             outs,
-            partitioned,
+            true,
             retries,
             dropped_seqs,
             dropped_per_shard,
-            sketches,
+            stats_sketches,
+            0,
             0,
         )?;
         run.outputs = outputs;
+        run.forwarded = forwarded;
+        run.migrations = rebalancer.migrations;
         Ok(run)
     }
 
     fn run_global_sequential(
         &self,
-        packets: &[Packet],
+        source: &mut dyn WorkloadSource<Item = Packet>,
         faults: &FaultPlan,
+        run_cfg: &RunConfig,
     ) -> Result<ShardRun, ShardError> {
         let n = self.shards;
         let telemetry_on = self.telemetry_on();
+        let batch = run_cfg.batch.size.max(1);
         // One shared evaluator; the worker's shard index is rewritten
         // per packet so faults and quarantine records land on the right
         // virtual shard.
@@ -1477,7 +2165,13 @@ impl ShardEngine {
                     .then(|| WorkerTelemetry::new(w, self.proto.label(), &self.telemetry))
             })
             .collect();
-        let mut outputs = Vec::with_capacity(packets.len());
+        let mut fill: Vec<Histogram> = if telemetry_on {
+            (0..n).map(|_| Histogram::new(&BATCH_FILL_BOUNDS)).collect()
+        } else {
+            Vec::new()
+        };
+        let mut outputs = Vec::new();
+        let mut forwarded = 0u64;
         let mut pkts = vec![0u64; n];
         let mut busy = vec![0u64; n];
         let mut steered = vec![0u64; n];
@@ -1485,54 +2179,79 @@ impl ShardEngine {
         let mut quarantined_per_shard = vec![0u64; n];
         let mut dropped_seqs = Vec::new();
         let mut dropped_per_shard = vec![0u64; n];
-        for (i, pkt) in packets.iter().enumerate() {
-            let w = i % n;
-            let nth = steered[w];
-            steered[w] += 1;
-            let (forced, garbage) = dispatch_faults(faults, w, nth);
-            if !simulate_dispatch(forced, &self.policy, &mut retries[w]) {
-                dropped_seqs.push(i as u64);
-                dropped_per_shard[w] += 1;
-                continue;
+        let mut seq = 0u64;
+        let mut batch_buf: Vec<Packet> = Vec::with_capacity(batch);
+        let mut round_fill = vec![0u64; n];
+        loop {
+            batch_buf.clear();
+            let got = source
+                .next_batch(&mut batch_buf, batch)
+                .map_err(|e| ShardError::Workload(e.to_string()))?;
+            if got == 0 {
+                break;
             }
-            let scrambled;
-            let pkt = if garbage {
-                let mut p = pkt.clone();
-                scramble_packet(&mut p, i as u64);
-                scrambled = p;
-                &scrambled
-            } else {
-                pkt
-            };
-            worker.shard = w;
-            let t0 = self.tracer.now();
-            let step = worker.process(i as u64, nth, pkt);
-            let step_ns =
-                self.tracer.now().saturating_duration_since(t0).as_nanos() as u64;
-            busy[w] += step_ns;
-            if let Some(tel) = tels[w].as_mut() {
-                let outcome = match &step {
-                    Some((_, false)) => FlightOutcome::Forwarded,
-                    Some((_, true)) => FlightOutcome::Dropped,
-                    None => FlightOutcome::Quarantined,
-                };
-                tel.record(i as u64, step_ns, outcome, pkt);
-                tel.maybe_flush(&self.tracer);
+            round_fill.iter_mut().for_each(|c| *c = 0);
+            for mut pkt in batch_buf.drain(..) {
+                let i = seq;
+                seq += 1;
+                let w = (i % n as u64) as usize;
+                round_fill[w] += 1;
+                let nth = steered[w];
+                steered[w] += 1;
+                let (forced, garbage) = dispatch_faults(faults, w, nth);
+                if !simulate_dispatch(forced, &self.policy, &mut retries[w]) {
+                    dropped_seqs.push(i);
+                    dropped_per_shard[w] += 1;
+                    continue;
+                }
+                if garbage {
+                    scramble_packet(&mut pkt, i);
+                }
+                worker.shard = w;
+                let t0 = self.tracer.now();
+                let step = worker.process(i, nth, &pkt);
+                let step_ns =
+                    self.tracer.now().saturating_duration_since(t0).as_nanos() as u64;
+                busy[w] += step_ns;
+                if let Some(tel) = tels[w].as_mut() {
+                    let outcome = match &step {
+                        Some((_, false)) => FlightOutcome::Forwarded,
+                        Some((_, true)) => FlightOutcome::Dropped,
+                        None => FlightOutcome::Quarantined,
+                    };
+                    tel.record(i, step_ns, outcome, &pkt);
+                    tel.maybe_flush(&self.tracer);
+                }
+                if let Some((outs, dropped)) = step {
+                    pkts[w] += 1;
+                    if !dropped {
+                        forwarded += 1;
+                    }
+                    if run_cfg.keep_outputs {
+                        outputs.push(SeqOutput {
+                            seq: i,
+                            shard: w,
+                            outputs: outs,
+                            dropped,
+                        });
+                    }
+                } else {
+                    quarantined_per_shard[w] += 1;
+                }
             }
-            if let Some((outs, dropped)) = step {
-                pkts[w] += 1;
-                outputs.push(SeqOutput {
-                    seq: i as u64,
-                    shard: w,
-                    outputs: outs,
-                    dropped,
-                });
-            } else {
-                quarantined_per_shard[w] += 1;
+            for (h, &c) in fill.iter_mut().zip(&round_fill) {
+                if c > 0 {
+                    h.observe(c);
+                }
             }
         }
         for (w, count) in pkts.iter().enumerate() {
             self.tracer.count(&format!("shard.{w}.pkts"), *count);
+        }
+        for (w, h) in fill.iter().enumerate() {
+            if h.count > 0 {
+                self.tracer.merge_histogram(&format!("shard.{w}.batch.fill"), h);
+            }
         }
         for (w, q) in quarantined_per_shard.iter().enumerate() {
             if *q > 0 {
@@ -1587,6 +2306,10 @@ impl ShardEngine {
             restarts,
             retries: retries.iter().sum(),
             fallbacks,
+            forwarded,
+            migrations: 0,
+            dispatch_ns: 0,
+            dispatch_wait_ns: 0,
             stats,
         })
     }
@@ -1594,6 +2317,7 @@ impl ShardEngine {
     /// Sort outputs, merge per-shard snapshots, fold the workers' fault
     /// accounting into the run, and assemble the telemetry plane's
     /// [`RunStats`] (hot-key sketches come from the dispatcher).
+    #[allow(clippy::too_many_arguments)]
     fn assemble(
         &self,
         mut outs: Vec<WorkerOut>,
@@ -1603,6 +2327,7 @@ impl ShardEngine {
         dropped_per_shard: Vec<u64>,
         sketches: Vec<TopK<Vec<u64>>>,
         dispatch_ns: u64,
+        dispatch_wait_ns: u64,
     ) -> Result<ShardRun, ShardError> {
         let mut outputs: Vec<SeqOutput> = outs.iter().flat_map(|o| o.outputs.clone()).collect();
         outputs.sort_by_key(|o| o.seq);
@@ -1616,6 +2341,7 @@ impl ShardEngine {
         merge_span.end();
         let per_shard_pkts = outs.iter().map(|o| o.pkts).collect();
         let busy_ns = outs.iter().map(|o| o.busy_ns).collect();
+        let forwarded = outs.iter().map(|o| o.forwarded).sum();
         let shard_stats: Vec<ShardStats> =
             outs.iter_mut().filter_map(|o| o.stats.take()).collect();
         let (quarantined, quarantined_seqs, restarts, fallbacks) =
@@ -1643,6 +2369,10 @@ impl ShardEngine {
             restarts,
             retries: retries.iter().sum(),
             fallbacks,
+            forwarded,
+            migrations: 0,
+            dispatch_ns,
+            dispatch_wait_ns,
             stats,
         })
     }
@@ -1834,7 +2564,11 @@ fn merge_log(name: &str, init: &Value, values: &[&Value]) -> Result<Value, Shard
 #[cfg(test)]
 mod tests {
     use super::*;
-    use nf_packet::PacketGen;
+    use nf_packet::{PacketGen, TcpFlags};
+
+    fn engine_for(src: &str, shards: usize) -> ShardEngine {
+        ShardEngine::from_source(&pipeline("rl", shards), src, Backend::Interp).unwrap()
+    }
 
     fn pipeline(name: &str, shards: usize) -> Pipeline {
         match Pipeline::builder().name(name).shards(shards).build() {
@@ -1868,8 +2602,8 @@ mod tests {
                 .unwrap();
         assert!(engine.plan().partitioned());
         let packets = PacketGen::new(42).batch(300);
-        let sharded = engine.run(&packets).unwrap();
-        let single = engine.run_single(&packets).unwrap();
+        let sharded = engine.run_with(SliceSource::new(&packets), &RunConfig::threaded()).unwrap();
+        let single = engine.run_with(SliceSource::new(&packets), &RunConfig::single()).unwrap();
         assert_eq!(sharded.output_signature(), single.output_signature());
         assert_eq!(sharded.merged, single.merged);
         assert_eq!(sharded.total_pkts(), 300);
@@ -1882,8 +2616,8 @@ mod tests {
             ShardEngine::from_source(&pipeline("rl", 4), RATELIMITER_ISH, Backend::Interp)
                 .unwrap();
         let packets = PacketGen::new(7).batch(200);
-        let seq = engine.run_sequential(&packets).unwrap();
-        let thr = engine.run(&packets).unwrap();
+        let seq = engine.run_with(SliceSource::new(&packets), &RunConfig::sequential()).unwrap();
+        let thr = engine.run_with(SliceSource::new(&packets), &RunConfig::threaded()).unwrap();
         assert_eq!(seq.output_signature(), thr.output_signature());
         assert_eq!(seq.merged, thr.merged);
         assert!(seq.partitioned);
@@ -1906,8 +2640,8 @@ mod tests {
         let engine = ShardEngine::from_source(&pipeline("alloc", 4), src, Backend::Interp).unwrap();
         assert!(!engine.plan().partitioned());
         let packets = PacketGen::new(3).batch(250);
-        let sharded = engine.run(&packets).unwrap();
-        let single = engine.run_single(&packets).unwrap();
+        let sharded = engine.run_with(SliceSource::new(&packets), &RunConfig::threaded()).unwrap();
+        let single = engine.run_with(SliceSource::new(&packets), &RunConfig::single()).unwrap();
         assert_eq!(sharded.output_signature(), single.output_signature());
         assert_eq!(sharded.merged, single.merged);
         assert!(!sharded.partitioned);
@@ -1919,8 +2653,8 @@ mod tests {
             ShardEngine::from_source(&pipeline("rl", 4), RATELIMITER_ISH, Backend::Interp)
                 .unwrap();
         let packets = PacketGen::new(9).batch(120);
-        let sharded = engine.run(&packets).unwrap();
-        let single = engine.run_single(&packets).unwrap();
+        let sharded = engine.run_with(SliceSource::new(&packets), &RunConfig::threaded()).unwrap();
+        let single = engine.run_with(SliceSource::new(&packets), &RunConfig::single()).unwrap();
         // `passed` is log-only: per-shard copies must sum to the
         // single-threaded count.
         assert_eq!(sharded.merged.get("passed"), single.merged.get("passed"));
@@ -1944,8 +2678,8 @@ mod tests {
         "#;
         let engine = ShardEngine::from_source(&pipeline("toggle", 4), src, Backend::Interp).unwrap();
         let packets = PacketGen::new(5).batch(300);
-        let sharded = engine.run(&packets).unwrap();
-        let single = engine.run_single(&packets).unwrap();
+        let sharded = engine.run_with(SliceSource::new(&packets), &RunConfig::threaded()).unwrap();
+        let single = engine.run_with(SliceSource::new(&packets), &RunConfig::single()).unwrap();
         assert_eq!(sharded.merged, single.merged);
         assert_eq!(sharded.output_signature(), single.output_signature());
     }
@@ -1964,7 +2698,7 @@ mod tests {
         };
         let engine = ShardEngine::from_source(&p, RATELIMITER_ISH, Backend::Interp).unwrap();
         let packets = PacketGen::new(1).batch(50);
-        engine.run(&packets).unwrap();
+        engine.run_with(SliceSource::new(&packets), &RunConfig::threaded()).unwrap();
         let metrics = tracer.metrics();
         let total: u64 = (0..2)
             .filter_map(|w| metrics.counter(&format!("shard.{w}.pkts")))
@@ -1984,7 +2718,7 @@ mod tests {
             .filter(|(i, _)| excluded.binary_search(&(*i as u64)).is_err())
             .map(|(_, p)| p.clone())
             .collect();
-        let reference = engine.run_single(&kept).unwrap();
+        let reference = engine.run_with(SliceSource::new(&kept), &RunConfig::single()).unwrap();
         assert_eq!(run.outputs.len(), reference.outputs.len());
         for (got, want) in run.outputs.iter().zip(&reference.outputs) {
             assert_eq!(got.outputs, want.outputs);
@@ -2002,7 +2736,7 @@ mod tests {
                 .unwrap();
         let packets = PacketGen::new(42).batch(300);
         let faults = FaultPlan::parse("panic@1:3").unwrap();
-        let run = engine.run_faulted(&packets, &faults).unwrap();
+        let run = engine.run_with(SliceSource::new(&packets), &RunConfig::threaded().with_faults(faults.clone())).unwrap();
         assert_eq!(run.quarantined_seqs.len(), 1);
         assert_eq!(run.quarantined.len(), 1);
         assert_eq!(run.quarantined[0].shard, 1);
@@ -2027,7 +2761,7 @@ mod tests {
         let engine =
             ShardEngine::from_source(&pipeline("leak", 1), src, Backend::Interp).unwrap();
         let packets = PacketGen::new(8).batch(10);
-        let run = engine.run_single(&packets).unwrap();
+        let run = engine.run_with(SliceSource::new(&packets), &RunConfig::single()).unwrap();
         assert_eq!(run.total_pkts(), 0);
         assert_eq!(run.quarantined_seqs.len(), 10);
         assert_eq!(run.offered(), 10);
@@ -2043,7 +2777,7 @@ mod tests {
                 .unwrap();
         let packets = PacketGen::new(7).batch(200);
         let faults = FaultPlan::parse("err@0:0,err@0:1,err@0:2").unwrap();
-        let run = engine.run_faulted(&packets, &faults).unwrap();
+        let run = engine.run_with(SliceSource::new(&packets), &RunConfig::threaded().with_faults(faults.clone())).unwrap();
         assert_eq!(run.quarantined_seqs.len(), 3);
         assert_eq!(run.restarts, 1);
         assert_matches_reference(&engine, &packets, &run);
@@ -2056,12 +2790,12 @@ mod tests {
                 .unwrap();
         let packets = PacketGen::new(11).batch(120);
         let faults = FaultPlan::parse("err@0:2,err@1:5").unwrap();
-        let run = engine.run_faulted(&packets, &faults).unwrap();
+        let run = engine.run_with(SliceSource::new(&packets), &RunConfig::threaded().with_faults(faults.clone())).unwrap();
         // The compiled engine's injected errors retried on the model
         // evaluator: nothing quarantined, outputs exactly fault-free.
         assert_eq!(run.fallbacks, 2);
         assert!(run.quarantined_seqs.is_empty());
-        let clean = engine.run(&packets).unwrap();
+        let clean = engine.run_with(SliceSource::new(&packets), &RunConfig::threaded()).unwrap();
         assert_eq!(run.output_signature(), clean.output_signature());
         assert_eq!(run.merged, clean.merged);
     }
@@ -2089,10 +2823,10 @@ mod tests {
         // Round-robin: shard 1's packet 0 is seq 1, shard 2's packet 5
         // is seq 2 + 4*5 = 22.
         let faults = FaultPlan::parse("panic@1:0,err@2:5").unwrap();
-        let run = engine.run_faulted(&packets, &faults).unwrap();
+        let run = engine.run_with(SliceSource::new(&packets), &RunConfig::threaded().with_faults(faults.clone())).unwrap();
         assert_eq!(run.quarantined_seqs, vec![1, 22]);
         assert_matches_reference(&engine, &packets, &run);
-        let seq = engine.run_sequential_faulted(&packets, &faults).unwrap();
+        let seq = engine.run_with(SliceSource::new(&packets), &RunConfig::sequential().with_faults(faults.clone())).unwrap();
         assert_eq!(run.output_signature(), seq.output_signature());
         assert_eq!(run.merged, seq.merged);
     }
@@ -2106,16 +2840,131 @@ mod tests {
         // The default overflow burst outlasts the injected deadline:
         // the packet drops, with retry accounting.
         let plan = FaultPlan::parse("ring-overflow@0:1").unwrap();
-        let run = engine.run_faulted(&packets, &plan).unwrap();
+        let run = engine.run_with(SliceSource::new(&packets), &RunConfig::threaded().with_faults(plan.clone())).unwrap();
         assert_eq!(run.dropped_seqs.len(), 1);
         assert_eq!(run.offered(), 100);
         assert!(run.retries > u64::from(INJECTED_RING_DEADLINE));
         assert_matches_reference(&engine, &packets, &run);
         // A bounded burst is absorbed by backoff retries instead.
         let plan = FaultPlan::parse("ring-overflow@0:1:64").unwrap();
-        let run = engine.run_faulted(&packets, &plan).unwrap();
+        let run = engine.run_with(SliceSource::new(&packets), &RunConfig::threaded().with_faults(plan.clone())).unwrap();
         assert!(run.dropped_seqs.is_empty());
         assert!(run.retries >= 64);
         assert_eq!(run.total_pkts(), 100);
+    }
+
+    /// A source that yields a few packets then fails, for the
+    /// mid-stream error path.
+    struct FailingSource {
+        left: usize,
+    }
+
+    impl WorkloadSource for FailingSource {
+        type Item = Packet;
+
+        fn next_batch(
+            &mut self,
+            out: &mut Vec<Packet>,
+            max: usize,
+        ) -> Result<usize, nf_support::workload::WorkloadError> {
+            if self.left == 0 {
+                return Err(nf_support::workload::WorkloadError::at(
+                    640,
+                    "truncated record",
+                ));
+            }
+            let n = self.left.min(max);
+            let gen = PacketGen::new(9).batch(n);
+            out.extend(gen);
+            self.left -= n;
+            Ok(n)
+        }
+    }
+
+    #[test]
+    fn batch_size_does_not_change_behaviour() {
+        let engine = engine_for(RATELIMITER_ISH, 4);
+        let packets = PacketGen::new(13).batch(400);
+        let base = engine
+            .run_with(SliceSource::new(&packets), &RunConfig::single())
+            .unwrap();
+        for size in [1usize, 7, 32, 256] {
+            let batch = BatchConfig { size, ..BatchConfig::default() };
+            for mode in [RunMode::Threaded, RunMode::Sequential] {
+                let cfg = RunConfig { mode, ..RunConfig::threaded().with_batch(batch) };
+                let run = engine.run_with(SliceSource::new(&packets), &cfg).unwrap();
+                assert_eq!(
+                    run.output_signature(),
+                    base.output_signature(),
+                    "batch {size} {mode:?}"
+                );
+                assert_eq!(run.merged, base.merged, "batch {size} {mode:?}");
+                assert_eq!(run.total_pkts(), 400);
+                assert_eq!(run.forwarded, base.forwarded);
+            }
+        }
+    }
+
+    #[test]
+    fn rebalancing_migrates_new_flows_and_preserves_outputs() {
+        let engine = engine_for(RATELIMITER_ISH, 4);
+        // One heavy flow interleaved with a stream of fresh sources:
+        // the heavy hitter keeps its shard hot, so new flows hashing
+        // there get pinned elsewhere.
+        let mut packets = Vec::new();
+        for i in 0..600u32 {
+            let src = if i % 2 == 0 { 0x0a00_0001 } else { 0x2000_0000 + i };
+            packets.push(Packet::tcp(src, 1000, 0x0a00_00fe, 80, TcpFlags(TcpFlags::SYN)));
+        }
+        let single = engine
+            .run_with(SliceSource::new(&packets), &RunConfig::single())
+            .unwrap();
+        let batch = BatchConfig { size: 32, high_water: 1, ..BatchConfig::default() };
+        let cfg = RunConfig::sequential().with_batch(batch).with_rebalance(true);
+        let run = engine.run_with(SliceSource::new(&packets), &cfg).unwrap();
+        assert!(run.migrations > 0, "skewed load should migrate new flows");
+        assert_eq!(run.fault_summary().migrations, run.migrations);
+        assert_eq!(run.output_signature(), single.output_signature());
+        assert_eq!(run.merged, single.merged);
+        // Rebalancing in the threaded dispatcher preserves the same
+        // invariant (divert timing is racy, placement is not observable).
+        let tcfg = RunConfig::threaded().with_batch(batch).with_rebalance(true);
+        let trun = engine.run_with(SliceSource::new(&packets), &tcfg).unwrap();
+        assert_eq!(trun.output_signature(), single.output_signature());
+        assert_eq!(trun.merged, single.merged);
+    }
+
+    #[test]
+    fn keep_outputs_off_still_counts_forwarded() {
+        let engine = engine_for(RATELIMITER_ISH, 2);
+        let packets = PacketGen::new(5).batch(300);
+        let kept = engine
+            .run_with(SliceSource::new(&packets), &RunConfig::threaded())
+            .unwrap();
+        let mut cfg = RunConfig::threaded();
+        cfg.keep_outputs = false;
+        let lean = engine.run_with(SliceSource::new(&packets), &cfg).unwrap();
+        assert!(lean.outputs.is_empty());
+        assert_eq!(lean.total_pkts(), kept.total_pkts());
+        let kept_forwarded =
+            kept.outputs.iter().filter(|o| !o.dropped).count() as u64;
+        assert_eq!(kept.forwarded, kept_forwarded);
+        assert_eq!(lean.forwarded, kept_forwarded);
+    }
+
+    #[test]
+    fn workload_error_surfaces_mid_run() {
+        let engine = engine_for(RATELIMITER_ISH, 2);
+        for cfg in [RunConfig::threaded(), RunConfig::sequential()] {
+            let err = engine
+                .run_with(FailingSource { left: 70 }, &cfg)
+                .unwrap_err();
+            match err {
+                ShardError::Workload(m) => {
+                    assert!(m.contains("byte offset 640"), "{m}")
+                }
+                other => panic!("expected workload error, got {other:?}"),
+            }
+        }
     }
 }

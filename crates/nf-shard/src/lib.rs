@@ -43,13 +43,20 @@
 //! live view) and a [`RunStats`] document (`--stats-json`,
 //! `--flight-out`). Telemetry never changes what a run computes.
 //!
+//! Packets reach the engine through a pull-based
+//! [`WorkloadSource`](nf_support::workload::WorkloadSource) — an
+//! in-memory slice, the seeded generator, or a `.nfw` binary trace —
+//! dispatched in configurable batches ([`BatchConfig`]) under one
+//! unified entry point, [`ShardEngine::run_with`]:
+//!
 //! ```no_run
 //! use nfactor_core::Pipeline;
-//! use nf_shard::{Backend, ShardEngine};
+//! use nf_shard::{Backend, RunConfig, ShardEngine, SliceSource};
 //!
 //! let pipeline = Pipeline::builder().name("rl").shards(4).build()?;
 //! let engine = ShardEngine::from_source(&pipeline, "...nfl source...", Backend::Interp)?;
-//! let run = engine.run(&nf_packet::PacketGen::new(1).batch(1000))?;
+//! let packets = nf_packet::PacketGen::new(1).batch(1000);
+//! let run = engine.run_with(SliceSource::new(&packets), &RunConfig::threaded())?;
 //! assert_eq!(run.total_pkts(), 1000);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
@@ -62,10 +69,14 @@ pub mod plan;
 pub mod supervise;
 pub mod telemetry;
 
-pub use dispatch::{dispatch_values, shard_of};
-pub use engine::{Backend, SeqOutput, ShardEngine, ShardError, ShardRun};
-pub use plan::{Placement, RunMode, ShardPlan};
+pub use dispatch::{dispatch_hash, dispatch_values, shard_of};
+pub use engine::{
+    Backend, BatchConfig, FaultSummary, RunConfig, RunMode, SeqOutput, ShardEngine, ShardError,
+    ShardRun,
+};
+pub use plan::{Placement, PlanMode, ShardPlan};
 pub use supervise::{panic_message, quarantine_to_json, QuarantineRecord, SupervisorPolicy};
 pub use telemetry::{
     render_top, FlightEvent, FlightOutcome, RunStats, ShardStats, TelemetryConfig,
 };
+pub use nf_support::workload::{SliceSource, WorkloadError, WorkloadSource};

@@ -63,7 +63,7 @@ impl Placement {
 
 /// How the engine executes the NF across shards.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub enum RunMode {
+pub enum PlanMode {
     /// Every shard runs independently; packets are steered by the
     /// dispatch key.
     Partitioned(DispatchKey),
@@ -76,7 +76,7 @@ pub enum RunMode {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ShardPlan {
     states: Vec<(String, StateShard, Placement)>,
-    mode: RunMode,
+    mode: PlanMode,
     /// Why the plan fell back to the global lock (empty when
     /// partitioned).
     fallback_reason: String,
@@ -121,14 +121,14 @@ impl ShardPlan {
 
         let mode = if fallback.is_empty() {
             match combine_dispatch(report) {
-                Ok(d) => RunMode::Partitioned(d),
+                Ok(d) => PlanMode::Partitioned(d),
                 Err(why) => {
                     fallback = why;
-                    RunMode::GlobalLock
+                    PlanMode::GlobalLock
                 }
             }
         } else {
-            RunMode::GlobalLock
+            PlanMode::GlobalLock
         };
 
         // Under the global lock every state is effectively global; keep
@@ -147,21 +147,21 @@ impl ShardPlan {
     }
 
     /// The execution mode.
-    pub fn mode(&self) -> &RunMode {
+    pub fn mode(&self) -> &PlanMode {
         &self.mode
     }
 
     /// The dispatch key, when the plan partitions.
     pub fn dispatch(&self) -> Option<&DispatchKey> {
         match &self.mode {
-            RunMode::Partitioned(d) => Some(d),
-            RunMode::GlobalLock => None,
+            PlanMode::Partitioned(d) => Some(d),
+            PlanMode::GlobalLock => None,
         }
     }
 
     /// Whether packets fan out across shards without locking.
     pub fn partitioned(&self) -> bool {
-        matches!(self.mode, RunMode::Partitioned(_))
+        matches!(self.mode, PlanMode::Partitioned(_))
     }
 
     /// Why the plan is global-locked (empty when partitioned).
@@ -174,10 +174,10 @@ impl ShardPlan {
         use std::fmt::Write as _;
         let mut out = String::new();
         match &self.mode {
-            RunMode::Partitioned(d) => {
+            PlanMode::Partitioned(d) => {
                 let _ = writeln!(out, "mode: partitioned [dispatch: {}]", d.render());
             }
-            RunMode::GlobalLock => {
+            PlanMode::GlobalLock => {
                 let _ = writeln!(out, "mode: global-lock ({})", self.fallback_reason);
             }
         }

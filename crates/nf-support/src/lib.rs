@@ -27,6 +27,9 @@
 //!   hot-key profiler behind `shard.N.hotkeys`).
 //! * [`ring`] — a bounded overwrite-oldest ring log (the `nf-shard`
 //!   flight recorder's storage).
+//! * [`workload`] — the pull-based [`workload::WorkloadSource`] trait and
+//!   the length-prefixed record framing behind the `.nfw` trace format
+//!   (the `nf-shard` streaming packet path).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -41,8 +44,10 @@ pub mod ring;
 pub mod rng;
 pub mod sketch;
 pub mod spsc;
+pub mod workload;
 
 pub use budget::Budget;
 pub use fault::{FaultKind, FaultPlan};
 pub use json::{FromJson, JsonError, ToJson, Value};
 pub use rng::Rng;
+pub use workload::{SliceSource, WorkloadError, WorkloadSource};

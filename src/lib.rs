@@ -32,11 +32,12 @@
 //!
 //! // The same pipeline drives the sharded execution runtime:
 //! use nfactor::packet::PacketGen;
-//! use nfactor::shard::{Backend, ShardEngine};
+//! use nfactor::shard::{Backend, RunConfig, ShardEngine, SliceSource};
 //!
 //! let pipeline = Pipeline::builder().name("port-filter").shards(4).build().unwrap();
 //! let engine = ShardEngine::from_source(&pipeline, src, Backend::Interp).unwrap();
-//! let run = engine.run(&PacketGen::new(7).batch(100)).unwrap();
+//! let packets = PacketGen::new(7).batch(100);
+//! let run = engine.run_with(SliceSource::new(&packets), &RunConfig::threaded()).unwrap();
 //! assert_eq!(run.total_pkts(), 100);
 //! ```
 //!

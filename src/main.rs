@@ -59,8 +59,8 @@
 //! on proprietary NF code, ship only the resulting model to operators.
 
 use nfactor::core::{Pipeline, Synthesis};
-use nfactor::packet::{Field, Packet, PacketGen, TcpFlags};
-use nfactor::shard::{Backend, ShardEngine};
+use nfactor::packet::{GenSource, JsonTraceSource, NfwReader, NfwWriter, Packet};
+use nfactor::shard::{Backend, BatchConfig, RunConfig, ShardEngine, WorkloadSource};
 use nfactor::support::json::Value;
 use std::io::Write;
 use std::process::ExitCode;
@@ -118,6 +118,7 @@ EXECUTION COMMANDS
 
 UTILITY COMMANDS
   corpus       list the bundled corpus NFs
+  workload     generate a binary .nfw packet trace [--seed N] [--packets N]
   json-check   validate a JSON file
   help         this reference
 
@@ -125,9 +126,14 @@ RUN OPTIONS
   --shards N        worker shards (default 1, max 256)
   --backend B       execution backend: interp (default), model, or
                     compiled (model lowered to a decision-tree engine)
-  --workload FILE   JSON workload: {\"seed\": S, \"packets\": N} for a
-                    generated stream, or {\"trace\": [{\"ip.src\": A,
-                    \"tcp.dport\": 80, ...}, ...]} for explicit packets
+  --workload FILE   packet workload, streamed in batches: a binary .nfw
+                    trace (see `workload`), or JSON — {\"seed\": S,
+                    \"packets\": N} for a generated stream, or
+                    {\"trace\": [{\"ip.src\": A, \"tcp.dport\": 80,
+                    ...}, ...]} for explicit packets
+  --batch N         packets per dispatch batch / ring push (default 32)
+  --rebalance       skew-aware rebalancing: pin new flows away from
+                    overloaded shards (outputs provably unchanged)
   --fault-plan SPEC comma-separated fault points `kind@shard:nth[:arg]`
                     with kind panic | err | delay | ring-overflow |
                     garbage and shard `*` for any shard, injected at the
@@ -224,12 +230,25 @@ fn run_synthesis(args: &[String], pipeline: &Pipeline) -> Result<Synthesis, Stri
         .map_err(|e| e.to_string())
 }
 
-/// Load the `run` workload: a seeded generated stream by default, an
-/// explicit JSON trace or generator config when `--workload` is given.
-fn load_workload(path: Option<&str>) -> Result<Vec<Packet>, String> {
+/// Load the `run` workload as a streaming [`WorkloadSource`]: a seeded
+/// generated stream by default; with `--workload`, a binary `.nfw`
+/// trace, a JSON `trace` array (streamed object by object, so a
+/// malformed record is reported with its byte offset), or a JSON
+/// generator config.
+fn load_workload(
+    path: Option<&str>,
+) -> Result<Box<dyn WorkloadSource<Item = Packet> + Send>, String> {
     let Some(path) = path else {
-        return Ok(PacketGen::new(0).batch(1000));
+        return Ok(Box::new(GenSource::new(0, 1000)));
     };
+    if path.ends_with(".nfw") {
+        let reader = NfwReader::open(path).map_err(|e| format!("{path}: {e}"))?;
+        return Ok(Box::new(reader));
+    }
+    if let Some(trace) = JsonTraceSource::open(path).map_err(|e| format!("{path}: {e}"))? {
+        return Ok(Box::new(trace));
+    }
+    // No top-level `trace` key: a (small) generator-config document.
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     let v = Value::parse(&text).map_err(|e| format!("{path}: {e}"))?;
     let int_key = |key: &str| match v.get(key) {
@@ -237,36 +256,45 @@ fn load_workload(path: Option<&str>) -> Result<Vec<Packet>, String> {
         Some(_) => Err(format!("{path}: `{key}` must be a non-negative integer")),
         None => Ok(None),
     };
-    if let Some(trace) = v.get("trace") {
-        let Value::Array(items) = trace else {
-            return Err(format!("{path}: `trace` must be an array of packet objects"));
-        };
-        let mut pkts = Vec::with_capacity(items.len());
-        for (i, item) in items.iter().enumerate() {
-            let Value::Object(fields) = item else {
-                return Err(format!("{path}: trace[{i}] must be an object"));
-            };
-            let mut pkt = Packet::tcp(0, 0, 0, 0, TcpFlags(0));
-            for (key, fv) in fields {
-                let field = Field::from_path(key)
-                    .ok_or_else(|| format!("{path}: trace[{i}]: unknown field `{key}`"))?;
-                let Value::Int(n) = fv else {
-                    return Err(format!("{path}: trace[{i}].{key} must be an integer"));
-                };
-                pkt.set(field, *n as u64)
-                    .map_err(|e| format!("{path}: trace[{i}].{key}: {e}"))?;
-            }
-            pkts.push(pkt);
-        }
-        return Ok(pkts);
-    }
     let seed = int_key("seed")?.unwrap_or(0);
-    let count = int_key("packets")?.unwrap_or(1000) as usize;
-    Ok(PacketGen::new(seed).batch(count))
+    let count = int_key("packets")?.unwrap_or(1000);
+    Ok(Box::new(GenSource::new(seed, count)))
+}
+
+/// The `workload` command: generate a seeded packet stream into a
+/// binary `.nfw` trace file that `run --workload file.nfw` replays.
+fn run_workload_gen(mut args: Vec<String>) -> Result<(), String> {
+    let seed = take_num_flag(&mut args, "--seed")?.unwrap_or(0);
+    let count = take_num_flag(&mut args, "--packets")?.unwrap_or(1000);
+    let path = match args.as_slice() {
+        [p] => p.clone(),
+        [] => return Err("workload: missing output path (e.g. trace.nfw)".into()),
+        _ => return Err(format!("workload: unexpected arguments: {args:?}")),
+    };
+    let mut writer = NfwWriter::create(&path, seed).map_err(|e| format!("{path}: {e}"))?;
+    let mut source = GenSource::new(seed, count);
+    let mut buf = Vec::with_capacity(4096);
+    loop {
+        buf.clear();
+        let got = source
+            .next_batch(&mut buf, 4096)
+            .map_err(|e| format!("{path}: {e}"))?;
+        if got == 0 {
+            break;
+        }
+        for pkt in &buf {
+            writer.push(pkt).map_err(|e| format!("{path}: {e}"))?;
+        }
+    }
+    let written = writer.finish().map_err(|e| format!("{path}: {e}"))?;
+    let bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+    outln(format!("wrote {written} packets ({bytes} bytes) -> {path}"));
+    Ok(())
 }
 
 /// The `run` command: build a [`ShardEngine`] from the lint report's
 /// placement plan, feed it the workload, print plan + merged results.
+#[allow(clippy::too_many_arguments)]
 fn run_shards(
     args: &[String],
     base: &Pipeline,
@@ -276,6 +304,8 @@ fn run_shards(
     quarantine_out: Option<&str>,
     stats_out: Option<&str>,
     flight_out: Option<&str>,
+    batch: Option<u64>,
+    rebalance: bool,
 ) -> Result<(), String> {
     let (name, src) = load_source(args)?;
     let faults = match fault_plan {
@@ -292,8 +322,18 @@ fn run_shards(
         .map_err(|e| e.to_string())?;
     let engine =
         ShardEngine::from_source(&pipeline, &src, backend).map_err(|e| e.to_string())?;
-    let packets = load_workload(workload)?;
-    let run = engine.run_faulted(&packets, &faults).map_err(|e| e.to_string())?;
+    let source = load_workload(workload)?;
+    let mut cfg = RunConfig::threaded()
+        .with_faults(faults.clone())
+        .with_batch(BatchConfig {
+            size: batch.unwrap_or(32).clamp(1, 4096) as usize,
+            rebalance,
+            ..BatchConfig::default()
+        });
+    // The CLI only reports aggregates, so stream at constant memory
+    // instead of retaining a SeqOutput per packet.
+    cfg.keep_outputs = false;
+    let run = engine.run_with(source, &cfg).map_err(|e| e.to_string())?;
 
     let backend_name = match backend {
         Backend::Interp => "interp",
@@ -306,20 +346,23 @@ fn run_shards(
     ));
     out(engine.plan().render_table());
     let total = run.total_pkts();
-    let forwarded = run.outputs.iter().filter(|o| !o.dropped).count();
+    let summary = run.fault_summary();
     outln("");
     outln(format!("packets        : {total}"));
-    outln(format!("forwarded      : {forwarded}"));
-    outln(format!("dropped        : {}", total as usize - forwarded));
+    outln(format!("forwarded      : {}", run.forwarded));
+    outln(format!("dropped        : {}", total - run.forwarded));
     // Supervision accounting: shown whenever faults were injected or
     // something actually went wrong, silent on a clean default run.
-    if !faults.is_empty() || run.offered() != total || run.restarts + run.fallbacks > 0 {
+    if !faults.is_empty() || run.offered() != total || summary.any() {
         outln(format!("offered        : {}", run.offered()));
-        outln(format!("quarantined    : {}", run.quarantined_seqs.len()));
-        outln(format!("ring-dropped   : {}", run.dropped_seqs.len()));
-        outln(format!("restarts       : {}", run.restarts));
-        outln(format!("retries        : {}", run.retries));
-        outln(format!("fallbacks      : {}", run.fallbacks));
+        outln(format!("quarantined    : {}", summary.quarantined));
+        outln(format!("ring-dropped   : {}", summary.dropped));
+        outln(format!("restarts       : {}", summary.restarts));
+        outln(format!("retries        : {}", summary.retries));
+        outln(format!("fallbacks      : {}", summary.fallbacks));
+        if summary.migrations > 0 {
+            outln(format!("migrations     : {}", summary.migrations));
+        }
     }
     outln(format!("per-shard pkts : {:?}", run.per_shard_pkts));
     let makespan = run.makespan_ns();
@@ -419,13 +462,15 @@ fn run_top(
         .map_err(|e| e.to_string())?;
     let engine =
         ShardEngine::from_source(&pipeline, &src, backend).map_err(|e| e.to_string())?;
-    let packets = load_workload(workload)?;
+    let source = load_workload(workload)?;
+    let mut cfg = RunConfig::threaded();
+    cfg.keep_outputs = false;
     let tracer = pipeline.tracer().clone();
     let run = if once {
-        engine.run(&packets).map_err(|e| e.to_string())?
+        engine.run_with(source, &cfg).map_err(|e| e.to_string())?
     } else {
         std::thread::scope(|scope| {
-            let handle = scope.spawn(|| engine.run(&packets));
+            let handle = scope.spawn(|| engine.run_with(source, &cfg));
             let mut prev = tracer.metrics();
             let mut polls: u64 = 0;
             while !handle.is_finished() && (max_polls == 0 || polls < max_polls) {
@@ -684,6 +729,13 @@ fn main() -> ExitCode {
         "run" => (|| {
             let fault_plan = take_str_flag(&mut rest, "--fault-plan")?;
             let quarantine_out = take_str_flag(&mut rest, "--quarantine-out")?;
+            let batch = take_num_flag(&mut rest, "--batch")?;
+            let rebalance = if let Some(i) = rest.iter().position(|a| a == "--rebalance") {
+                rest.remove(i);
+                true
+            } else {
+                false
+            };
             run_shards(
                 &rest,
                 &pipeline,
@@ -693,8 +745,11 @@ fn main() -> ExitCode {
                 quarantine_out.as_deref(),
                 stats_path.as_deref(),
                 flight_path.as_deref(),
+                batch,
+                rebalance,
             )
         })(),
+        "workload" => run_workload_gen(rest.clone()),
         "top" => run_top(rest.clone(), &pipeline, backend, workload.as_deref()),
         "synthesize" => run_synthesis(&rest, &pipeline).map(|syn| {
             if json {

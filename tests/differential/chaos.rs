@@ -11,9 +11,10 @@
 //! (reference seqs shift left past each hole) and state equality is
 //! full: both sides run the same backend.
 
-use crate::harness::{engines_from_synthesis, DiffEngine, Mode};
+use crate::harness::{engines_from_synthesis, mode_config, DiffEngine, Mode};
 use nfactor::packet::{Packet, PacketGen};
 use nfactor::shard::Backend;
+use nfactor::shard::{RunConfig, SliceSource};
 use nfactor::support::fault::FaultPlan;
 
 const PACKETS: usize = 250;
@@ -30,13 +31,10 @@ const PLANS: &[&str] = &[
     "panic@0:2,err@1:3,garbage@2:1,ring-overflow@0:5",
 ];
 
-fn run_faulted(de: &DiffEngine, mode: Mode, packets: &[Packet], faults: &FaultPlan)
+fn run_under_faults(de: &DiffEngine, mode: Mode, packets: &[Packet], faults: &FaultPlan)
     -> Result<nfactor::shard::ShardRun, nfactor::shard::ShardError> {
-    match mode {
-        Mode::Threaded => de.engine.run_faulted(packets, faults),
-        Mode::Sequential => de.engine.run_sequential_faulted(packets, faults),
-        Mode::Single => de.engine.run_single_faulted(packets, faults),
-    }
+    let cfg = mode_config(mode).with_faults(faults.clone());
+    de.engine.run_with(SliceSource::new(packets), &cfg)
 }
 
 fn chaos(name: &str, src: &str) {
@@ -52,7 +50,7 @@ fn chaos(name: &str, src: &str) {
             .unwrap_or_else(|e| panic!("{name}: plan `{spec}`: {e}"));
         for de in &engines {
             for mode in [Mode::Threaded, Mode::Sequential] {
-                let run = run_faulted(de, mode, &packets, &faults).unwrap_or_else(|e| {
+                let run = run_under_faults(de, mode, &packets, &faults).unwrap_or_else(|e| {
                     panic!("{name}: {}/{mode:?} under `{spec}`: {e}", de.label)
                 });
                 // Accounting: nothing vanishes without a ledger entry.
@@ -72,7 +70,10 @@ fn chaos(name: &str, src: &str) {
                     .filter(|(i, _)| excluded.binary_search(&(*i as u64)).is_err())
                     .map(|(_, p)| p.clone())
                     .collect();
-                let reference = de.engine.run_single(&kept).unwrap_or_else(|e| {
+                let reference = de
+                    .engine
+                    .run_with(SliceSource::new(&kept), &RunConfig::single())
+                    .unwrap_or_else(|e| {
                     panic!("{name}: {} fault-free reference: {e}", de.label)
                 });
                 assert_eq!(

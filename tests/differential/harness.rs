@@ -10,17 +10,17 @@
 use nfactor::core::{Pipeline, Synthesis};
 use nfactor::interp::Value;
 use nfactor::packet::Packet;
-use nfactor::shard::{Backend, ShardEngine, ShardRun};
+use nfactor::shard::{Backend, RunConfig, ShardEngine, ShardRun, SliceSource};
 use std::collections::BTreeMap;
 
 /// How to drive an engine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Mode {
-    /// `ShardEngine::run` — real worker threads over SPSC rings.
+    /// `RunMode::Threaded` — real worker threads over SPSC rings.
     Threaded,
-    /// `ShardEngine::run_sequential` — same dispatch, one thread.
+    /// `RunMode::Sequential` — same dispatch, one thread.
     Sequential,
-    /// `ShardEngine::run_single` — the one-shard reference.
+    /// `RunMode::Single` — the one-shard reference.
     Single,
 }
 
@@ -86,12 +86,23 @@ pub fn engines_from_synthesis(
     (syn, engines)
 }
 
+/// The [`RunConfig`] a [`Mode`] maps to. The differential suites run
+/// with skew-aware rebalancing enabled: any divert the dispatcher opens
+/// must be invisible in outputs and merged state, so the suites prove
+/// the rebalancer sound as a side effect.
+pub fn mode_config(mode: Mode) -> RunConfig {
+    match mode {
+        Mode::Threaded => RunConfig::threaded(),
+        Mode::Sequential => RunConfig::sequential(),
+        Mode::Single => RunConfig::single(),
+    }
+    .with_rebalance(true)
+}
+
 pub fn run_mode(name: &str, de: &DiffEngine, mode: Mode, packets: &[Packet]) -> ShardRun {
-    let r = match mode {
-        Mode::Threaded => de.engine.run(packets),
-        Mode::Sequential => de.engine.run_sequential(packets),
-        Mode::Single => de.engine.run_single(packets),
-    };
+    let r = de
+        .engine
+        .run_with(SliceSource::new(packets), &mode_config(mode));
     r.unwrap_or_else(|e| panic!("{name}: {}/{mode:?}: {e}", de.label))
 }
 

@@ -12,10 +12,14 @@
 //! * [`chaos`] — under deterministic fault injection, the packets a run
 //!   does not quarantine or drop behave byte-identically to a
 //!   fault-free run over the surviving input.
+//! * [`stream`] — a 100k-packet binary `.nfw` trace replayed through
+//!   the batched streaming path is indistinguishable from the same
+//!   packets run from an in-memory slice, with rebalancing off and on.
 
 mod chaos;
 mod harness;
 mod sharded;
+mod stream;
 mod three_way;
 
 use nfactor::packet::{Field, PacketGen};

@@ -7,7 +7,7 @@ use nfactor::core::{Pipeline, Synthesis};
 use nfactor::fuzz::{run, FuzzConfig};
 use nfactor::model::Completeness;
 use nfactor::packet::PacketGen;
-use nfactor::shard::{Backend, ShardEngine};
+use nfactor::shard::{Backend, RunConfig, ShardEngine, SliceSource};
 use nfactor::support::budget::Budget;
 use nfactor::support::check::{check, tuple3, uint_range, Config};
 use nfactor::support::fault::FaultPlan;
@@ -175,8 +175,14 @@ fn random_fault_plans_never_break_accounting_or_merge() {
         let packets = PacketGen::new(seed).batch(120);
         let faults = FaultPlan::random(seed, shards as usize, 120, 6);
         for run in [
-            engine.run_faulted(&packets, &faults),
-            engine.run_sequential_faulted(&packets, &faults),
+            engine.run_with(
+                SliceSource::new(&packets),
+                &RunConfig::threaded().with_faults(faults.clone()),
+            ),
+            engine.run_with(
+                SliceSource::new(&packets),
+                &RunConfig::sequential().with_faults(faults.clone()),
+            ),
         ] {
             // A fault plan must never surface as an engine error: the
             // merge checks stay silent and the run completes.

@@ -6,7 +6,7 @@
 
 use nfactor::core::Pipeline;
 use nfactor::packet::{Packet, PacketGen, TcpFlags};
-use nfactor::shard::{render_top, Backend, FlightOutcome, ShardEngine, TelemetryConfig};
+use nfactor::shard::{render_top, Backend, FlightOutcome, RunConfig, ShardEngine, SliceSource, TelemetryConfig};
 use nfactor::support::fault::FaultPlan;
 use nfactor::support::json::Value;
 use nfactor::trace::{MockClock, Tracer};
@@ -59,15 +59,15 @@ fn telemetry_does_not_change_run_behaviour() {
     for name in ["firewall", "nat"] {
         let on = engine(name, 4, Tracer::enabled());
         let off = engine(name, 4, Tracer::disabled());
-        let run_on = on.run(&packets).expect("telemetry-on run");
-        let run_off = off.run(&packets).expect("telemetry-off run");
+        let run_on = on.run_with(SliceSource::new(&packets), &RunConfig::threaded()).expect("telemetry-on run");
+        let run_off = off.run_with(SliceSource::new(&packets), &RunConfig::threaded()).expect("telemetry-off run");
         assert!(run_on.stats.is_some(), "{name}: enabled tracer collects stats");
         assert!(run_off.stats.is_none(), "{name}: disabled tracer collects nothing");
         assert_eq!(run_on.output_signature(), run_off.output_signature(), "{name}");
         assert_eq!(run_on.merged, run_off.merged, "{name}");
 
-        let seq_on = on.run_sequential(&packets).expect("sequential on");
-        let seq_off = off.run_sequential(&packets).expect("sequential off");
+        let seq_on = on.run_with(SliceSource::new(&packets), &RunConfig::sequential()).expect("sequential on");
+        let seq_off = off.run_with(SliceSource::new(&packets), &RunConfig::sequential()).expect("sequential off");
         assert_eq!(seq_on.output_signature(), seq_off.output_signature(), "{name}");
         assert_eq!(seq_on.merged, seq_off.merged, "{name}");
     }
@@ -82,7 +82,7 @@ fn telemetry_config_switch_disables_collection() {
         enabled: false,
         ..TelemetryConfig::default()
     });
-    let run = e.run(&PacketGen::new(1).batch(100)).expect("run");
+    let run = e.run_with(SliceSource::new(&PacketGen::new(1).batch(100)), &RunConfig::threaded()).expect("run");
     assert!(run.stats.is_none());
 }
 
@@ -93,7 +93,7 @@ fn telemetry_config_switch_disables_collection() {
 fn skewed_workload_reports_hot_keys() {
     let tracer = Tracer::enabled();
     let e = engine("firewall", 4, tracer.clone());
-    let run = e.run(&skewed_workload(900)).expect("run");
+    let run = e.run_with(SliceSource::new(&skewed_workload(900)), &RunConfig::threaded()).expect("run");
     let stats = run.stats.expect("telemetry on");
     let profiled: Vec<_> = stats
         .shards
@@ -143,7 +143,7 @@ fn flight_recorder_captures_faults_and_replays() {
     let e = engine("ratelimiter", 2, tracer);
     let faults = FaultPlan::parse("panic@0:5,panic@1:9").expect("plan parses");
     let packets = PacketGen::new(11).batch(400);
-    let run = e.run_faulted(&packets, &faults).expect("faulted run");
+    let run = e.run_with(SliceSource::new(&packets), &RunConfig::threaded().with_faults(faults.clone())).expect("faulted run");
     assert_eq!(run.quarantined_seqs.len(), 2);
     let stats = run.stats.as_ref().expect("telemetry on");
     let (events, recorded) = stats.flight(1_000_000);
@@ -186,7 +186,7 @@ fn sequential_stats_deterministic_under_mock_clock() {
         let tracer = Tracer::with_clock(Arc::new(MockClock::new(75)));
         let e = engine("nat", 3, tracer.clone());
         let run = e
-            .run_sequential(&PacketGen::new(5).batch(300))
+            .run_with(SliceSource::new(&PacketGen::new(5).batch(300)), &RunConfig::sequential())
             .expect("sequential run");
         let stats = run.stats_json().expect("stats collected").render_pretty();
         let table = tracer.metrics().render_table();
@@ -206,7 +206,10 @@ fn top_renders_per_shard_rows_from_run_metrics() {
     let tracer = Tracer::enabled();
     let e = engine("firewall", 3, tracer.clone());
     let faults = FaultPlan::parse("panic@2:1").expect("plan parses");
-    e.run_faulted(&PacketGen::new(2).batch(300), &faults)
+    e.run_with(
+        SliceSource::new(&PacketGen::new(2).batch(300)),
+        &RunConfig::threaded().with_faults(faults.clone()),
+    )
         .expect("run");
     let table = render_top(&tracer.metrics(), None);
     let rows: Vec<&str> = table.lines().collect();
@@ -227,7 +230,7 @@ fn global_lock_runs_collect_stats() {
     let tracer = Tracer::enabled();
     // `balance` shards `shared`-verdict state, forcing the global lock.
     let e = engine("balance", 2, tracer);
-    let run = e.run(&PacketGen::new(9).batch(200)).expect("run");
+    let run = e.run_with(SliceSource::new(&PacketGen::new(9).batch(200)), &RunConfig::threaded()).expect("run");
     assert!(!run.partitioned, "balance must run under the global lock");
     let stats = run.stats.expect("telemetry on");
     assert_eq!(stats.shards.len(), 2);
